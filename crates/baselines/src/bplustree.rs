@@ -1,0 +1,385 @@
+//! Concurrent B+ tree with write lock coupling — the B+-tree / OpenBw
+//! comparator for Figures 6(a)/6(b).
+//!
+//! Classic "crabbing" design with preemptive splits:
+//!
+//! * every node sits behind its own `parking_lot::RwLock`;
+//! * inserts descend holding at most two write locks (parent + child),
+//!   splitting any full child *before* descending into it, so splits
+//!   never propagate upward;
+//! * lookups descend with read-lock coupling;
+//! * a root swap is guarded by the root-pointer lock plus a version
+//!   counter, which operations check *after* locking the node they
+//!   believe is the root (avoiding the stale-root race without taking
+//!   the pointer lock mid-descent).
+
+use parking_lot::lock_api::{ArcRwLockReadGuard, ArcRwLockWriteGuard};
+use parking_lot::{RawRwLock, RwLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+const MAX_KEYS: usize = 32;
+
+type NodeRef = Arc<RwLock<BpNode>>;
+type WriteGuard = ArcRwLockWriteGuard<RawRwLock, BpNode>;
+type ReadGuard = ArcRwLockReadGuard<RawRwLock, BpNode>;
+
+enum BpNode {
+    Leaf {
+        keys: Vec<u64>,
+        vals: Vec<u64>,
+    },
+    Internal {
+        keys: Vec<u64>, // separators; kids[i] covers [keys[i-1], keys[i])
+        kids: Vec<NodeRef>,
+    },
+}
+
+impl BpNode {
+    fn empty_leaf() -> BpNode {
+        BpNode::Leaf {
+            keys: Vec::with_capacity(MAX_KEYS + 1),
+            vals: Vec::with_capacity(MAX_KEYS + 1),
+        }
+    }
+
+    fn is_full(&self) -> bool {
+        match self {
+            BpNode::Leaf { keys, .. } => keys.len() >= MAX_KEYS,
+            BpNode::Internal { keys, .. } => keys.len() >= MAX_KEYS,
+        }
+    }
+
+    /// Split in place: `self` keeps the left half; returns the separator
+    /// and the new right sibling. Keys `>= sep` live in the right half.
+    fn split(&mut self) -> (u64, BpNode) {
+        match self {
+            BpNode::Leaf { keys, vals } => {
+                let mid = keys.len() / 2;
+                let rk = keys.split_off(mid);
+                let rv = vals.split_off(mid);
+                let sep = rk[0];
+                (sep, BpNode::Leaf { keys: rk, vals: rv })
+            }
+            BpNode::Internal { keys, kids } => {
+                let mid = keys.len() / 2;
+                let sep = keys[mid];
+                let rk = keys.split_off(mid + 1);
+                keys.pop(); // sep moves up
+                let rkids = kids.split_off(mid + 1);
+                (
+                    sep,
+                    BpNode::Internal {
+                        keys: rk,
+                        kids: rkids,
+                    },
+                )
+            }
+        }
+    }
+}
+
+/// A concurrent B+ tree map with `u64` keys and values.
+pub struct BPlusTree {
+    root: RwLock<NodeRef>,
+    version: AtomicU64,
+    len: AtomicUsize,
+}
+
+impl Default for BPlusTree {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl BPlusTree {
+    /// An empty tree.
+    pub fn new() -> Self {
+        BPlusTree {
+            root: RwLock::new(Arc::new(RwLock::new(BpNode::empty_leaf()))),
+            version: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+        }
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lock the current root node (write), retrying across root swaps.
+    fn lock_root_write(&self) -> WriteGuard {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            let root_arc = self.root.read().clone();
+            let guard = RwLock::write_arc(&root_arc);
+            if self.version.load(Ordering::Acquire) == v {
+                return guard;
+            }
+            // a root swap raced us; retry with the new root
+        }
+    }
+
+    fn lock_root_read(&self) -> ReadGuard {
+        loop {
+            let v = self.version.load(Ordering::Acquire);
+            let root_arc = self.root.read().clone();
+            let guard = RwLock::read_arc(&root_arc);
+            if self.version.load(Ordering::Acquire) == v {
+                return guard;
+            }
+        }
+    }
+
+    /// Grow the tree by one level (called when the root is full).
+    fn split_root(&self) {
+        let mut rootptr = self.root.write();
+        let root_arc = rootptr.clone();
+        let mut g = RwLock::write_arc(&root_arc);
+        if !g.is_full() {
+            return; // another thread already split it
+        }
+        let (sep, right) = g.split();
+        let new_root = BpNode::Internal {
+            keys: vec![sep],
+            kids: vec![root_arc.clone(), Arc::new(RwLock::new(right))],
+        };
+        *rootptr = Arc::new(RwLock::new(new_root));
+        self.version.fetch_add(1, Ordering::Release);
+    }
+
+    /// Insert or overwrite; returns `true` if the key was new.
+    pub fn insert(&self, key: u64, val: u64) -> bool {
+        loop {
+            let guard = self.lock_root_write();
+            if guard.is_full() {
+                drop(guard);
+                self.split_root();
+                continue;
+            }
+            return self.descend_insert(guard, key, val);
+        }
+    }
+
+    /// Precondition: `cur` (locked, write) is not full.
+    fn descend_insert(&self, mut cur: WriteGuard, key: u64, val: u64) -> bool {
+        loop {
+            let next: Option<WriteGuard> = match &mut *cur {
+                BpNode::Leaf { keys, vals } => {
+                    let idx = keys.partition_point(|&x| x < key);
+                    if idx < keys.len() && keys[idx] == key {
+                        vals[idx] = val;
+                        return false;
+                    }
+                    keys.insert(idx, key);
+                    vals.insert(idx, val);
+                    self.len.fetch_add(1, Ordering::Relaxed);
+                    return true;
+                }
+                BpNode::Internal { keys, kids } => {
+                    let idx = keys.partition_point(|&x| x <= key);
+                    let child = kids[idx].clone();
+                    let mut cg = RwLock::write_arc(&child);
+                    if cg.is_full() {
+                        // preemptive split under the parent lock (parent
+                        // is non-full by the crabbing invariant)
+                        let (sep, right) = cg.split();
+                        let right_ref = Arc::new(RwLock::new(right));
+                        keys.insert(idx, sep);
+                        kids.insert(idx + 1, right_ref.clone());
+                        if key >= sep {
+                            drop(cg);
+                            cg = RwLock::write_arc(&right_ref);
+                        }
+                    }
+                    Some(cg)
+                }
+            };
+            // coupling: the child is locked and non-full; release parent.
+            cur = next.expect("leaf case returns directly");
+        }
+    }
+
+    /// Lookup with read-lock coupling.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut cur = self.lock_root_read();
+        loop {
+            let next: Option<ReadGuard> = match &*cur {
+                BpNode::Leaf { keys, vals } => {
+                    return keys
+                        .binary_search(&key)
+                        .ok()
+                        .map(|i| vals[i]);
+                }
+                BpNode::Internal { keys, kids } => {
+                    let idx = keys.partition_point(|&x| x <= key);
+                    let child = kids[idx].clone();
+                    Some(RwLock::read_arc(&child))
+                }
+            };
+            cur = next.expect("leaf case returns directly");
+        }
+    }
+
+    /// All entries in key order (single-threaded helper for tests).
+    pub fn to_vec(&self) -> Vec<(u64, u64)> {
+        fn rec(node: &NodeRef, out: &mut Vec<(u64, u64)>) {
+            let g = node.read();
+            match &*g {
+                BpNode::Leaf { keys, vals } => {
+                    out.extend(keys.iter().copied().zip(vals.iter().copied()));
+                }
+                BpNode::Internal { kids, .. } => {
+                    for k in kids {
+                        rec(k, out);
+                    }
+                }
+            }
+        }
+        let mut out = Vec::with_capacity(self.len());
+        let root = self.root.read().clone();
+        rec(&root, &mut out);
+        out
+    }
+
+    /// Structural checks: key order, separator consistency, fill bounds
+    /// (test helper; not thread-safe).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        fn rec(node: &NodeRef, lo: Option<u64>, hi: Option<u64>) -> Result<usize, String> {
+            let g = node.read();
+            match &*g {
+                BpNode::Leaf { keys, vals } => {
+                    if keys.len() != vals.len() {
+                        return Err("leaf keys/vals length mismatch".into());
+                    }
+                    if !keys.windows(2).all(|w| w[0] < w[1]) {
+                        return Err("leaf keys not sorted".into());
+                    }
+                    if let (Some(l), Some(f)) = (lo, keys.first()) {
+                        if *f < l {
+                            return Err("leaf key below separator".into());
+                        }
+                    }
+                    if let (Some(h), Some(l)) = (hi, keys.last()) {
+                        if *l >= h {
+                            return Err("leaf key at/above separator".into());
+                        }
+                    }
+                    Ok(1)
+                }
+                BpNode::Internal { keys, kids } => {
+                    if kids.len() != keys.len() + 1 {
+                        return Err("internal fanout mismatch".into());
+                    }
+                    if !keys.windows(2).all(|w| w[0] < w[1]) {
+                        return Err("separators not sorted".into());
+                    }
+                    let mut depth = None;
+                    for (i, kid) in kids.iter().enumerate() {
+                        let klo = if i == 0 { lo } else { Some(keys[i - 1]) };
+                        let khi = if i == keys.len() { hi } else { Some(keys[i]) };
+                        let d = rec(kid, klo, khi)?;
+                        if *depth.get_or_insert(d) != d {
+                            return Err("unbalanced depth".into());
+                        }
+                    }
+                    Ok(depth.unwrap() + 1)
+                }
+            }
+        }
+        let root = self.root.read().clone();
+        rec(&root, None, None).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    #[test]
+    fn sequential_matches_btreemap() {
+        let t = BPlusTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..50_000u64 {
+            let k = hash64(i) % 20_000;
+            t.insert(k, i);
+            model.insert(k, i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), model.len());
+        assert_eq!(
+            t.to_vec(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        );
+        for k in (0..20_000).step_by(37) {
+            assert_eq!(t.get(k), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn concurrent_inserts_and_reads() {
+        let t = Arc::new(BPlusTree::new());
+        let threads = 4;
+        let per = 10_000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|tid| {
+                let t = t.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        let k = i * threads + tid;
+                        t.insert(k, k * 10);
+                        if i % 7 == 0 {
+                            // read own writes
+                            assert_eq!(t.get(k), Some(k * 10));
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(t.len(), (threads * per) as usize);
+        t.check_invariants().unwrap();
+        let v = t.to_vec();
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(v.len(), (threads * per) as usize);
+    }
+
+    #[test]
+    fn overwrite_does_not_grow() {
+        let t = BPlusTree::new();
+        for _ in 0..100 {
+            t.insert(5, 1);
+        }
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.get(5), Some(1));
+    }
+
+    #[test]
+    fn ascending_and_descending_insertions() {
+        let t = BPlusTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i);
+        }
+        for i in (10_000..20_000u64).rev() {
+            t.insert(i, i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), 20_000);
+        assert_eq!(t.get(0), Some(0));
+        assert_eq!(t.get(19_999), Some(19_999));
+    }
+}

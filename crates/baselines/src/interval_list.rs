@@ -1,0 +1,59 @@
+//! Brute-force interval collection — the stand-in for the Python
+//! `intervaltree` comparison of §6.2 (the paper notes it is ~1000×
+//! slower than PAM; a linear scan reproduces "asymptotically naive").
+
+/// A flat list of half-open intervals `[l, r)` with linear-time queries.
+#[derive(Default, Clone)]
+pub struct IntervalList {
+    data: Vec<(u64, u64)>,
+}
+
+impl IntervalList {
+    /// Build from intervals (invalid ones with `l >= r` are dropped).
+    pub fn from_intervals(intervals: Vec<(u64, u64)>) -> Self {
+        IntervalList {
+            data: intervals.into_iter().filter(|&(l, r)| l < r).collect(),
+        }
+    }
+
+    /// Number of intervals.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Stabbing query by linear scan. Θ(n).
+    pub fn stab(&self, p: u64) -> bool {
+        self.data.iter().any(|&(l, r)| l <= p && p < r)
+    }
+
+    /// All intervals containing `p`. Θ(n).
+    pub fn report_all(&self, p: u64) -> Vec<(u64, u64)> {
+        let mut out: Vec<(u64, u64)> = self
+            .data
+            .iter()
+            .copied()
+            .filter(|&(l, r)| l <= p && p < r)
+            .collect();
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stab_and_report() {
+        let l = IntervalList::from_intervals(vec![(1, 5), (3, 8), (10, 12), (4, 4)]);
+        assert_eq!(l.len(), 3);
+        assert!(l.stab(4));
+        assert!(!l.stab(9));
+        assert_eq!(l.report_all(4), vec![(1, 5), (3, 8)]);
+    }
+}

@@ -1,0 +1,342 @@
+//! Sequential red-black tree — the STL `std::map` stand-in.
+//!
+//! A classic single-threaded, mutable red-black tree (Okasaki-style
+//! functional balancing over owned `Box`es, blackened at the root). Used
+//! for the paper's "STL Insert" and "Union-Tree" rows in Table 3: the
+//! Union-Tree baseline inserts the merge of both inputs into a fresh
+//! tree, which is what `std::set_union` into an associative container
+//! does.
+
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Color {
+    Red,
+    Black,
+}
+
+struct Node {
+    color: Color,
+    key: u64,
+    val: u64,
+    left: Link,
+    right: Link,
+}
+
+type Link = Option<Box<Node>>;
+
+/// A sequential red-black tree map with `u64` keys and values.
+#[derive(Default)]
+pub struct RbTree {
+    root: Link,
+    len: usize,
+}
+
+fn is_red(l: &Link) -> bool {
+    matches!(l, Some(n) if n.color == Color::Red)
+}
+
+/// Okasaki's balance: rewrite any black node with a red child that has a
+/// red child into a red node with two black children.
+fn balance(mut n: Box<Node>) -> Box<Node> {
+    if n.color == Color::Black {
+        if is_red(&n.left) && is_red(&n.left.as_ref().unwrap().left) {
+            // rotate right
+            let mut l = n.left.take().unwrap();
+            let mut ll = l.left.take().unwrap();
+            n.left = l.right.take();
+            ll.color = Color::Black;
+            l.left = Some(ll);
+            l.right = Some(n);
+            l.right.as_mut().unwrap().color = Color::Black;
+            l.color = Color::Red;
+            return l;
+        }
+        if is_red(&n.left) && is_red(&n.left.as_ref().unwrap().right) {
+            let mut l = n.left.take().unwrap();
+            let mut lr = l.right.take().unwrap();
+            l.right = lr.left.take();
+            n.left = lr.right.take();
+            l.color = Color::Black;
+            n.color = Color::Black;
+            lr.left = Some(l);
+            lr.right = Some(n);
+            lr.color = Color::Red;
+            return lr;
+        }
+        if is_red(&n.right) && is_red(&n.right.as_ref().unwrap().right) {
+            let mut r = n.right.take().unwrap();
+            let mut rr = r.right.take().unwrap();
+            n.right = r.left.take();
+            rr.color = Color::Black;
+            r.left = Some(n);
+            r.left.as_mut().unwrap().color = Color::Black;
+            r.right = Some(rr);
+            r.color = Color::Red;
+            return r;
+        }
+        if is_red(&n.right) && is_red(&n.right.as_ref().unwrap().left) {
+            let mut r = n.right.take().unwrap();
+            let mut rl = r.left.take().unwrap();
+            r.left = rl.right.take();
+            n.right = rl.left.take();
+            r.color = Color::Black;
+            n.color = Color::Black;
+            rl.left = Some(n);
+            rl.left.as_mut().unwrap().color = Color::Black; // n
+            rl.right = Some(r);
+            rl.color = Color::Red;
+            return rl;
+        }
+    }
+    n
+}
+
+fn ins(link: Link, key: u64, val: u64, added: &mut bool) -> Box<Node> {
+    match link {
+        None => {
+            *added = true;
+            Box::new(Node {
+                color: Color::Red,
+                key,
+                val,
+                left: None,
+                right: None,
+            })
+        }
+        Some(mut n) => match key.cmp(&n.key) {
+            std::cmp::Ordering::Less => {
+                n.left = Some(ins(n.left.take(), key, val, added));
+                balance(n)
+            }
+            std::cmp::Ordering::Greater => {
+                n.right = Some(ins(n.right.take(), key, val, added));
+                balance(n)
+            }
+            std::cmp::Ordering::Equal => {
+                n.val = val;
+                n
+            }
+        },
+    }
+}
+
+impl RbTree {
+    /// The empty tree.
+    pub fn new() -> Self {
+        RbTree { root: None, len: 0 }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Insert or overwrite. O(log n).
+    pub fn insert(&mut self, key: u64, val: u64) {
+        let mut added = false;
+        let mut root = ins(self.root.take(), key, val, &mut added);
+        root.color = Color::Black;
+        self.root = Some(root);
+        if added {
+            self.len += 1;
+        }
+    }
+
+    /// Lookup. O(log n).
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut cur = &self.root;
+        while let Some(n) = cur {
+            match key.cmp(&n.key) {
+                std::cmp::Ordering::Equal => return Some(n.val),
+                std::cmp::Ordering::Less => cur = &n.left,
+                std::cmp::Ordering::Greater => cur = &n.right,
+            }
+        }
+        None
+    }
+
+    /// In-order entries.
+    pub fn to_vec(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<&Node> = Vec::new();
+        let mut cur = &self.root;
+        loop {
+            while let Some(n) = cur {
+                stack.push(n);
+                cur = &n.left;
+            }
+            match stack.pop() {
+                None => break,
+                Some(n) => {
+                    out.push((n.key, n.val));
+                    cur = &n.right;
+                }
+            }
+        }
+        out
+    }
+
+    /// The paper's "Union-Tree": merge two trees' entries and insert them
+    /// one by one into a brand-new tree (what `std::set_union` into a
+    /// `std::map` does — and why it loses badly in Table 3).
+    pub fn union_by_insertion(
+        a: &RbTree,
+        b: &RbTree,
+        combine: impl Fn(u64, u64) -> u64,
+    ) -> RbTree {
+        let (va, vb) = (a.to_vec(), b.to_vec());
+        let mut out = RbTree::new();
+        let (mut i, mut j) = (0, 0);
+        while i < va.len() && j < vb.len() {
+            match va[i].0.cmp(&vb[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.insert(va[i].0, va[i].1);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.insert(vb[j].0, vb[j].1);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.insert(va[i].0, combine(va[i].1, vb[j].1));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        for &(k, v) in &va[i..] {
+            out.insert(k, v);
+        }
+        for &(k, v) in &vb[j..] {
+            out.insert(k, v);
+        }
+        out
+    }
+
+    /// Validate the red-black invariants (test helper): returns the black
+    /// height on success.
+    pub fn check_invariants(&self) -> Result<u32, String> {
+        if is_red(&self.root) {
+            return Err("root is red".into());
+        }
+        fn rec(l: &Link, min: Option<u64>, max: Option<u64>) -> Result<u32, String> {
+            match l {
+                None => Ok(0),
+                Some(n) => {
+                    if let Some(m) = min {
+                        if n.key <= m {
+                            return Err("order violation".into());
+                        }
+                    }
+                    if let Some(m) = max {
+                        if n.key >= m {
+                            return Err("order violation".into());
+                        }
+                    }
+                    if n.color == Color::Red && (is_red(&n.left) || is_red(&n.right)) {
+                        return Err("red-red violation".into());
+                    }
+                    let bl = rec(&n.left, min, Some(n.key))?;
+                    let br = rec(&n.right, Some(n.key), max)?;
+                    if bl != br {
+                        return Err(format!("black height mismatch {bl} vs {br}"));
+                    }
+                    Ok(bl + u32::from(n.color == Color::Black))
+                }
+            }
+        }
+        rec(&self.root, None, None)
+    }
+}
+
+// Iterative drop: Box's default recursive drop is fine for balanced
+// trees (depth O(log n)), but be explicit to avoid any doubt at 10^8.
+impl Drop for RbTree {
+    fn drop(&mut self) {
+        let mut stack: Vec<Box<Node>> = Vec::new();
+        if let Some(r) = self.root.take() {
+            stack.push(r);
+        }
+        while let Some(mut n) = stack.pop() {
+            if let Some(l) = n.left.take() {
+                stack.push(l);
+            }
+            if let Some(r) = n.right.take() {
+                stack.push(r);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hash64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    #[test]
+    fn insert_get_matches_btreemap() {
+        let mut t = RbTree::new();
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..20_000u64 {
+            let k = hash64(i) % 5000;
+            t.insert(k, i);
+            model.insert(k, i);
+        }
+        t.check_invariants().unwrap();
+        assert_eq!(t.len(), model.len());
+        assert_eq!(
+            t.to_vec(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        );
+        for k in 0..5100 {
+            assert_eq!(t.get(k), model.get(&k).copied());
+        }
+    }
+
+    #[test]
+    fn union_by_insertion_is_correct() {
+        let mut a = RbTree::new();
+        let mut b = RbTree::new();
+        for i in 0..1000u64 {
+            a.insert(i * 2, i);
+            b.insert(i * 3, i);
+        }
+        let u = RbTree::union_by_insertion(&a, &b, |x, y| x + y);
+        u.check_invariants().unwrap();
+        let mut model = std::collections::BTreeMap::new();
+        for i in 0..1000u64 {
+            model.insert(i * 2, i);
+        }
+        for i in 0..1000u64 {
+            model
+                .entry(i * 3)
+                .and_modify(|v| *v += i)
+                .or_insert(i);
+        }
+        assert_eq!(
+            u.to_vec(),
+            model.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn sequential_keys_stay_balanced() {
+        let mut t = RbTree::new();
+        for i in 0..10_000u64 {
+            t.insert(i, i);
+        }
+        let bh = t.check_invariants().unwrap();
+        // black height of a 10^4-node RB tree is at most ~log2(n)
+        assert!(bh <= 16, "black height {bh}");
+    }
+}

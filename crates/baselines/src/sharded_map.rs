@@ -1,0 +1,93 @@
+//! Sharded hash map — the TBB `concurrent_hash_map` stand-in (§6.1's
+//! unordered comparison point).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// A concurrency-friendly unordered map: `2^shift` independently locked
+/// shards, keys routed by a multiplicative hash.
+pub struct ShardedMap {
+    shards: Vec<Mutex<HashMap<u64, u64>>>,
+    mask: u64,
+}
+
+impl ShardedMap {
+    /// Create with `2^shift` shards and a per-shard capacity hint.
+    pub fn new(shift: u32, capacity_per_shard: usize) -> Self {
+        let n = 1usize << shift;
+        ShardedMap {
+            shards: (0..n)
+                .map(|_| Mutex::new(HashMap::with_capacity(capacity_per_shard)))
+                .collect(),
+            mask: (n - 1) as u64,
+        }
+    }
+
+    #[inline]
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, u64>> {
+        let h = key.wrapping_mul(0x9e3779b97f4a7c15) >> 32;
+        &self.shards[(h & self.mask) as usize]
+    }
+
+    /// Insert or overwrite; returns `true` if the key was new.
+    pub fn insert(&self, key: u64, val: u64) -> bool {
+        self.shard(key).lock().insert(key, val).is_none()
+    }
+
+    /// Lookup.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        self.shard(key).lock().get(&key).copied()
+    }
+
+    /// Total number of entries (locks every shard; not linearizable).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl Default for ShardedMap {
+    fn default() -> Self {
+        Self::new(6, 1024)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn basic_ops() {
+        let m = ShardedMap::default();
+        assert!(m.insert(1, 10));
+        assert!(!m.insert(1, 20));
+        assert_eq!(m.get(1), Some(20));
+        assert_eq!(m.get(2), None);
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_inserts() {
+        let m = Arc::new(ShardedMap::new(4, 16));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let m = m.clone();
+                std::thread::spawn(move || {
+                    for i in 0..10_000u64 {
+                        m.insert(i * 4 + t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.len(), 40_000);
+        assert_eq!(m.get(4 * 9999 + 3), Some(9999));
+    }
+}

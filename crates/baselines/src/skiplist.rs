@@ -1,0 +1,290 @@
+//! Concurrent lock-free skiplist (insert + lookup) — one of the
+//! concurrent comparators for Figures 6(a)/6(b).
+//!
+//! Design: a classic CAS-based skiplist *without deletion* (the
+//! benchmark, like YCSB-C, is insert-then-read-only). Because nodes are
+//! never unlinked, no safe-memory-reclamation scheme is needed: a node
+//! published once stays valid until the whole list is dropped, at which
+//! point exclusive ownership (`&mut self` in `Drop`) lets us free the
+//! level-0 chain. This keeps the `unsafe` surface small and auditable.
+//!
+//! Linearization points: an insert linearizes at the successful CAS of
+//! the level-0 predecessor's next pointer; upper-level links are
+//! best-effort shortcuts (searches remain correct if they lag).
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+
+const MAX_LEVEL: usize = 24;
+
+struct Node {
+    key: u64,
+    val: AtomicU64,
+    next: Vec<AtomicPtr<Node>>, // length = tower height
+}
+
+impl Node {
+    fn alloc(key: u64, val: u64, height: usize) -> *mut Node {
+        let next = (0..height).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+        Box::into_raw(Box::new(Node {
+            key,
+            val: AtomicU64::new(val),
+            next,
+        }))
+    }
+}
+
+/// A concurrent, lock-free (insert/get) skiplist with `u64` keys/values.
+pub struct SkipList {
+    head: *mut Node, // sentinel; key unused
+    len: AtomicUsize,
+    seed: AtomicU64,
+}
+
+// SAFETY: all shared mutation goes through atomics; nodes are never freed
+// while the list is alive.
+unsafe impl Send for SkipList {}
+unsafe impl Sync for SkipList {}
+
+impl Default for SkipList {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SkipList {
+    /// An empty list.
+    pub fn new() -> Self {
+        SkipList {
+            head: Node::alloc(0, 0, MAX_LEVEL),
+            len: AtomicUsize::new(0),
+            seed: AtomicU64::new(0x9e3779b97f4a7c15),
+        }
+    }
+
+    /// Geometric tower height (p = 1/2), from a stateless hash of a
+    /// fetch-add counter.
+    fn random_height(&self) -> usize {
+        let mut x = self.seed.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
+        x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+        x ^= x >> 31;
+        ((x.trailing_ones() as usize) + 1).min(MAX_LEVEL)
+    }
+
+    /// Fill `preds`/`succs` with the insertion window for `key` at every
+    /// level; returns a pointer to the node with `key` if present.
+    fn find(
+        &self,
+        key: u64,
+        preds: &mut [*mut Node; MAX_LEVEL],
+        succs: &mut [*mut Node; MAX_LEVEL],
+    ) -> *mut Node {
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            // SAFETY: pred is head or a published node; nodes are never freed.
+            let mut cur = unsafe { (&(*pred).next)[lvl].load(Ordering::Acquire) };
+            while !cur.is_null() && unsafe { (*cur).key } < key {
+                pred = cur;
+                cur = unsafe { (&(*cur).next)[lvl].load(Ordering::Acquire) };
+            }
+            preds[lvl] = pred;
+            succs[lvl] = cur;
+        }
+        let candidate = succs[0];
+        if !candidate.is_null() && unsafe { (*candidate).key } == key {
+            candidate
+        } else {
+            ptr::null_mut()
+        }
+    }
+
+    /// Insert `key -> val`; overwrites the value if the key exists.
+    /// Returns `true` if the key was new. Lock-free.
+    pub fn insert(&self, key: u64, val: u64) -> bool {
+        let mut preds = [ptr::null_mut(); MAX_LEVEL];
+        let mut succs = [ptr::null_mut(); MAX_LEVEL];
+        let height = self.random_height();
+        loop {
+            let existing = self.find(key, &mut preds, &mut succs);
+            if !existing.is_null() {
+                // SAFETY: published node, never freed while list is alive.
+                unsafe { (&(*existing).val).store(val, Ordering::Release) };
+                return false;
+            }
+            let node = Node::alloc(key, val, height);
+            // pre-link the tower before publishing
+            for (lvl, n) in unsafe { &(*node).next }.iter().enumerate() {
+                n.store(succs[lvl], Ordering::Relaxed);
+            }
+            // publish at level 0 (the linearization point)
+            let pred0 = preds[0];
+            // SAFETY: pred0 valid (head or published node).
+            let cas = unsafe {
+                (&(*pred0).next)[0].compare_exchange(
+                    succs[0],
+                    node,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+            };
+            if cas.is_err() {
+                // a racing insert got there first: free our node & retry
+                // SAFETY: `node` was never published.
+                drop(unsafe { Box::from_raw(node) });
+                continue;
+            }
+            self.len.fetch_add(1, Ordering::Relaxed);
+            // best-effort upper levels
+            for lvl in 1..height {
+                loop {
+                    let pred = preds[lvl];
+                    let succ = succs[lvl];
+                    // SAFETY: node is published; stores race benignly.
+                    unsafe { (&(*node).next)[lvl].store(succ, Ordering::Release) };
+                    let ok = unsafe {
+                        (&(*pred).next)[lvl]
+                            .compare_exchange(succ, node, Ordering::AcqRel, Ordering::Acquire)
+                            .is_ok()
+                    };
+                    if ok {
+                        break;
+                    }
+                    // contention: recompute the windows and retry this level
+                    self.find(key, &mut preds, &mut succs);
+                }
+            }
+            return true;
+        }
+    }
+
+    /// Lookup. Wait-free for readers.
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let mut pred = self.head;
+        for lvl in (0..MAX_LEVEL).rev() {
+            // SAFETY: see `find`.
+            let mut cur = unsafe { (&(*pred).next)[lvl].load(Ordering::Acquire) };
+            while !cur.is_null() && unsafe { (*cur).key } < key {
+                pred = cur;
+                cur = unsafe { (&(*cur).next)[lvl].load(Ordering::Acquire) };
+            }
+            if !cur.is_null() && unsafe { (*cur).key } == key {
+                return Some(unsafe { (&(*cur).val).load(Ordering::Acquire) });
+            }
+        }
+        None
+    }
+
+    /// Number of keys.
+    pub fn len(&self) -> usize {
+        self.len.load(Ordering::Relaxed)
+    }
+
+    /// Is the list empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all entries in key order (not linearizable under
+    /// concurrent inserts; test/debug helper).
+    pub fn to_vec(&self) -> Vec<(u64, u64)> {
+        let mut out = Vec::with_capacity(self.len());
+        // SAFETY: level-0 chain of published nodes.
+        let mut cur = unsafe { (&(*self.head).next)[0].load(Ordering::Acquire) };
+        while !cur.is_null() {
+            unsafe {
+                out.push(((*cur).key, (&(*cur).val).load(Ordering::Acquire)));
+                cur = (&(*cur).next)[0].load(Ordering::Acquire);
+            }
+        }
+        out
+    }
+}
+
+impl Drop for SkipList {
+    fn drop(&mut self) {
+        // exclusive access: free the level-0 chain and the sentinel
+        let mut cur = self.head;
+        while !cur.is_null() {
+            // SAFETY: exclusive ownership; each node freed exactly once.
+            let next = unsafe { (&(*cur).next)[0].load(Ordering::Relaxed) };
+            drop(unsafe { Box::from_raw(cur) });
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_inserts_and_gets() {
+        let s = SkipList::new();
+        for i in (0..1000u64).rev() {
+            assert!(s.insert(i * 7, i));
+        }
+        assert_eq!(s.len(), 1000);
+        for i in 0..1000u64 {
+            assert_eq!(s.get(i * 7), Some(i));
+        }
+        assert_eq!(s.get(3), None);
+        // overwrite
+        assert!(!s.insert(7, 999));
+        assert_eq!(s.get(7), Some(999));
+        assert_eq!(s.len(), 1000);
+        // sortedness
+        let v = s.to_vec();
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+    }
+
+    #[test]
+    fn concurrent_inserts_lose_nothing() {
+        let s = Arc::new(SkipList::new());
+        let threads = 4;
+        let per = 5000u64;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..per {
+                        s.insert(i * threads + t, i);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), (threads * per) as usize);
+        let v = s.to_vec();
+        assert_eq!(v.len(), (threads * per) as usize);
+        assert!(v.windows(2).all(|w| w[0].0 < w[1].0));
+        for t in 0..threads {
+            for i in (0..per).step_by(97) {
+                assert_eq!(s.get(i * threads + t), Some(i));
+            }
+        }
+    }
+
+    #[test]
+    fn concurrent_same_key_inserts_keep_one_node() {
+        let s = Arc::new(SkipList::new());
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.insert(42, t);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.len(), 1);
+        assert!(s.get(42).is_some());
+    }
+}

@@ -1,0 +1,132 @@
+//! Sorted-array map — the paper's "Union-Array" baseline (STL
+//! `std::set_union` on sorted `vector`s).
+//!
+//! Flat, cache-friendly, unbeatable for same-size unions; loses to the
+//! tree when one side is much smaller (O(n + m) vs O(m log(n/m + 1)))
+//! and cannot answer range sums in sublinear time — exactly the
+//! trade-offs Table 3 demonstrates.
+
+/// An immutable sorted-array map with `u64` keys and values.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SortedVecMap {
+    data: Vec<(u64, u64)>,
+}
+
+impl SortedVecMap {
+    /// Build from unsorted pairs; duplicate keys keep the last value.
+    pub fn from_unsorted(mut items: Vec<(u64, u64)>) -> Self {
+        items.sort_by_key(|&(k, _)| k);
+        // last value wins: iterate and overwrite
+        let mut data: Vec<(u64, u64)> = Vec::with_capacity(items.len());
+        for (k, v) in items {
+            match data.last_mut() {
+                Some(last) if last.0 == k => last.1 = v,
+                _ => data.push((k, v)),
+            }
+        }
+        SortedVecMap { data }
+    }
+
+    /// Wrap a slice already sorted by distinct keys.
+    pub fn from_sorted(data: Vec<(u64, u64)>) -> Self {
+        debug_assert!(data.windows(2).all(|w| w[0].0 < w[1].0));
+        SortedVecMap { data }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Binary-search lookup. O(log n).
+    pub fn get(&self, k: u64) -> Option<u64> {
+        self.data
+            .binary_search_by_key(&k, |&(k, _)| k)
+            .ok()
+            .map(|i| self.data[i].1)
+    }
+
+    /// Sequential merge union (the STL `set_union` analogue): O(n + m)
+    /// regardless of the size imbalance. Overlapping keys are combined.
+    pub fn union(&self, other: &SortedVecMap, combine: impl Fn(u64, u64) -> u64) -> SortedVecMap {
+        let (a, b) = (&self.data, &other.data);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0, 0);
+        while i < a.len() && j < b.len() {
+            match a[i].0.cmp(&b[j].0) {
+                std::cmp::Ordering::Less => {
+                    out.push(a[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(b[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push((a[i].0, combine(a[i].1, b[j].1)));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SortedVecMap { data: out }
+    }
+
+    /// Range sum *without* augmentation: binary-search the bounds, then
+    /// scan — Θ(k) for k entries in range (the paper's non-augmented
+    /// AugRange comparison row).
+    pub fn range_sum(&self, lo: u64, hi: u64) -> u64 {
+        let from = self.data.partition_point(|&(k, _)| k < lo);
+        let to = self.data.partition_point(|&(k, _)| k <= hi);
+        if to <= from {
+            return 0;
+        }
+        self.data[from..to]
+            .iter()
+            .fold(0u64, |s, &(_, v)| s.wrapping_add(v))
+    }
+
+    /// Borrow the underlying sorted entries.
+    pub fn as_slice(&self) -> &[(u64, u64)] {
+        &self.data
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_get() {
+        let m = SortedVecMap::from_unsorted(vec![(3, 30), (1, 10), (2, 20), (3, 99)]);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.get(3), Some(99)); // last wins
+        assert_eq!(m.get(4), None);
+    }
+
+    #[test]
+    fn union_combines_overlaps() {
+        let a = SortedVecMap::from_sorted(vec![(1, 1), (3, 3), (5, 5)]);
+        let b = SortedVecMap::from_sorted(vec![(2, 2), (3, 30), (6, 6)]);
+        let u = a.union(&b, |x, y| x + y);
+        assert_eq!(
+            u.as_slice(),
+            &[(1, 1), (2, 2), (3, 33), (5, 5), (6, 6)]
+        );
+    }
+
+    #[test]
+    fn range_sum_matches_scan() {
+        let m = SortedVecMap::from_sorted((0..1000u64).map(|i| (i, i)).collect());
+        assert_eq!(m.range_sum(10, 19), (10..20).sum::<u64>());
+        assert_eq!(m.range_sum(990, 2000), (990..1000).sum::<u64>());
+        assert_eq!(m.range_sum(50, 40), 0);
+    }
+}

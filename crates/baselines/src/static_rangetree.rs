@@ -1,0 +1,212 @@
+//! Sequential static 2D range tree — the CGAL comparator for Table 5 and
+//! Figure 6(e).
+//!
+//! A textbook layered range tree over a segment-tree skeleton: points are
+//! sorted by `x`; every segment-tree node stores its points sorted by `y`
+//! together with prefix weight sums. Build O(n log n) time and space;
+//! window weight-sum O(log² n); reporting O(k + log² n). Sequential and
+//! non-persistent by design (that is the baseline's point); unlike the
+//! real CGAL tree it *can* answer weight sums, which only makes the
+//! comparison harder for PAM.
+
+/// A static, sequential 2D range tree over `(x, y, w)` points.
+pub struct StaticRangeTree {
+    size: usize,               // number of leaves (padded to a power of two)
+    n: usize,                  // number of points
+    xs: Vec<u32>,              // x of each point, sorted
+    nodes: Vec<Vec<(u32, u32, u64)>>, // per node: (y, x, w) sorted by (y, x)
+    prefix: Vec<Vec<u64>>,     // per node: prefix sums of w
+}
+
+impl StaticRangeTree {
+    /// Build from points (duplicates of `(x, y)` are kept as distinct
+    /// entries — matching CGAL's multiset semantics).
+    pub fn build(mut points: Vec<(u32, u32, u64)>) -> Self {
+        points.sort_unstable();
+        let n = points.len();
+        let size = n.next_power_of_two().max(1);
+        let xs: Vec<u32> = points.iter().map(|&(x, _, _)| x).collect();
+        let mut nodes: Vec<Vec<(u32, u32, u64)>> = vec![Vec::new(); 2 * size];
+        // leaves
+        for (i, &(x, y, w)) in points.iter().enumerate() {
+            nodes[size + i].push((y, x, w));
+        }
+        // internal: merge children by (y, x)
+        for i in (1..size).rev() {
+            let (left, right) = (&nodes[2 * i], &nodes[2 * i + 1]);
+            let mut merged = Vec::with_capacity(left.len() + right.len());
+            let (mut a, mut b) = (0, 0);
+            while a < left.len() && b < right.len() {
+                if left[a] <= right[b] {
+                    merged.push(left[a]);
+                    a += 1;
+                } else {
+                    merged.push(right[b]);
+                    b += 1;
+                }
+            }
+            merged.extend_from_slice(&left[a..]);
+            merged.extend_from_slice(&right[b..]);
+            nodes[i] = merged;
+        }
+        let prefix: Vec<Vec<u64>> = nodes
+            .iter()
+            .map(|v| {
+                let mut acc = 0u64;
+                v.iter()
+                    .map(|&(_, _, w)| {
+                        acc = acc.wrapping_add(w);
+                        acc
+                    })
+                    .collect()
+            })
+            .collect();
+        StaticRangeTree {
+            size,
+            n,
+            xs,
+            nodes,
+            prefix,
+        }
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Is the tree empty?
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Leaf index range `[lo, hi)` of points with `xl <= x <= xr`.
+    fn x_span(&self, xl: u32, xr: u32) -> (usize, usize) {
+        let lo = self.xs.partition_point(|&x| x < xl);
+        let hi = self.xs.partition_point(|&x| x <= xr);
+        (lo, hi)
+    }
+
+    /// Visit the O(log n) canonical segment-tree nodes covering `[lo, hi)`.
+    fn canonical(&self, lo: usize, hi: usize, mut visit: impl FnMut(usize)) {
+        let (mut l, mut r) = (lo + self.size, hi + self.size);
+        while l < r {
+            if l & 1 == 1 {
+                visit(l);
+                l += 1;
+            }
+            if r & 1 == 1 {
+                r -= 1;
+                visit(r);
+            }
+            l >>= 1;
+            r >>= 1;
+        }
+    }
+
+    /// Sum of weights of points in the window. O(log² n).
+    pub fn query_sum(&self, xl: u32, xr: u32, yl: u32, yr: u32) -> u64 {
+        if xl > xr || yl > yr {
+            return 0;
+        }
+        let (lo, hi) = self.x_span(xl, xr);
+        let mut total = 0u64;
+        self.canonical(lo, hi, |node| {
+            let v = &self.nodes[node];
+            let from = v.partition_point(|&(y, _, _)| y < yl);
+            let to = v.partition_point(|&(y, _, _)| y <= yr);
+            if to > from {
+                let p = &self.prefix[node];
+                let upper = p[to - 1];
+                let lower = if from == 0 { 0 } else { p[from - 1] };
+                total = total.wrapping_add(upper.wrapping_sub(lower));
+            }
+        });
+        total
+    }
+
+    /// All points in the window, as `(x, y, w)` sorted by `(x, y)`.
+    /// O(k + log² n).
+    pub fn query_points(&self, xl: u32, xr: u32, yl: u32, yr: u32) -> Vec<(u32, u32, u64)> {
+        if xl > xr || yl > yr {
+            return Vec::new();
+        }
+        let (lo, hi) = self.x_span(xl, xr);
+        let mut out = Vec::new();
+        self.canonical(lo, hi, |node| {
+            let v = &self.nodes[node];
+            let from = v.partition_point(|&(y, _, _)| y < yl);
+            let to = v.partition_point(|&(y, _, _)| y <= yr);
+            out.extend(v[from..to].iter().map(|&(y, x, w)| (x, y, w)));
+        });
+        out.sort_unstable();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute(pts: &[(u32, u32, u64)], xl: u32, xr: u32, yl: u32, yr: u32) -> Vec<(u32, u32, u64)> {
+        let mut v: Vec<(u32, u32, u64)> = pts
+            .iter()
+            .copied()
+            .filter(|&(x, y, _)| xl <= x && x <= xr && yl <= y && y <= yr)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    fn hash64(mut x: u64) -> u64 {
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^= x >> 33;
+        x
+    }
+
+    #[test]
+    fn tiny() {
+        let pts = vec![(1, 1, 10), (2, 5, 20), (5, 2, 30), (7, 7, 40)];
+        let t = StaticRangeTree::build(pts.clone());
+        assert_eq!(t.query_sum(0, 10, 0, 10), 100);
+        assert_eq!(t.query_sum(1, 2, 1, 5), 30);
+        assert_eq!(t.query_points(1, 2, 1, 5), brute(&pts, 1, 2, 1, 5));
+        assert_eq!(t.query_sum(3, 2, 0, 9), 0);
+    }
+
+    #[test]
+    fn random_matches_bruteforce() {
+        let pts: Vec<(u32, u32, u64)> = (0..3000u64)
+            .map(|i| {
+                (
+                    (hash64(i * 3) % 1000) as u32,
+                    (hash64(i * 3 + 1) % 1000) as u32,
+                    hash64(i * 3 + 2) % 100,
+                )
+            })
+            .collect();
+        let t = StaticRangeTree::build(pts.clone());
+        for q in 0..50u64 {
+            let xl = (hash64(q * 4) % 1000) as u32;
+            let yl = (hash64(q * 4 + 1) % 1000) as u32;
+            let xr = (xl + 150).min(999);
+            let yr = (yl + 150).min(999);
+            let want = brute(&pts, xl, xr, yl, yr);
+            assert_eq!(
+                t.query_sum(xl, xr, yl, yr),
+                want.iter().map(|&(_, _, w)| w).sum::<u64>()
+            );
+            assert_eq!(t.query_points(xl, xr, yl, yr), want);
+        }
+    }
+
+    #[test]
+    fn empty_and_duplicates() {
+        let t = StaticRangeTree::build(vec![]);
+        assert_eq!(t.query_sum(0, 10, 0, 10), 0);
+        let t2 = StaticRangeTree::build(vec![(1, 1, 5), (1, 1, 7)]);
+        assert_eq!(t2.query_sum(1, 1, 1, 1), 12);
+        assert_eq!(t2.len(), 2);
+    }
+}

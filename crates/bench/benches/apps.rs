@@ -1,0 +1,113 @@
+//! Criterion benchmarks for the three paper applications at CI-friendly
+//! sizes (full-size runs: `table1`/`table5`/`table6` binaries).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pam_index::{top_k, InvertedIndex};
+use pam_interval::IntervalMap;
+use pam_rangetree::RangeTree;
+use std::hint::black_box;
+
+fn bench_interval(c: &mut Criterion) {
+    let n = 100_000;
+    let universe = n as u64 * 10;
+    let ivals = workloads::random_intervals(n, 1, universe, 200);
+    let im = IntervalMap::from_intervals(ivals.clone());
+
+    c.bench_function("interval_build_100k", |b| {
+        b.iter_batched(
+            || ivals.clone(),
+            |iv| black_box(IntervalMap::from_intervals(iv)),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("interval_stab_10k", |b| {
+        let probes = workloads::intervals::stab_points(10_000, 2, universe);
+        b.iter(|| black_box(probes.iter().filter(|&&p| im.stab(p)).count()));
+    });
+    c.bench_function("interval_report_all_1k", |b| {
+        let probes = workloads::intervals::stab_points(1_000, 3, universe);
+        b.iter(|| {
+            black_box(
+                probes
+                    .iter()
+                    .map(|&p| im.report_all(p).len())
+                    .sum::<usize>(),
+            )
+        });
+    });
+}
+
+fn bench_rangetree(c: &mut Criterion) {
+    let n = 50_000;
+    let universe = 1u32 << 20;
+    let pts = workloads::random_points(n, 4, universe);
+    let rt = RangeTree::build(pts.clone());
+    let wins = workloads::points::query_windows(1_000, 5, universe, 0.05);
+
+    c.bench_function("rangetree_build_50k", |b| {
+        b.iter_batched(
+            || pts.clone(),
+            |p| black_box(RangeTree::build(p)),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("rangetree_qsum_1k", |b| {
+        b.iter(|| {
+            black_box(
+                wins.iter()
+                    .map(|&(xl, xr, yl, yr)| rt.query_sum(xl, xr, yl, yr))
+                    .fold(0u64, u64::wrapping_add),
+            )
+        });
+    });
+    c.bench_function("rangetree_baseline_build_50k", |b| {
+        b.iter_batched(
+            || pts.clone(),
+            |p| black_box(baselines::StaticRangeTree::build(p)),
+            BatchSize::LargeInput,
+        );
+    });
+}
+
+fn bench_index(c: &mut Criterion) {
+    let corpus = workloads::Corpus::generate(workloads::CorpusConfig {
+        docs: 2_000,
+        vocab: 10_000,
+        doc_len: 100,
+        zipf_s: 1.0,
+        seed: 6,
+    });
+    let idx = InvertedIndex::build(corpus.triples.clone());
+    let queries = corpus.query_pairs(1_000, 7);
+
+    c.bench_function("index_build_200k_tokens", |b| {
+        b.iter_batched(
+            || corpus.triples.clone(),
+            |t| black_box(InvertedIndex::build(t)),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function("index_and_top10_1k_queries", |b| {
+        b.iter(|| {
+            black_box(
+                queries
+                    .iter()
+                    .map(|&(x, y)| top_k(&idx.and_query(x, y), 10).len())
+                    .sum::<usize>(),
+            )
+        });
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_interval(c);
+    bench_rangetree(c);
+    bench_index(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

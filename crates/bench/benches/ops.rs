@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the core PAM operations (CI-friendly
+//! sizes; the full paper-table sizes live in the `table3` binary).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pam::{AugMap, NoAug, SumAug};
+use std::hint::black_box;
+
+type Sum = AugMap<SumAug<u64, u64>>;
+type Plain = AugMap<NoAug<u64, u64>>;
+
+const N: usize = 100_000;
+
+fn setup() -> (Sum, Sum, Vec<u64>) {
+    let a = Sum::build(workloads::uniform_pairs(N, 1, N as u64 * 4));
+    let b = Sum::build(workloads::uniform_pairs(N, 2, N as u64 * 4));
+    let probes: Vec<u64> = (0..10_000u64)
+        .map(|i| workloads::hash64(i) % (N as u64 * 4))
+        .collect();
+    (a, b, probes)
+}
+
+fn bench_ops(c: &mut Criterion) {
+    let (a, b, probes) = setup();
+
+    c.bench_function("build_100k", |bch| {
+        let pairs = workloads::uniform_pairs(N, 3, N as u64 * 4);
+        bch.iter_batched(
+            || pairs.clone(),
+            |p| black_box(Sum::build(p)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("build_100k_noaug", |bch| {
+        let pairs = workloads::uniform_pairs(N, 3, N as u64 * 4);
+        bch.iter_batched(
+            || pairs.clone(),
+            |p| black_box(Plain::build(p)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("union_100k_100k", |bch| {
+        bch.iter_batched(
+            || (a.clone(), b.clone()),
+            |(x, y)| black_box(x.union_with(y, |p, q| p.wrapping_add(*q))),
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("find_10k_probes", |bch| {
+        bch.iter(|| {
+            let mut hits = 0usize;
+            for k in &probes {
+                if a.get(k).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+
+    c.bench_function("insert_1k_points", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |mut m| {
+                for i in 0..1000u64 {
+                    m.insert(workloads::hash64(i ^ 0xbeef), i);
+                }
+                black_box(m)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("aug_range_10k_queries", |bch| {
+        bch.iter(|| {
+            let mut acc = 0u64;
+            for &lo in &probes {
+                acc = acc.wrapping_add(a.aug_range(&lo, &(lo + 500)));
+            }
+            black_box(acc)
+        });
+    });
+
+    c.bench_function("multi_insert_10k_into_100k", |bch| {
+        let batch = workloads::uniform_pairs(10_000, 9, N as u64 * 4);
+        bch.iter_batched(
+            || (a.clone(), batch.clone()),
+            |(mut m, bt)| {
+                m.multi_insert(bt);
+                black_box(m)
+            },
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("filter_100k", |bch| {
+        bch.iter_batched(
+            || a.clone(),
+            |m| black_box(m.filter(|k, _| k % 3 == 0)),
+            BatchSize::LargeInput,
+        );
+    });
+
+    c.bench_function("map_reduce_sum_100k", |bch| {
+        bch.iter(|| black_box(a.map_reduce(|_, &v| v, u64::wrapping_add, 0)));
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_ops
+}
+criterion_main!(benches);

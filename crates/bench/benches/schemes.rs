@@ -1,0 +1,57 @@
+//! Ablation: the same join-based algorithms across all four balancing
+//! schemes (§4's claim that the balancing criteria are fully abstracted
+//! in `join` — the schemes should be within a small factor of each
+//! other).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use pam::{AugMap, Avl, Balance, RedBlack, SumAug, Treap, WeightBalanced};
+use std::hint::black_box;
+
+const N: usize = 100_000;
+
+fn bench_scheme<B: Balance>(c: &mut Criterion) {
+    let pairs = workloads::uniform_pairs(N, 1, N as u64 * 4);
+    let pairs2 = workloads::uniform_pairs(N, 2, N as u64 * 4);
+    let a: AugMap<SumAug<u64, u64>, B> = AugMap::build(pairs.clone());
+    let b: AugMap<SumAug<u64, u64>, B> = AugMap::build(pairs2);
+
+    c.bench_function(&format!("build_{}", B::NAME), |bch| {
+        bch.iter_batched(
+            || pairs.clone(),
+            |p| black_box(AugMap::<SumAug<u64, u64>, B>::build(p)),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function(&format!("union_{}", B::NAME), |bch| {
+        bch.iter_batched(
+            || (a.clone(), b.clone()),
+            |(x, y)| black_box(x.union_with(y, |p, q| p.wrapping_add(*q))),
+            BatchSize::LargeInput,
+        );
+    });
+    c.bench_function(&format!("find_{}", B::NAME), |bch| {
+        bch.iter(|| {
+            let mut hits = 0usize;
+            for i in 0..10_000u64 {
+                if a.get(&(workloads::hash64(i) % (N as u64 * 4))).is_some() {
+                    hits += 1;
+                }
+            }
+            black_box(hits)
+        });
+    });
+}
+
+fn bench_all(c: &mut Criterion) {
+    bench_scheme::<WeightBalanced>(c);
+    bench_scheme::<Avl>(c);
+    bench_scheme::<RedBlack>(c);
+    bench_scheme::<Treap>(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_all
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+// focused check: union aug vs noaug, interleaved best-of-3
+use pam::{AugMap, NoAug, SumAug};
+fn main() {
+    let n = 1_000_000;
+    let pa = workloads::uniform_pairs(n, 1, n as u64 * 4);
+    let pb = workloads::uniform_pairs(n, 2, n as u64 * 4);
+    let a: AugMap<SumAug<u64, u64>> = AugMap::build(pa.clone());
+    let b: AugMap<SumAug<u64, u64>> = AugMap::build(pb.clone());
+    let na: AugMap<NoAug<u64, u64>> = AugMap::build(pa);
+    let nb: AugMap<NoAug<u64, u64>> = AugMap::build(pb);
+    let mut t_aug = f64::INFINITY;
+    let mut t_no = f64::INFINITY;
+    for _ in 0..4 {
+        let s = std::time::Instant::now();
+        let u = a.clone().union_with(b.clone(), |x, y| x.wrapping_add(*y));
+        t_aug = t_aug.min(s.elapsed().as_secs_f64());
+        drop(u);
+        let s = std::time::Instant::now();
+        let u = na.clone().union_with(nb.clone(), |_x, y| *y);
+        t_no = t_no.min(s.elapsed().as_secs_f64());
+        drop(u);
+    }
+    println!("union aug:   {:.1}ms", t_aug * 1e3);
+    println!("union noaug: {:.1}ms", t_no * 1e3);
+    println!("overhead:    {:.1}%", 100.0 * (t_aug - t_no) / t_no);
+}

@@ -1,0 +1,45 @@
+//! Figure 6(c) reproduction: parallel running time of UNION and BUILD as
+//! a function of input size.
+//!
+//! Paper: union of a fixed 10^8-key map with maps of size 10^2..10^8;
+//! build of 10^2..10^8 elements. Shape to check: union time grows
+//! sub-linearly in m while m ≪ n (the O(m log(n/m+1)) bound) and the
+//! curves flatten at small sizes where parallelism runs out.
+
+use pam::{AugMap, SumAug};
+use pam_bench::*;
+
+type M = AugMap<SumAug<u64, u64>>;
+
+fn main() {
+    banner("Figure 6(c): union & build time vs input size", "Figure 6(c)");
+    let n = scaled(2_000_000);
+    let p = max_threads();
+    let big: M = AugMap::build(workloads::uniform_pairs(n, 1, n as u64 * 4));
+
+    let mut t = Table::new(&["m", &format!("Union(n={n}, m) T{p}"), &format!("Build(m) T{p}")]);
+    let mut m = 100usize;
+    while m <= n {
+        let pairs = workloads::uniform_pairs(m, 2, n as u64 * 4);
+        let small: M = AugMap::build(pairs.clone());
+        let ut = with_threads(p, || {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let (a, b) = (big.clone(), small.clone());
+                best = best.min(time(|| a.union_with(b, |x, y| x.wrapping_add(*y))).1);
+            }
+            best
+        });
+        let bt = with_threads(p, || {
+            let mut best = f64::INFINITY;
+            for _ in 0..3 {
+                let ps = pairs.clone();
+                best = best.min(time(|| M::build(ps)).1);
+            }
+            best
+        });
+        t.row(vec![m.to_string(), fmt_secs(ut), fmt_secs(bt)]);
+        m *= 10;
+    }
+    t.print();
+}

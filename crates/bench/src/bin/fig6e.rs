@@ -1,0 +1,28 @@
+//! Figure 6(e) reproduction: *sequential* range tree construction time
+//! vs number of points, PAM vs the CGAL-equivalent static range tree.
+//!
+//! Paper: PAM builds >2x faster than CGAL at every size (both
+//! sequential). Shape to check: both curves are ~n log n, PAM's constant
+//! is competitive with the array-based static structure despite building
+//! a fully persistent nested map.
+
+use pam_bench::*;
+use pam_rangetree::RangeTree;
+
+fn main() {
+    banner(
+        "Figure 6(e): sequential range tree build vs #points",
+        "Figure 6(e)",
+    );
+    let max_n = scaled(200_000);
+    let mut t = Table::new(&["#points", "PAM build T1", "CGAL-eq build T1"]);
+    let mut n = (max_n / 64).max(1000);
+    while n <= max_n {
+        let pts = workloads::random_points(n, 5, 1 << 20);
+        let pam_t = with_threads(1, || time(|| RangeTree::build(pts.clone())).1);
+        let (_, cgal_t) = time(|| baselines::StaticRangeTree::build(pts.clone()));
+        t.row(vec![n.to_string(), fmt_secs(pam_t), fmt_secs(cgal_t)]);
+        n *= 2;
+    }
+    t.print();
+}

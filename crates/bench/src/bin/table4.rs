@@ -1,0 +1,118 @@
+//! Table 4 reproduction: space accounting — per-node augmentation
+//! overhead, and node sharing from persistence in `union` and in the
+//! range tree's inner maps.
+//!
+//! Paper shape to check: the augmented value adds one word per node
+//! (48B vs 40B there); union with a much smaller map shares ~half of the
+//! theoretical node count; equal-size interleaved unions share almost
+//! nothing; the range tree's inner trees share >10% of their nodes.
+
+use pam::stats::{node_size, shared_with, unique_nodes};
+use pam::{AugMap, NoAug, SumAug, WeightBalanced};
+use pam_bench::*;
+use pam_rangetree::{InnerSpec, OuterSpec, RangeTree};
+
+type M = AugMap<SumAug<u64, u64>>;
+
+fn main() {
+    banner("Table 4: space usage and node sharing", "Table 4 of the paper");
+
+    // ---- augmentation overhead per node ----
+    let with_aug = node_size::<SumAug<u64, u64>, WeightBalanced>();
+    let without = node_size::<NoAug<u64, u64>, WeightBalanced>();
+    println!("node size (augmented, u64 sum):   {with_aug} B (+16B Arc refcounts)");
+    println!("node size (non-augmented):        {without} B (+16B Arc refcounts)");
+    println!(
+        "augmentation overhead:            {} B/node ({:.0}%)",
+        with_aug - without,
+        100.0 * (with_aug - without) as f64 / without as f64
+    );
+    println!();
+
+    // ---- union sharing ----
+    let n = scaled(1_000_000);
+    let mut t = Table::new(&[
+        "Func",
+        "n",
+        "m",
+        "#nodes theory",
+        "actual #nodes",
+        "saving",
+    ]);
+    for m in [n, n / 1000] {
+        let a: M = AugMap::build(
+            workloads::uniform_pairs(n, 1, n as u64 * 4)
+                .into_iter()
+                .map(|(k, v)| (k * 2, v)) // evens
+                .collect(),
+        );
+        let b: M = AugMap::build(
+            workloads::uniform_pairs(m, 2, n as u64 * 4)
+                .into_iter()
+                .map(|(k, v)| (k * 2 + 1, v)) // odds: disjoint keys
+                .collect(),
+        );
+        let (asz, bsz) = (a.len(), b.len());
+        let u = a.clone().union_with(b.clone(), |x, y| x.wrapping_add(*y));
+        // "theory" = no sharing: every input node surviving into the
+        // output would be copied, so inputs + output are all distinct.
+        let theory = asz + bsz + u.len();
+        let actual = unique_nodes(&[a.root(), b.root(), u.root()]);
+        let (_, shared) = shared_with(u.root(), &[a.root(), b.root()]);
+        t.row(vec![
+            "Union".into(),
+            asz.to_string(),
+            bsz.to_string(),
+            theory.to_string(),
+            actual.to_string(),
+            format!(
+                "{:.1}% ({} output nodes reused)",
+                100.0 * (theory - actual) as f64 / theory as f64,
+                shared
+            ),
+        ]);
+    }
+    t.print();
+    println!();
+
+    // ---- range tree inner-node sharing ----
+    let n_pts = scaled(100_000);
+    let pts = workloads::random_points(n_pts, 3, 1 << 20);
+    let rt = RangeTree::build(pts);
+    // Collect every inner-map root reachable from outer nodes, then count
+    // distinct inner nodes vs the no-sharing total (sum of inner sizes).
+    let mut inner_roots: Vec<&pam::Tree<InnerSpec, WeightBalanced>> = Vec::new();
+    let mut total_inner_entries = 0usize;
+    let mut stack: Vec<&pam::Node<OuterSpec, WeightBalanced>> = Vec::new();
+    if let Some(r) = rt.outer().root().as_deref() {
+        stack.push(r);
+    }
+    while let Some(nd) = stack.pop() {
+        inner_roots.push(nd.aug().root());
+        total_inner_entries += nd.aug().len();
+        if let Some(l) = nd.left().as_deref() {
+            stack.push(l);
+        }
+        if let Some(r) = nd.right().as_deref() {
+            stack.push(r);
+        }
+    }
+    let distinct = unique_nodes(&inner_roots);
+    let mut t2 = Table::new(&["Structure", "#nodes theory", "actual #nodes", "saving"]);
+    t2.row(vec![
+        format!("Range tree inner maps (n={n_pts})"),
+        total_inner_entries.to_string(),
+        distinct.to_string(),
+        format!(
+            "{:.1}%",
+            100.0 * (total_inner_entries - distinct) as f64 / total_inner_entries as f64
+        ),
+    ]);
+    t2.row(vec![
+        "Range tree outer map".into(),
+        rt.len().to_string(),
+        unique_nodes(&[rt.outer().root()]).to_string(),
+        "0.0%".into(),
+    ]);
+    t2.print();
+}

@@ -1,0 +1,355 @@
+//! # Interval trees on PAM (paper §5.1)
+//!
+//! An interval map stores a set of half-open intervals `[l, r)` and
+//! answers *stabbing* queries — "is point `p` covered by any interval?" —
+//! in O(log n), plus reporting queries in O(k log(n/k + 1)).
+//!
+//! Following the paper, this is a ~50-line adaptation of the augmented
+//! map interface, the Rust analogue of Figure 3's C++:
+//!
+//! * **keys** are intervals ordered by left endpoint,
+//! * **values** are right endpoints,
+//! * the **base** function is `g(k, v) = v`,
+//! * the **combine** function is `max`, so every subtree knows the
+//!   maximum right endpoint below it.
+//!
+//! A point `p` is covered iff the maximum right endpoint among intervals
+//! starting at or before `p` exceeds `p` — one `aug_left` call. All
+//! covering intervals are exactly those with `left <= p < right`, found
+//! by `aug_filter` with `h(a) = a > p` (valid since
+//! `h(a) ∨ h(b) ⇔ h(max(a,b))`).
+//!
+//! One deliberate deviation from Figure 3: keys are `(left, right)`
+//! *pairs*, so multiple intervals sharing a left endpoint coexist (the
+//! paper's map keyed on `left` alone silently replaces them).
+
+#![warn(missing_docs)]
+
+use pam::{AugMap, AugSpec, Maxable, Minable};
+use std::cmp::Ordering;
+use std::marker::PhantomData;
+
+/// Endpoint types usable in an interval map: totally ordered with both a
+/// bottom (for the `max` identity) and a top (for "left endpoint ≤ p"
+/// range probes). All primitive integers qualify.
+pub trait Endpoint:
+    Ord + Copy + Clone + Send + Sync + Maxable + Minable + std::fmt::Debug + 'static
+{
+}
+impl<T> Endpoint for T where
+    T: Ord + Copy + Clone + Send + Sync + Maxable + Minable + std::fmt::Debug + 'static
+{
+}
+
+/// The augmented-map specification of Figure 3: intervals keyed by
+/// `(left, right)`, augmented with the maximum right endpoint.
+pub struct IntervalSpec<P>(PhantomData<fn(P)>);
+
+impl<P: Endpoint> AugSpec for IntervalSpec<P> {
+    type K = (P, P);
+    type V = P;
+    type A = P;
+    #[inline]
+    fn compare(a: &(P, P), b: &(P, P)) -> Ordering {
+        a.cmp(b)
+    }
+    #[inline]
+    fn identity() -> P {
+        P::bottom()
+    }
+    #[inline]
+    fn base(_k: &(P, P), v: &P) -> P {
+        *v
+    }
+    #[inline]
+    fn combine(a: &P, b: &P) -> P {
+        P::max2(a, b)
+    }
+}
+
+/// A parallel, persistent interval tree over half-open intervals `[l, r)`.
+pub struct IntervalMap<P: Endpoint = u64> {
+    map: AugMap<IntervalSpec<P>>,
+}
+
+impl<P: Endpoint> Clone for IntervalMap<P> {
+    /// O(1) snapshot.
+    fn clone(&self) -> Self {
+        IntervalMap {
+            map: self.map.clone(),
+        }
+    }
+}
+
+impl<P: Endpoint> Default for IntervalMap<P> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<P: Endpoint> IntervalMap<P> {
+    /// The empty interval map.
+    pub fn new() -> Self {
+        IntervalMap { map: AugMap::new() }
+    }
+
+    /// Build from a set of intervals in parallel — the paper's
+    /// `interval_map(A, n)` constructor (O(n log n) work, O(log n) span).
+    /// Empty or inverted intervals (`l >= r`) are ignored.
+    pub fn from_intervals(intervals: Vec<(P, P)>) -> Self {
+        let items: Vec<((P, P), P)> = intervals
+            .into_iter()
+            .filter(|&(l, r)| l < r)
+            .map(|(l, r)| ((l, r), r))
+            .collect();
+        IntervalMap {
+            map: AugMap::build(items),
+        }
+    }
+
+    /// Number of stored intervals.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Is the map empty?
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Insert interval `[l, r)`. O(log n). No-op if `l >= r`.
+    pub fn insert(&mut self, l: P, r: P) {
+        if l < r {
+            self.map.insert((l, r), r);
+        }
+    }
+
+    /// Remove interval `[l, r)` if present. O(log n).
+    pub fn remove(&mut self, l: P, r: P) {
+        self.map.remove(&(l, r));
+    }
+
+    /// Bulk-insert intervals (parallel).
+    pub fn multi_insert(&mut self, intervals: Vec<(P, P)>) {
+        let items: Vec<((P, P), P)> = intervals
+            .into_iter()
+            .filter(|&(l, r)| l < r)
+            .map(|(l, r)| ((l, r), r))
+            .collect();
+        self.map.multi_insert(items);
+    }
+
+    /// Bulk-remove intervals (parallel; absent intervals are ignored).
+    pub fn multi_remove(&mut self, intervals: Vec<(P, P)>) {
+        self.map.multi_delete(intervals);
+    }
+
+    /// Stabbing query: is `p` inside any interval? O(log n) — the paper's
+    /// `stab(p)`, one augmented prefix query.
+    pub fn stab(&self, p: P) -> bool {
+        self.map.aug_left(&(p, P::top())) > p
+    }
+
+    /// All intervals containing `p`, i.e. `l <= p < r` — the paper's
+    /// `report_all(p)`. O(k log(n/k + 1)) work for k results, thanks to
+    /// `aug_filter` pruning subtrees whose max right endpoint is `<= p`.
+    pub fn report_all(&self, p: P) -> Vec<(P, P)> {
+        self.covering(p).map.keys()
+    }
+
+    /// Number of intervals containing `p`, without materializing them all
+    /// into a vector.
+    pub fn count_containing(&self, p: P) -> usize {
+        self.covering(p).len()
+    }
+
+    /// The sub-map of intervals containing `p`, as a persistent interval
+    /// map (shares nodes with `self`).
+    pub fn covering(&self, p: P) -> Self {
+        let candidates = self.map.up_to(&(p, P::top()));
+        IntervalMap {
+            map: candidates.aug_filter(|&a| a > p),
+        }
+    }
+
+    /// The maximum right endpoint over all intervals starting at or
+    /// before `p` (the raw augmented prefix the stabbing test uses).
+    pub fn max_right_up_to(&self, p: P) -> P {
+        self.map.aug_left(&(p, P::top()))
+    }
+
+    /// All stored intervals that overlap the query interval `[ql, qr)`,
+    /// i.e. `l < qr && ql < r` — the classic interval-intersection
+    /// query, answered with the same max-augmentation pruning as
+    /// stabbing: candidates start before `qr`, and subtrees whose max
+    /// right endpoint is `<= ql` are discarded wholesale.
+    /// O(k log(n/k + 1)) for k results.
+    pub fn overlapping(&self, ql: P, qr: P) -> Vec<(P, P)> {
+        if !(ql < qr) {
+            return Vec::new();
+        }
+        // left endpoint strictly below qr: up_to is inclusive, so probe
+        // just-below-qr via the (qr, bottom) sentinel pair (no key can
+        // have right endpoint == bottom, and (qr, bottom) < (qr, r)).
+        let candidates = self.map.up_to(&(qr, P::bottom()));
+        candidates.aug_filter(|&a| a > ql).keys()
+    }
+
+    /// All stored intervals, sorted.
+    pub fn to_vec(&self) -> Vec<(P, P)> {
+        self.map.keys()
+    }
+
+    /// Validate all tree invariants (testing helper).
+    pub fn check_invariants(&self) -> Result<(), String> {
+        self.map.check_invariants()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_stab(intervals: &[(u64, u64)], p: u64) -> bool {
+        intervals.iter().any(|&(l, r)| l <= p && p < r)
+    }
+
+    fn brute_report(intervals: &[(u64, u64)], p: u64) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = intervals
+            .iter()
+            .copied()
+            .filter(|&(l, r)| l <= p && p < r)
+            .collect();
+        v.sort();
+        v.dedup();
+        v
+    }
+
+    #[test]
+    fn figure4_example() {
+        // The example tree of Figure 4 in the paper.
+        let m = IntervalMap::from_intervals(vec![
+            (1, 7),
+            (2, 6),
+            (3, 5),
+            (4, 5),
+            (5, 8),
+            (6, 7),
+            (7, 9),
+        ]);
+        assert!(m.stab(4));
+        assert!(m.stab(8)); // covered by (7,9)
+        assert!(!m.stab(9)); // intervals are half-open
+        assert_eq!(m.report_all(6), vec![(1, 7), (5, 8), (6, 7)]);
+    }
+
+    #[test]
+    fn matches_bruteforce() {
+        let intervals = workloads::random_intervals(2000, 7, 10_000, 50);
+        let m = IntervalMap::from_intervals(intervals.clone());
+        m.check_invariants().unwrap();
+        for p in (0..10_050).step_by(13) {
+            assert_eq!(m.stab(p), brute_stab(&intervals, p), "stab({p})");
+            assert_eq!(m.report_all(p), brute_report(&intervals, p), "report({p})");
+            assert_eq!(m.count_containing(p), brute_report(&intervals, p).len());
+        }
+    }
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut m = IntervalMap::new();
+        m.insert(10u64, 20);
+        m.insert(15, 30);
+        assert!(m.stab(25));
+        m.remove(15, 30);
+        assert!(!m.stab(25));
+        assert!(m.stab(12));
+        m.remove(10, 20);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicate_left_endpoints_coexist() {
+        let mut m = IntervalMap::new();
+        m.insert(5u64, 10);
+        m.insert(5, 50);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.report_all(30), vec![(5, 50)]);
+        assert_eq!(m.report_all(7), vec![(5, 10), (5, 50)]);
+    }
+
+    #[test]
+    fn degenerate_intervals_ignored() {
+        let m = IntervalMap::from_intervals(vec![(5u64, 5), (9, 3), (1, 2)]);
+        assert_eq!(m.len(), 1);
+        let mut m2 = IntervalMap::new();
+        m2.insert(7u64, 7);
+        assert!(m2.is_empty());
+    }
+
+    #[test]
+    fn snapshots_are_persistent() {
+        let mut m = IntervalMap::from_intervals(vec![(1u64, 5), (10, 20)]);
+        let snap = m.clone();
+        m.multi_insert(vec![(3, 30), (4, 40)]);
+        assert_eq!(snap.len(), 2);
+        assert!(!snap.stab(25));
+        assert!(m.stab(25));
+    }
+
+    #[test]
+    fn overlapping_matches_bruteforce() {
+        let intervals = workloads::random_intervals(1500, 21, 5_000, 40);
+        let m = IntervalMap::from_intervals(intervals.clone());
+        let mut dedup = intervals.clone();
+        dedup.sort();
+        dedup.dedup();
+        for q in 0..60u64 {
+            let ql = workloads::hash64(q * 2) % 5_000;
+            let qr = ql + 1 + workloads::hash64(q * 2 + 1) % 100;
+            let want: Vec<(u64, u64)> = dedup
+                .iter()
+                .copied()
+                .filter(|&(l, r)| l < qr && ql < r)
+                .collect();
+            assert_eq!(m.overlapping(ql, qr), want, "query [{ql},{qr})");
+        }
+        // degenerate query
+        assert!(m.overlapping(10, 10).is_empty());
+        assert!(m.overlapping(10, 5).is_empty());
+    }
+
+    #[test]
+    fn signed_endpoints() {
+        let m = IntervalMap::from_intervals(vec![(-10i64, -2), (-5, 5)]);
+        assert!(m.stab(-7));
+        assert!(m.stab(0));
+        assert!(!m.stab(6));
+        assert_eq!(m.report_all(-4), vec![(-10, -2), (-5, 5)]);
+    }
+}
+
+#[cfg(test)]
+mod bulk_tests {
+    use super::*;
+
+    #[test]
+    fn multi_remove_roundtrip() {
+        let ivals = workloads::random_intervals(5000, 3, 50_000, 100);
+        let mut m = IntervalMap::from_intervals(ivals.clone());
+        let n0 = m.len();
+        let removed: Vec<(u64, u64)> = ivals.iter().step_by(2).copied().collect();
+        m.multi_remove(removed.clone());
+        m.check_invariants().unwrap();
+        assert!(m.len() < n0);
+        // removed intervals are gone; kept intervals still stab
+        let kept: Vec<(u64, u64)> = m.to_vec();
+        for iv in &removed {
+            assert!(!kept.contains(iv));
+        }
+        // removing unknown intervals is a no-op
+        let before = m.len();
+        m.multi_remove(vec![(1_000_000, 1_000_001)]);
+        assert_eq!(m.len(), before);
+    }
+}

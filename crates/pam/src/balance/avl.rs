@@ -1,0 +1,124 @@
+//! AVL (height-balanced) trees.
+//!
+//! `join` follows Figure 1 of the SPAA'16 "Just Join" paper: walk down the
+//! taller side until the subtree height is within one of the shorter side,
+//! attach a node there, and fix the at-most-one height violation per level
+//! with single/double rotations on the way back up. The per-node metadata
+//! is the subtree height.
+
+use super::Balance;
+use crate::node::{expose, EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use std::sync::Arc;
+
+/// Height-balanced AVL scheme.
+pub struct Avl;
+
+type T<S> = Tree<S, Avl>;
+type N<S> = Arc<Node<S, Avl>>;
+type E<S> = EntryOwned<S, Avl>;
+
+#[inline]
+fn h<S: AugSpec>(t: &T<S>) -> u32 {
+    t.as_ref().map_or(0, |n| n.meta)
+}
+
+#[inline]
+fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    let height = 1 + h::<S>(&l).max(h::<S>(&r));
+    Node::make(l, e, height, r)
+}
+
+/// Left rotation of the (conceptual) node `(l, e, r)` where `r` is real.
+fn rot_left_parts<S: AugSpec>(l: T<S>, e: E<S>, r: N<S>) -> N<S> {
+    let (rl, re, _m, rr) = expose(r);
+    mk(Some(mk(l, e, rl)), re, rr)
+}
+
+/// Right rotation of the (conceptual) node `(l, e, r)` where `l` is real.
+fn rot_right_parts<S: AugSpec>(l: N<S>, e: E<S>, r: T<S>) -> N<S> {
+    let (ll, le, _m, lr) = expose(l);
+    mk(ll, le, Some(mk(lr, e, r)))
+}
+
+/// Precondition: `h(tl) > h(tr) + 1`.
+fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
+    let (l, le, _m, c) = expose(tl.expect("taller side cannot be empty"));
+    if h::<S>(&c) <= h::<S>(&tr) + 1 {
+        let t1 = mk(c, e, tr);
+        if t1.meta <= h::<S>(&l) + 1 {
+            mk(l, le, Some(t1))
+        } else {
+            // t1 is left-leaning (h(c) = h(tr)+1): double rotation.
+            rot_left_parts(l, le, rot_right_whole(t1))
+        }
+    } else {
+        let t1 = join_right::<S>(c, e, tr);
+        let h1 = t1.meta;
+        if h1 <= h::<S>(&l) + 1 {
+            mk(l, le, Some(t1))
+        } else {
+            rot_left_parts(l, le, t1)
+        }
+    }
+}
+
+/// Right rotation of a real node (root becomes its left child).
+fn rot_right_whole<S: AugSpec>(n: N<S>) -> N<S> {
+    let (l, e, _m, r) = expose(n);
+    rot_right_parts(l.expect("rotation requires left child"), e, r)
+}
+
+/// Left rotation of a real node (root becomes its right child).
+fn rot_left_whole<S: AugSpec>(n: N<S>) -> N<S> {
+    let (l, e, _m, r) = expose(n);
+    rot_left_parts(l, e, r.expect("rotation requires right child"))
+}
+
+/// Mirror of [`join_right`]; precondition `h(tr) > h(tl) + 1`.
+fn join_left<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
+    let (c, re, _m, r) = expose(tr.expect("taller side cannot be empty"));
+    if h::<S>(&c) <= h::<S>(&tl) + 1 {
+        let t1 = mk(tl, e, c);
+        if t1.meta <= h::<S>(&r) + 1 {
+            mk(Some(t1), re, r)
+        } else {
+            rot_right_parts(rot_left_whole(t1), re, r)
+        }
+    } else {
+        let t1 = join_left::<S>(tl, e, c);
+        let h1 = t1.meta;
+        if h1 <= h::<S>(&r) + 1 {
+            mk(Some(t1), re, r)
+        } else {
+            rot_right_parts(t1, re, r)
+        }
+    }
+}
+
+impl Balance for Avl {
+    type Meta = u32; // subtree height
+    type EntryMeta = ();
+    const NAME: &'static str = "avl";
+
+    #[inline]
+    fn fresh_entry_meta() {}
+
+    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
+        let hl = h::<S>(&l);
+        let hr = h::<S>(&r);
+        if hl > hr + 1 {
+            join_right::<S>(l, e, r)
+        } else if hr > hl + 1 {
+            join_left::<S>(l, e, r)
+        } else {
+            mk(l, e, r)
+        }
+    }
+
+    fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
+        let hl = h::<S>(&n.left);
+        let hr = h::<S>(&n.right);
+        n.meta == 1 + hl.max(hr) && hl.abs_diff(hr) <= 1
+    }
+}

@@ -1,0 +1,94 @@
+//! Balancing schemes, fully abstracted behind a single `join`.
+//!
+//! Following the paper (§4) and "Just Join for Parallel Ordered Sets"
+//! [Blelloch, Ferizovic, Sun; SPAA 2016], *every* algorithm in this crate
+//! is written against one balance-aware primitive:
+//!
+//! ```text
+//! join(L, (k, v), R)   where max(L) < k < min(R)
+//! ```
+//!
+//! which concatenates two balanced trees around a middle entry and
+//! rebalances. Because the balancing criteria are encapsulated here, the
+//! same `union`/`filter`/`build`/... code runs unchanged on all four
+//! schemes the paper implements:
+//!
+//! * [`WeightBalanced`] — PAM's default ("it does not require extra
+//!   balancing criteria in each node — the node size is already stored");
+//! * [`Avl`] — height-balanced;
+//! * [`RedBlack`] — color + black-height balanced;
+//! * [`Treap`] — randomized heap-ordered priorities.
+
+mod avl;
+mod redblack;
+mod treap;
+mod weight;
+
+pub use avl::Avl;
+pub use redblack::{RbMeta, RedBlack};
+pub use treap::Treap;
+pub use weight::WeightBalanced;
+
+use crate::node::{EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use std::sync::Arc;
+
+/// A balancing scheme: per-node metadata plus the `join` primitive.
+///
+/// `join` is the **only** operation that creates or restructures interior
+/// nodes, so it is also where augmented values get recomputed (inside
+/// [`Node::make`]) and where persistence-driven path copying happens
+/// (via [`crate::node::expose`]).
+pub trait Balance: Sized + Send + Sync + 'static {
+    /// Per-node metadata derived from the node's position/children
+    /// (AVL height; red-black color and black height; nothing for
+    /// weight-balanced trees, whose criterion reads the stored sizes).
+    type Meta: Copy + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Per-*entry* metadata that stays attached to a key as the tree is
+    /// restructured (the treap's priority; nothing for the other schemes).
+    type EntryMeta: Copy + Send + Sync + std::fmt::Debug + 'static;
+
+    /// Human-readable scheme name (used by benches and error messages).
+    const NAME: &'static str;
+
+    /// Metadata for a brand-new entry (draws a random priority for treaps).
+    fn fresh_entry_meta() -> Self::EntryMeta;
+
+    /// Join `l`, the middle entry, and `r`, where every key of `l` is less
+    /// than `e.key` and every key of `r` greater. Returns a balanced tree
+    /// containing all entries. O(|rank(l) - rank(r)|) work.
+    fn join<S: AugSpec>(
+        l: Tree<S, Self>,
+        e: EntryOwned<S, Self>,
+        r: Tree<S, Self>,
+    ) -> Arc<Node<S, Self>>;
+
+    /// Does the balance invariant hold *locally* at `n`, assuming both
+    /// children are themselves valid? Used by `validate::check_tree`.
+    fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool;
+}
+
+/// Convenience wrapper returning a `Tree` instead of an `Arc<Node>`.
+#[inline]
+pub(crate) fn join_tree<S: AugSpec, B: Balance>(
+    l: Tree<S, B>,
+    e: EntryOwned<S, B>,
+    r: Tree<S, B>,
+) -> Tree<S, B> {
+    Some(B::join(l, e, r))
+}
+
+/// Build a singleton map (a `join` of two empty trees, as in the paper).
+#[inline]
+pub(crate) fn singleton<S: AugSpec, B: Balance>(key: S::K, val: S::V) -> Tree<S, B> {
+    Some(B::join(
+        None,
+        EntryOwned {
+            key,
+            val,
+            em: B::fresh_entry_meta(),
+        },
+        None,
+    ))
+}

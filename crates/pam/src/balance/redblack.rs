@@ -1,0 +1,177 @@
+//! Red-black trees.
+//!
+//! Join-based red-black trees following the SPAA'16 "Just Join" treatment:
+//! each node stores its color and black height. `join` blackens both
+//! roots, descends the spine of the side with larger black height until
+//! the black heights meet at a black node, attaches a red node there, and
+//! repairs red-red violations on the way back up with the classic
+//! functional (Okasaki-style) balance patterns. The final root is
+//! blackened.
+
+use super::Balance;
+use crate::node::{expose, EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use std::sync::Arc;
+
+/// Red-black scheme metadata: color and black height.
+///
+/// `bh` counts the black nodes on any path from this node down to a leaf,
+/// including this node if it is black (empty trees have `bh = 0`).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct RbMeta {
+    /// Is this node red?
+    pub red: bool,
+    /// Black height of the subtree rooted here.
+    pub bh: u32,
+}
+
+/// Red-black balancing scheme.
+pub struct RedBlack;
+
+type T<S> = Tree<S, RedBlack>;
+type N<S> = Arc<Node<S, RedBlack>>;
+type E<S> = EntryOwned<S, RedBlack>;
+
+#[inline]
+fn bh<S: AugSpec>(t: &T<S>) -> u32 {
+    t.as_ref().map_or(0, |n| n.meta.bh)
+}
+
+#[inline]
+fn is_red<S: AugSpec>(t: &T<S>) -> bool {
+    t.as_ref().map_or(false, |n| n.meta.red)
+}
+
+/// Make a node with an explicit color; `bh` is derived from the left child
+/// (both children must agree for a valid tree — checked by `local_ok`).
+#[inline]
+fn mk<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
+    let below = bh::<S>(&l);
+    debug_assert_eq!(below, bh::<S>(&r), "children black heights must agree");
+    let meta = RbMeta {
+        red,
+        bh: below + u32::from(!red),
+    };
+    Node::make(l, e, meta, r)
+}
+
+/// Recolor the root of `t` black (no-op when already black or empty).
+fn blacken<S: AugSpec>(t: T<S>) -> T<S> {
+    match t {
+        Some(n) if n.meta.red => {
+            let (l, e, _m, r) = expose(n);
+            Some(mk(l, e, false, r))
+        }
+        other => other,
+    }
+}
+
+/// Construct node `(l, e, r)` with color `red`, then repair the Okasaki
+/// right-side patterns if this node is black and its right child starts a
+/// red-red chain.
+fn balance_right<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
+    if !red && is_red::<S>(&r) {
+        let rn = r.as_ref().expect("red implies nonempty");
+        if is_red::<S>(&rn.right) {
+            // B(l, e, R(b, y, R..)) -> R(B(l, e, b), y, B(..))
+            let (b, y, _m, rr) = expose(r.expect("checked above"));
+            let rr_black = blacken::<S>(rr);
+            return mk(Some(mk(l, e, false, b)), y, true, rr_black);
+        }
+        if is_red::<S>(&rn.left) {
+            // B(l, e, R(R(b2, y, c2), z, d)) -> R(B(l, e, b2), y, B(c2, z, d))
+            let (rl, z, _m, d) = expose(r.expect("checked above"));
+            let (b2, y, _m2, c2) = expose(rl.expect("red implies nonempty"));
+            return mk(Some(mk(l, e, false, b2)), y, true, Some(mk(c2, z, false, d)));
+        }
+    }
+    mk(l, e, red, r)
+}
+
+/// Mirror of [`balance_right`] for left-side red-red chains.
+fn balance_left<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
+    if !red && is_red::<S>(&l) {
+        let ln = l.as_ref().expect("red implies nonempty");
+        if is_red::<S>(&ln.left) {
+            // B(R(R.., y, c), z, d) -> R(B(..), y, B(c, z, d))
+            let (ll, y, _m, c) = expose(l.expect("checked above"));
+            let ll_black = blacken::<S>(ll);
+            return mk(ll_black, y, true, Some(mk(c, e, false, r)));
+        }
+        if is_red::<S>(&ln.right) {
+            // B(R(a, x, R(b2, y, c2)), z, d) -> R(B(a, x, b2), y, B(c2, z, d))
+            let (a, x, _m, lr) = expose(l.expect("checked above"));
+            let (b2, y, _m2, c2) = expose(lr.expect("red implies nonempty"));
+            return mk(Some(mk(a, x, false, b2)), y, true, Some(mk(c2, e, false, r)));
+        }
+    }
+    mk(l, e, red, r)
+}
+
+/// Precondition: `bh(l) >= bh(r)` and the root of `r` is black.
+/// Returns a tree with black height `bh(l)` whose root may be red
+/// (possibly with one red child — resolved by the caller's blacken).
+fn join_right<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    if bh::<S>(&l) == bh::<S>(&r) && !is_red::<S>(&l) {
+        // attach as a red node: black height unchanged
+        return mk(l, e, true, r);
+    }
+    let (ll, le, m, lr) = expose(l.expect("bh(l) > 0 or red root implies nonempty"));
+    let t = join_right::<S>(lr, e, r);
+    balance_right(ll, le, m.red, Some(t))
+}
+
+/// Mirror of [`join_right`]; precondition `bh(r) >= bh(l)`, root of `l` black.
+fn join_left<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    if bh::<S>(&r) == bh::<S>(&l) && !is_red::<S>(&r) {
+        return mk(l, e, true, r);
+    }
+    let (rl, re, m, rr) = expose(r.expect("bh(r) > 0 or red root implies nonempty"));
+    let t = join_left::<S>(l, e, rl);
+    balance_left(Some(t), re, m.red, rr)
+}
+
+impl Balance for RedBlack {
+    type Meta = RbMeta;
+    type EntryMeta = ();
+    const NAME: &'static str = "red-black";
+
+    #[inline]
+    fn fresh_entry_meta() {}
+
+    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
+        // Blackening the roots costs O(1) and establishes the recursion's
+        // preconditions (at most +1 on either black height).
+        let l = blacken::<S>(l);
+        let r = blacken::<S>(r);
+        let bl = bh::<S>(&l);
+        let br = bh::<S>(&r);
+        let joined = if bl > br {
+            join_right::<S>(l, e, r)
+        } else if br > bl {
+            join_left::<S>(l, e, r)
+        } else {
+            // equal black heights with black roots: a black parent is
+            // always valid
+            return mk(l, e, false, r);
+        };
+        // The unwound spine may leave a red root (possibly with a red
+        // child); blackening it restores all invariants.
+        blacken::<S>(Some(joined)).expect("nonempty")
+    }
+
+    fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
+        let bl = bh::<S>(&n.left);
+        let br = bh::<S>(&n.right);
+        if bl != br {
+            return false;
+        }
+        if n.meta.bh != bl + u32::from(!n.meta.red) {
+            return false;
+        }
+        if n.meta.red && (is_red::<S>(&n.left) || is_red::<S>(&n.right)) {
+            return false;
+        }
+        true
+    }
+}

@@ -1,0 +1,95 @@
+//! Treaps (randomized heap-ordered search trees).
+//!
+//! Each *entry* carries a random priority drawn once at creation (this is
+//! exactly what [`Balance::EntryMeta`] exists for — priorities survive
+//! splits, joins and rebuilds). `join` interleaves the two spines in
+//! max-heap priority order, which takes expected O(log n) time.
+
+use super::Balance;
+use crate::node::{expose, EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Randomized treap scheme.
+pub struct Treap;
+
+type T<S> = Tree<S, Treap>;
+type N<S> = Arc<Node<S, Treap>>;
+type E<S> = EntryOwned<S, Treap>;
+
+/// Deterministically-seeded counter hashed through SplitMix64: unique,
+/// well-distributed priorities without any per-thread RNG state.
+static PRIO_SEED: AtomicU64 = AtomicU64::new(0);
+
+#[inline]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[inline]
+fn prio<S: AugSpec>(t: &T<S>) -> u64 {
+    // empty trees have the lowest possible priority
+    t.as_ref().map_or(0, |n| n.em)
+}
+
+#[inline]
+fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    Node::make(l, e, (), r)
+}
+
+fn join_rec<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    let pl = prio::<S>(&l);
+    let pr = prio::<S>(&r);
+    if e.em >= pl && e.em >= pr {
+        mk(l, e, r)
+    } else if pl >= pr {
+        // the left root keeps the top of the heap
+        let (ll, le, _m, lr) = expose(l.expect("nonempty by priority"));
+        mk(ll, le, Some(join_rec::<S>(lr, e, r)))
+    } else {
+        let (rl, re, _m, rr) = expose(r.expect("nonempty by priority"));
+        mk(Some(join_rec::<S>(l, e, rl)), re, rr)
+    }
+}
+
+impl Balance for Treap {
+    type Meta = ();
+    type EntryMeta = u64; // priority (max-heap)
+    const NAME: &'static str = "treap";
+
+    #[inline]
+    fn fresh_entry_meta() -> u64 {
+        // never return 0 so real entries always outrank the empty tree
+        splitmix64(PRIO_SEED.fetch_add(1, Ordering::Relaxed)) | 1
+    }
+
+    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
+        join_rec::<S>(l, e, r)
+    }
+
+    fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
+        let ok_l = n.left.as_ref().map_or(true, |l| n.em >= l.em);
+        let ok_r = n.right.as_ref().map_or(true, |r| n.em >= r.em);
+        ok_l && ok_r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priorities_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let p = <Treap as Balance>::fresh_entry_meta();
+            assert_ne!(p, 0);
+            assert!(seen.insert(p), "duplicate priority");
+        }
+    }
+}

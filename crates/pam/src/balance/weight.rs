@@ -1,0 +1,152 @@
+//! Weight-balanced (BB[α]) trees — PAM's default scheme.
+//!
+//! A node is balanced when each subtree holds between `α` and `1 − α` of
+//! the node's weight (weight = size + 1). PAM uses `α = 0.29`, inside the
+//! provably safe range for join-based rebalancing (α ≤ 1 − 1/√2 ≈ 0.2929).
+//! We evaluate the ratio tests in exact integer arithmetic
+//! (`α = 29/100`), so no floating point enters the balance decisions.
+//!
+//! `join` follows Figure 7 of the SPAA'16 "Just Join" paper: walk down the
+//! spine of the heavier side until the two pieces are "like" (mutually
+//! balanced), attach there, and repair on the way back up with single or
+//! double rotations.
+
+use super::Balance;
+use crate::node::{expose, size, EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use std::sync::Arc;
+
+/// PAM's default balancing scheme (α = 0.29 weight-balanced tree).
+pub struct WeightBalanced;
+
+const ALPHA_NUM: u64 = 29;
+const ALPHA_DEN: u64 = 100;
+
+type T<S> = Tree<S, WeightBalanced>;
+type N<S> = Arc<Node<S, WeightBalanced>>;
+type E<S> = EntryOwned<S, WeightBalanced>;
+
+#[inline]
+fn weight<S: AugSpec>(t: &T<S>) -> u64 {
+    size(t) as u64 + 1
+}
+
+/// Is a subtree of weight `wa` too heavy next to a sibling of weight `wb`?
+/// (its share of the total exceeds `1 − α`)
+#[inline]
+fn heavy(wa: u64, wb: u64) -> bool {
+    wa * ALPHA_DEN > (ALPHA_DEN - ALPHA_NUM) * (wa + wb)
+}
+
+/// May subtrees of weights `wa` and `wb` be siblings? (neither is heavy)
+#[inline]
+fn like(wa: u64, wb: u64) -> bool {
+    !heavy(wa, wb) && !heavy(wb, wa)
+}
+
+#[inline]
+fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+    Node::make(l, e, (), r)
+}
+
+/// `tl` is heavy with respect to `tr`: descend `tl`'s right spine until the
+/// remainder is "like" `tr`, then repair with rotations on the way up.
+fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
+    if like(weight::<S>(&tl), weight::<S>(&tr)) {
+        return mk(tl, e, tr);
+    }
+    let (l, le, _m, c) = expose(tl.expect("heavy side cannot be empty"));
+    let wl = weight::<S>(&l);
+    let tp = join_right::<S>(c, e, tr); // T' in the paper's pseudocode
+    let wtp = tp.size as u64 + 1;
+    if like(wl, wtp) {
+        return mk(l, le, Some(tp));
+    }
+    let wl1 = weight::<S>(&tp.left);
+    let wr1 = weight::<S>(&tp.right);
+    if like(wl, wl1) && like(wl + wl1, wr1) {
+        // single rotation: rotateLeft(Node(l, le, T'))
+        let (l1, e1, _m1, r1) = expose(tp);
+        mk(Some(mk(l, le, l1)), e1, r1)
+    } else {
+        // double rotation: rotateLeft(Node(l, le, rotateRight(T')))
+        let (l1, e1, _m1, r1) = expose(tp);
+        let (l2, e2, _m2, r2) = expose(l1.expect("double rotation requires inner child"));
+        let nl = mk(l, le, l2);
+        let nr = mk(r2, e1, r1);
+        mk(Some(nl), e2, Some(nr))
+    }
+}
+
+/// Mirror of [`join_right`]: `tr` is heavy, descend its left spine.
+fn join_left<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
+    if like(weight::<S>(&tl), weight::<S>(&tr)) {
+        return mk(tl, e, tr);
+    }
+    let (c, re, _m, r) = expose(tr.expect("heavy side cannot be empty"));
+    let wr = weight::<S>(&r);
+    let tp = join_left::<S>(tl, e, c);
+    let wtp = tp.size as u64 + 1;
+    if like(wtp, wr) {
+        return mk(Some(tp), re, r);
+    }
+    let wl1 = weight::<S>(&tp.left);
+    let wr1 = weight::<S>(&tp.right);
+    if like(wr1, wr) && like(wr1 + wr, wl1) {
+        // single rotation: rotateRight(Node(T', re, r))
+        let (l1, e1, _m1, r1) = expose(tp);
+        mk(l1, e1, Some(mk(r1, re, r)))
+    } else {
+        // double rotation: rotateRight(Node(rotateLeft(T'), re, r))
+        let (l1, e1, _m1, r1) = expose(tp);
+        let (l2, e2, _m2, r2) = expose(r1.expect("double rotation requires inner child"));
+        let nl = mk(l1, e1, l2);
+        let nr = mk(r2, re, r);
+        mk(Some(nl), e2, Some(nr))
+    }
+}
+
+impl Balance for WeightBalanced {
+    type Meta = ();
+    type EntryMeta = ();
+    const NAME: &'static str = "weight-balanced";
+
+    #[inline]
+    fn fresh_entry_meta() {}
+
+    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
+        let wl = weight::<S>(&l);
+        let wr = weight::<S>(&r);
+        if heavy(wl, wr) {
+            join_right::<S>(l, e, r)
+        } else if heavy(wr, wl) {
+            join_left::<S>(l, e, r)
+        } else {
+            mk(l, e, r)
+        }
+    }
+
+    fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
+        like(weight::<S>(&n.left), weight::<S>(&n.right))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_predicates() {
+        // equal weights are always like
+        assert!(like(1, 1));
+        assert!(like(10, 10));
+        // 3-vs-1: 75% share > 71% -> heavy
+        assert!(heavy(3, 1));
+        assert!(!like(3, 1));
+        // 2-vs-1: 66.7% share <= 71% -> fine
+        assert!(like(2, 1));
+        // extreme skew
+        assert!(heavy(1000, 1));
+        assert!(!heavy(1, 1000));
+    }
+}

@@ -1,0 +1,293 @@
+//! Tree nodes, persistence, and the expose/rebuild machinery.
+//!
+//! A map is a [`Tree`]: `Option<Arc<Node>>`. `Arc` is the Rust counterpart
+//! of PAM's reference-counting garbage collector — atomically counted,
+//! freed on last release, safe under concurrency. Snapshots are O(1)
+//! (`Tree::clone` bumps one count) and updates path-copy, so maps are fully
+//! persistent exactly as in the paper.
+//!
+//! PAM's "reuse optimization" — *"when the reference count is one we reuse
+//! the current node instead of collecting it and allocating a new one"*
+//! (§4, Persistence) — is reproduced by [`expose`]: algorithms take trees
+//! **by value**, and destructuring a uniquely-owned node moves its fields
+//! out (`Arc::try_unwrap`) instead of cloning them. Build with the
+//! `no-reuse` feature to disable this and measure pure path-copying (an
+//! ablation in the bench suite).
+//!
+//! Every node stores the augmented value of its subtree. It is computed in
+//! [`Node::make`] as `f(A(L), f(g(k,v), A(R)))`, which "localizes
+//! application of the augmentation functions f and g to when a node is
+//! created" (§4) — no other code in the crate touches augmentation unless
+//! it explicitly queries it.
+
+use crate::balance::Balance;
+use crate::spec::AugSpec;
+use std::sync::Arc;
+
+/// A persistent augmented tree: `None` is the empty map.
+pub type Tree<S, B> = Option<Arc<Node<S, B>>>;
+
+/// One tree node. `meta` is the balance scheme's per-node bookkeeping
+/// (AVL height, red-black color + black height, nothing for
+/// weight-balanced); `em` is per-*entry* metadata that travels with the
+/// key through restructuring (the treap's priority).
+pub struct Node<S: AugSpec, B: Balance> {
+    pub(crate) size: usize,
+    pub(crate) meta: B::Meta,
+    pub(crate) em: B::EntryMeta,
+    pub(crate) key: S::K,
+    pub(crate) val: S::V,
+    pub(crate) aug: S::A,
+    pub(crate) left: Tree<S, B>,
+    pub(crate) right: Tree<S, B>,
+}
+
+/// An entry (key, value, entry-metadata) detached from a node — what the
+/// paper's `expose` yields between the two subtrees, and what `join` takes
+/// as its middle argument.
+pub struct EntryOwned<S: AugSpec, B: Balance> {
+    /// The entry's key.
+    pub key: S::K,
+    /// The entry's value.
+    pub val: S::V,
+    /// Per-entry balance metadata (e.g. a treap priority).
+    pub em: B::EntryMeta,
+}
+
+impl<S: AugSpec, B: Balance> Clone for EntryOwned<S, B> {
+    fn clone(&self) -> Self {
+        EntryOwned {
+            key: self.key.clone(),
+            val: self.val.clone(),
+            em: self.em,
+        }
+    }
+}
+
+/// Number of entries in `t`.
+#[inline]
+pub fn size<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> usize {
+    t.as_ref().map_or(0, |n| n.size)
+}
+
+/// The augmented value of `t`, or the identity for the empty tree.
+/// This is the paper's `augVal` — O(1) because sums are maintained.
+#[inline]
+pub fn aug_val<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> S::A {
+    t.as_ref().map_or_else(S::identity, |n| n.aug.clone())
+}
+
+impl<S: AugSpec, B: Balance> Node<S, B> {
+    /// Create a node, computing `size` and the augmented value from the
+    /// children. `meta` is supplied by the balance scheme.
+    pub(crate) fn make(
+        left: Tree<S, B>,
+        entry: EntryOwned<S, B>,
+        meta: B::Meta,
+        right: Tree<S, B>,
+    ) -> Arc<Self> {
+        let size = size(&left) + size(&right) + 1;
+        let mid = S::base(&entry.key, &entry.val);
+        // f(A(L), f(g(k,v), A(R))); absent children contribute nothing
+        // (skipping the identity keeps combine cheap when A is itself a
+        // large structure such as the range tree's inner map).
+        let aug = match (&left, &right) {
+            (None, None) => mid,
+            (Some(l), None) => S::combine(&l.aug, &mid),
+            (None, Some(r)) => S::combine(&mid, &r.aug),
+            (Some(l), Some(r)) => S::combine3(&l.aug, mid, &r.aug),
+        };
+        Arc::new(Node {
+            size,
+            meta,
+            em: entry.em,
+            key: entry.key,
+            val: entry.val,
+            aug,
+            left,
+            right,
+        })
+    }
+
+    /// The entry key at this node (queries never restructure, so borrow).
+    #[inline]
+    pub fn key(&self) -> &S::K {
+        &self.key
+    }
+    /// The entry value at this node.
+    #[inline]
+    pub fn val(&self) -> &S::V {
+        &self.val
+    }
+    /// The cached augmented value of the subtree rooted here.
+    #[inline]
+    pub fn aug(&self) -> &S::A {
+        &self.aug
+    }
+    /// The left subtree.
+    #[inline]
+    pub fn left(&self) -> &Tree<S, B> {
+        &self.left
+    }
+    /// The right subtree.
+    #[inline]
+    pub fn right(&self) -> &Tree<S, B> {
+        &self.right
+    }
+    /// Number of entries in the subtree rooted here.
+    #[inline]
+    pub fn size_of(&self) -> usize {
+        self.size
+    }
+}
+
+/// Destructure a node into `(left, entry, meta, right)` — the paper's
+/// `expose`, plus the persistence machinery.
+///
+/// If the `Arc` is uniquely owned the fields are **moved** out (PAM's
+/// refcount-1 reuse: no clones, the node's allocation is released); if it
+/// is shared, the fields are cloned (path copying), leaving every other
+/// snapshot untouched.
+#[cfg(not(feature = "no-reuse"))]
+#[inline]
+pub fn expose<S: AugSpec, B: Balance>(
+    n: Arc<Node<S, B>>,
+) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
+    match Arc::try_unwrap(n) {
+        Ok(node) => (
+            node.left,
+            EntryOwned {
+                key: node.key,
+                val: node.val,
+                em: node.em,
+            },
+            node.meta,
+            node.right,
+        ),
+        Err(shared) => clone_out(&shared),
+    }
+}
+
+/// `no-reuse` ablation build: always path-copy, even when uniquely owned.
+#[cfg(feature = "no-reuse")]
+#[inline]
+pub fn expose<S: AugSpec, B: Balance>(
+    n: Arc<Node<S, B>>,
+) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
+    clone_out(&n)
+}
+
+fn clone_out<S: AugSpec, B: Balance>(
+    n: &Arc<Node<S, B>>,
+) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
+    (
+        n.left.clone(),
+        EntryOwned {
+            key: n.key.clone(),
+            val: n.val.clone(),
+            em: n.em,
+        },
+        n.meta,
+        n.right.clone(),
+    )
+}
+
+/// Drop a (potentially huge) tree with parallel recursion.
+///
+/// `Arc`'s drop reclaims a tree sequentially; PAM's timings "include the
+/// cost of any necessary garbage collection", and its collector frees
+/// subtrees in parallel. This helper descends while the nodes are uniquely
+/// owned, releasing the two subtrees as parallel tasks.
+pub fn par_drop<S: AugSpec, B: Balance>(t: Tree<S, B>) {
+    const DROP_GRAN: usize = 1 << 12;
+    if let Some(n) = t {
+        if n.size <= DROP_GRAN {
+            drop(n);
+            return;
+        }
+        match Arc::try_unwrap(n) {
+            Ok(node) => {
+                let Node { left, right, .. } = node;
+                rayon::join(|| par_drop(left), || par_drop(right));
+            }
+            Err(shared) => drop(shared), // shared elsewhere: just decrement
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::balance::WeightBalanced;
+    use crate::spec::SumAug;
+
+    type S = SumAug<u64, u64>;
+    type B = WeightBalanced;
+
+    fn leaf(k: u64, v: u64) -> Arc<Node<S, B>> {
+        Node::make(
+            None,
+            EntryOwned {
+                key: k,
+                val: v,
+                em: (),
+            },
+            (),
+            None,
+        )
+    }
+
+    #[test]
+    fn make_computes_size_and_aug() {
+        let l = leaf(1, 10);
+        let r = leaf(3, 30);
+        let n = Node::make(
+            Some(l),
+            EntryOwned {
+                key: 2,
+                val: 20,
+                em: (),
+            },
+            (),
+            Some(r),
+        );
+        assert_eq!(n.size, 3);
+        assert_eq!(n.aug, 60);
+    }
+
+    #[test]
+    fn expose_moves_when_unique() {
+        let n = leaf(7, 70);
+        let (l, e, _m, r) = expose(n);
+        assert!(l.is_none() && r.is_none());
+        assert_eq!(e.key, 7);
+        assert_eq!(e.val, 70);
+    }
+
+    #[test]
+    fn expose_clones_when_shared() {
+        let n = leaf(7, 70);
+        let n2 = n.clone();
+        let (_, e, _, _) = expose(n);
+        assert_eq!(e.key, 7);
+        // the shared copy is untouched
+        assert_eq!(n2.key, 7);
+        assert_eq!(n2.val, 70);
+    }
+
+    #[test]
+    fn size_and_aug_val_of_empty() {
+        let t: Tree<S, B> = None;
+        assert_eq!(size(&t), 0);
+        assert_eq!(aug_val(&t), 0);
+    }
+
+    #[test]
+    fn par_drop_handles_shared_and_unique() {
+        let l = leaf(1, 1);
+        let shared = Some(l.clone());
+        par_drop(shared);
+        assert_eq!(l.val, 1); // still alive through `l`
+        par_drop(Some(l));
+    }
+}

@@ -1,0 +1,329 @@
+//! The augmented operations — the functions below the dashed line in
+//! Figure 1 of the paper. These are what the maintained partial sums buy:
+//! range sums in O(log n), filtered extraction in O(k log(n/k + 1)), and
+//! monoid projections of augmented values.
+
+use crate::balance::{join_tree, Balance};
+use crate::node::{expose, Tree};
+use crate::ops::split::join2;
+use crate::spec::AugSpec;
+use parlay::{granularity, par2_if};
+use std::cmp::Ordering;
+
+/// Augmented value of all entries with keys `<= k` (the paper's
+/// `augLeft`, Figure 2). O(log n).
+pub fn aug_left<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> S::A {
+    left_rec(t, k).unwrap_or_else(S::identity)
+}
+
+fn left_rec<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> Option<S::A> {
+    let n = t.as_deref()?;
+    if S::compare(k, &n.key) == Ordering::Less {
+        left_rec(&n.left, k)
+    } else {
+        // whole left subtree + root count; recurse right
+        let mid = S::base(&n.key, &n.val);
+        let lm = match n.left.as_deref() {
+            Some(l) => S::combine(&l.aug, &mid),
+            None => mid,
+        };
+        Some(match left_rec(&n.right, k) {
+            Some(r) => S::combine(&lm, &r),
+            None => lm,
+        })
+    }
+}
+
+/// Augmented value of all entries with keys `>= k` (the mirror of
+/// [`aug_left`]; the paper calls the pair `augLeft`/`downTo` sums). O(log n).
+pub fn aug_right<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> S::A {
+    right_rec(t, k).unwrap_or_else(S::identity)
+}
+
+fn right_rec<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> Option<S::A> {
+    let n = t.as_deref()?;
+    if S::compare(k, &n.key) == Ordering::Greater {
+        right_rec(&n.right, k)
+    } else {
+        let mid = S::base(&n.key, &n.val);
+        let mr = match n.right.as_deref() {
+            Some(r) => S::combine(&mid, &r.aug),
+            None => mid,
+        };
+        Some(match right_rec(&n.left, k) {
+            Some(l) => S::combine(&l, &mr),
+            None => mr,
+        })
+    }
+}
+
+/// Augmented value of all entries with keys in `[lo, hi]` — equivalent to
+/// `augVal(range(m, lo, hi))` but O(log n) with no allocation.
+pub fn aug_range<S: AugSpec, B: Balance>(t: &Tree<S, B>, lo: &S::K, hi: &S::K) -> S::A {
+    range_rec(t, lo, hi).unwrap_or_else(S::identity)
+}
+
+fn range_rec<S: AugSpec, B: Balance>(t: &Tree<S, B>, lo: &S::K, hi: &S::K) -> Option<S::A> {
+    let n = t.as_deref()?;
+    if S::compare(&n.key, lo) == Ordering::Less {
+        return range_rec(&n.right, lo, hi);
+    }
+    if S::compare(&n.key, hi) == Ordering::Greater {
+        return range_rec(&n.left, lo, hi);
+    }
+    // lo <= key <= hi: sum = (left >= lo) + g(k,v) + (right <= hi)
+    let mid = S::base(&n.key, &n.val);
+    let lm = match right_rec(&n.left, lo) {
+        Some(l) => S::combine(&l, &mid),
+        None => mid,
+    };
+    Some(match left_rec(&n.right, hi) {
+        Some(r) => S::combine(&lm, &r),
+        None => lm,
+    })
+}
+
+/// The paper's `augProject(g', f', m, k1, k2)`: equivalent to
+/// `g'(augRange(m, k1, k2))` when `f'(g'(a), g'(b)) = g'(f(a, b))`, but it
+/// projects each of the O(log n) canonical subtrees of the range through
+/// `g'` *before* combining with `f'`. When `A` is a large structure (the
+/// range tree's inner maps) this avoids materializing any combined `A`.
+pub fn aug_project<S, B, T, G, F2>(
+    t: &Tree<S, B>,
+    lo: &S::K,
+    hi: &S::K,
+    project: &G,
+    reduce: &F2,
+    id: T,
+) -> T
+where
+    S: AugSpec,
+    B: Balance,
+    G: Fn(&S::A) -> T,
+    F2: Fn(T, T) -> T,
+{
+    match project_range(t, lo, hi, project, reduce) {
+        Some(v) => v,
+        None => id,
+    }
+}
+
+fn project_range<S, B, T, G, F2>(
+    t: &Tree<S, B>,
+    lo: &S::K,
+    hi: &S::K,
+    g2: &G,
+    f2: &F2,
+) -> Option<T>
+where
+    S: AugSpec,
+    B: Balance,
+    G: Fn(&S::A) -> T,
+    F2: Fn(T, T) -> T,
+{
+    let n = t.as_deref()?;
+    if S::compare(&n.key, lo) == Ordering::Less {
+        return project_range(&n.right, lo, hi, g2, f2);
+    }
+    if S::compare(&n.key, hi) == Ordering::Greater {
+        return project_range(&n.left, lo, hi, g2, f2);
+    }
+    let mid = g2(&S::base(&n.key, &n.val));
+    let lm = match project_ge(&n.left, lo, g2, f2) {
+        Some(l) => f2(l, mid),
+        None => mid,
+    };
+    Some(match project_le(&n.right, hi, g2, f2) {
+        Some(r) => f2(lm, r),
+        None => lm,
+    })
+}
+
+fn project_ge<S, B, T, G, F2>(t: &Tree<S, B>, lo: &S::K, g2: &G, f2: &F2) -> Option<T>
+where
+    S: AugSpec,
+    B: Balance,
+    G: Fn(&S::A) -> T,
+    F2: Fn(T, T) -> T,
+{
+    let n = t.as_deref()?;
+    if S::compare(&n.key, lo) == Ordering::Less {
+        return project_ge(&n.right, lo, g2, f2);
+    }
+    let mid = g2(&S::base(&n.key, &n.val));
+    let mr = match n.right.as_deref() {
+        Some(r) => f2(mid, g2(&r.aug)),
+        None => mid,
+    };
+    Some(match project_ge(&n.left, lo, g2, f2) {
+        Some(l) => f2(l, mr),
+        None => mr,
+    })
+}
+
+fn project_le<S, B, T, G, F2>(t: &Tree<S, B>, hi: &S::K, g2: &G, f2: &F2) -> Option<T>
+where
+    S: AugSpec,
+    B: Balance,
+    G: Fn(&S::A) -> T,
+    F2: Fn(T, T) -> T,
+{
+    let n = t.as_deref()?;
+    if S::compare(&n.key, hi) == Ordering::Greater {
+        return project_le(&n.left, hi, g2, f2);
+    }
+    let mid = g2(&S::base(&n.key, &n.val));
+    let lm = match n.left.as_deref() {
+        Some(l) => f2(g2(&l.aug), mid),
+        None => mid,
+    };
+    Some(match project_le(&n.right, hi, g2, f2) {
+        Some(r) => f2(lm, r),
+        None => lm,
+    })
+}
+
+/// [`aug_filter`] extended with the paper's footnote 3 optimization:
+/// *"Similar methodology can be applied if there exists a function h''
+/// to decide if all entries in a subtree will be selected just by
+/// reading the augmented value."*
+///
+/// `h_all(aug) == true` must imply every entry of that subtree satisfies
+/// the filter; such subtrees are returned **whole** (zero copying, full
+/// sharing), in addition to pruning subtrees failing `h_any`. For
+/// min/max augmentations both directions come for free (e.g. keep
+/// values > θ: `h_any = max > θ`, `h_all = min > θ` with a (min,max)
+/// pair augmentation).
+pub fn aug_filter_with_all<S, B, HAny, HAll>(
+    t: Tree<S, B>,
+    h_any: &HAny,
+    h_all: &HAll,
+) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    HAny: Fn(&S::A) -> bool + Sync,
+    HAll: Fn(&S::A) -> bool + Sync,
+{
+    match t {
+        None => None,
+        Some(n) => {
+            if !h_any(&n.aug) {
+                return None; // nothing below matches
+            }
+            if h_all(&n.aug) {
+                return Some(n); // everything below matches: share as-is
+            }
+            let work = n.size;
+            let (l, e, _m, r) = expose(n);
+            let keep = h_any(&S::base(&e.key, &e.val));
+            let (l2, r2) = par2_if(
+                work > granularity(),
+                move || aug_filter_with_all(l, h_any, h_all),
+                move || aug_filter_with_all(r, h_any, h_all),
+            );
+            if keep {
+                join_tree(l2, e, r2)
+            } else {
+                join2(l2, r2)
+            }
+        }
+    }
+}
+
+/// The paper's `augFilter(h, m)` (Figure 2): equivalent to filtering with
+/// `h'(k,v) ⇔ h(g(k,v))`, valid only when `h(a) ∨ h(b) ⇔ h(f(a,b))` —
+/// then a subtree whose augmented value fails `h` contains no matching
+/// entry and is pruned wholesale. O(k log(n/k + 1)) work for k results.
+pub fn aug_filter<S, B, H>(t: Tree<S, B>, h: &H) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    H: Fn(&S::A) -> bool + Sync,
+{
+    match t {
+        None => None,
+        Some(n) => {
+            if !h(&n.aug) {
+                return None; // prune: nothing below can match
+            }
+            let work = n.size;
+            let (l, e, _m, r) = expose(n);
+            let keep = h(&S::base(&e.key, &e.val));
+            let (l2, r2) = par2_if(
+                work > granularity(),
+                move || aug_filter(l, h),
+                move || aug_filter(r, h),
+            );
+            if keep {
+                join_tree(l2, e, r2)
+            } else {
+                join2(l2, r2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{MaxAug, SumAug};
+    use crate::AugMap;
+
+    type Sum = AugMap<SumAug<u64, u64>>;
+    type Max = AugMap<MaxAug<u64, i64>>;
+
+    #[test]
+    fn aug_left_right_on_empty_yield_identity() {
+        let e = Sum::new();
+        assert_eq!(e.aug_left(&5), 0);
+        assert_eq!(e.aug_right(&5), 0);
+        assert_eq!(e.aug_range(&1, &9), 0);
+        let em = Max::new();
+        assert_eq!(em.aug_left(&5), i64::MIN);
+    }
+
+    #[test]
+    fn aug_left_is_inclusive() {
+        let m = Sum::build(vec![(10, 1), (20, 2), (30, 4)]);
+        assert_eq!(m.aug_left(&9), 0);
+        assert_eq!(m.aug_left(&10), 1); // key 10 included
+        assert_eq!(m.aug_left(&29), 3);
+        assert_eq!(m.aug_left(&30), 7);
+        assert_eq!(m.aug_right(&20), 6); // keys >= 20
+    }
+
+    #[test]
+    fn aug_range_single_key_and_miss() {
+        let m = Sum::build(vec![(10, 1), (20, 2), (30, 4)]);
+        assert_eq!(m.aug_range(&20, &20), 2);
+        assert_eq!(m.aug_range(&11, &19), 0);
+        assert_eq!(m.aug_range(&0, &100), 7);
+    }
+
+    #[test]
+    fn aug_project_respects_homomorphism() {
+        // project sums to their parity: g'(a) = a % 2 is a monoid
+        // homomorphism from (+) to (+ mod 2)
+        let m = Sum::build((0..100u64).map(|i| (i, i)).collect());
+        for (lo, hi) in [(0u64, 99u64), (10, 11), (5, 60)] {
+            let direct = m.aug_range(&lo, &hi) % 2;
+            let proj = m.aug_project(&lo, &hi, |a| a % 2, |x, y| (x + y) % 2, 0);
+            assert_eq!(proj, direct);
+        }
+    }
+
+    #[test]
+    fn aug_filter_on_max_keeps_exactly_matching() {
+        let m = Max::build((0..1000u64).map(|i| (i, (i as i64 * 7919) % 1000)).collect());
+        let kept = m.aug_filter(|&a| a >= 995);
+        assert!(kept.iter().all(|(_, &v)| v >= 995));
+        let brute = m
+            .iter()
+            .filter(|(_, &v)| v >= 995)
+            .map(|(&k, &v)| (k, v))
+            .collect::<Vec<_>>();
+        assert_eq!(kept.to_vec(), brute);
+        // filter that rejects the root aug prunes everything instantly
+        assert!(m.aug_filter(|&a| a > 10_000).is_empty());
+    }
+}

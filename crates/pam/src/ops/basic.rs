@@ -1,0 +1,182 @@
+//! Point queries: `find`, order statistics, neighbors. All O(log n),
+//! borrowing (they never restructure the tree).
+
+use crate::balance::Balance;
+use crate::node::{Node, Tree};
+use crate::spec::AugSpec;
+use std::cmp::Ordering;
+
+/// Look up the value stored at `k`.
+pub fn find<'a, S: AugSpec, B: Balance>(t: &'a Tree<S, B>, k: &S::K) -> Option<&'a S::V> {
+    let mut cur = t;
+    while let Some(n) = cur {
+        match S::compare(k, &n.key) {
+            Ordering::Equal => return Some(&n.val),
+            Ordering::Less => cur = &n.left,
+            Ordering::Greater => cur = &n.right,
+        }
+    }
+    None
+}
+
+/// Is `k` present?
+pub fn contains<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> bool {
+    find(t, k).is_some()
+}
+
+/// The minimum entry.
+pub fn first<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Option<(&S::K, &S::V)> {
+    let mut n: &Node<S, B> = t.as_deref()?;
+    while let Some(l) = n.left.as_deref() {
+        n = l;
+    }
+    Some((&n.key, &n.val))
+}
+
+/// The maximum entry.
+pub fn last<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Option<(&S::K, &S::V)> {
+    let mut n: &Node<S, B> = t.as_deref()?;
+    while let Some(r) = n.right.as_deref() {
+        n = r;
+    }
+    Some((&n.key, &n.val))
+}
+
+/// The entry with the largest key strictly less than `k`.
+pub fn previous<'a, S: AugSpec, B: Balance>(
+    t: &'a Tree<S, B>,
+    k: &S::K,
+) -> Option<(&'a S::K, &'a S::V)> {
+    let mut best: Option<(&S::K, &S::V)> = None;
+    let mut cur = t;
+    while let Some(n) = cur {
+        if S::compare(&n.key, k) == Ordering::Less {
+            best = Some((&n.key, &n.val));
+            cur = &n.right;
+        } else {
+            cur = &n.left;
+        }
+    }
+    best
+}
+
+/// The entry with the smallest key strictly greater than `k`.
+pub fn next<'a, S: AugSpec, B: Balance>(
+    t: &'a Tree<S, B>,
+    k: &S::K,
+) -> Option<(&'a S::K, &'a S::V)> {
+    let mut best: Option<(&S::K, &S::V)> = None;
+    let mut cur = t;
+    while let Some(n) = cur {
+        if S::compare(&n.key, k) == Ordering::Greater {
+            best = Some((&n.key, &n.val));
+            cur = &n.left;
+        } else {
+            cur = &n.right;
+        }
+    }
+    best
+}
+
+/// Number of entries with keys strictly less than `k`.
+pub fn rank<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> usize {
+    let mut acc = 0;
+    let mut cur = t;
+    while let Some(n) = cur {
+        match S::compare(k, &n.key) {
+            Ordering::Less | Ordering::Equal => {
+                if S::compare(k, &n.key) == Ordering::Equal {
+                    return acc + crate::node::size(&n.left);
+                }
+                cur = &n.left;
+            }
+            Ordering::Greater => {
+                acc += crate::node::size(&n.left) + 1;
+                cur = &n.right;
+            }
+        }
+    }
+    acc
+}
+
+/// The `i`-th smallest entry (0-based), if `i < size`.
+pub fn select<S: AugSpec, B: Balance>(t: &Tree<S, B>, mut i: usize) -> Option<(&S::K, &S::V)> {
+    let mut cur = t;
+    while let Some(n) = cur {
+        let ls = crate::node::size(&n.left);
+        match i.cmp(&ls) {
+            Ordering::Less => cur = &n.left,
+            Ordering::Equal => return Some((&n.key, &n.val)),
+            Ordering::Greater => {
+                i -= ls + 1;
+                cur = &n.right;
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::SumAug;
+    use crate::AugMap;
+
+    type M = AugMap<SumAug<u64, u64>>;
+
+    fn m() -> M {
+        M::build(vec![(10, 1), (20, 2), (30, 3), (40, 4)])
+    }
+
+    #[test]
+    fn find_on_empty_and_miss() {
+        let e = M::new();
+        assert_eq!(e.get(&5), None);
+        assert!(!e.contains_key(&5));
+        assert_eq!(m().get(&15), None);
+        assert_eq!(m().get(&20), Some(&2));
+    }
+
+    #[test]
+    fn first_last_on_all_sizes() {
+        assert_eq!(M::new().first(), None);
+        assert_eq!(M::new().last(), None);
+        let s = M::singleton(7, 70);
+        assert_eq!(s.first(), Some((&7, &70)));
+        assert_eq!(s.last(), Some((&7, &70)));
+        assert_eq!(m().first(), Some((&10, &1)));
+        assert_eq!(m().last(), Some((&40, &4)));
+    }
+
+    #[test]
+    fn previous_next_strictness() {
+        let m = m();
+        // strictly-less / strictly-greater semantics
+        assert_eq!(m.previous(&10), None);
+        assert_eq!(m.previous(&11).map(|(k, _)| *k), Some(10));
+        assert_eq!(m.previous(&40).map(|(k, _)| *k), Some(30));
+        assert_eq!(m.next(&40), None);
+        assert_eq!(m.next(&39).map(|(k, _)| *k), Some(40));
+        assert_eq!(m.next(&0).map(|(k, _)| *k), Some(10));
+    }
+
+    #[test]
+    fn rank_counts_strictly_smaller() {
+        let m = m();
+        assert_eq!(m.rank(&5), 0);
+        assert_eq!(m.rank(&10), 0); // key itself not counted
+        assert_eq!(m.rank(&11), 1);
+        assert_eq!(m.rank(&40), 3);
+        assert_eq!(m.rank(&100), 4);
+    }
+
+    #[test]
+    fn select_is_inverse_of_rank() {
+        let m = m();
+        for i in 0..m.len() {
+            let (k, _) = m.select(i).unwrap();
+            assert_eq!(m.rank(k), i);
+        }
+        assert_eq!(m.select(4), None);
+        assert_eq!(M::new().select(0), None);
+    }
+}

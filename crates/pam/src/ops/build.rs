@@ -1,0 +1,233 @@
+//! Bulk construction and bulk updates.
+//!
+//! `build` is the paper's BUILD (Figure 2): parallel sort, combine
+//! duplicates (contiguous after sorting), then a balanced
+//! divide-and-conquer of `join`s. Work O(n log n), span O(log n) given the
+//! sort. `multi_insert`/`multi_delete` recursively partition the sorted
+//! batch around the tree root, descending both sides in parallel — PAM's
+//! mechanism for applying accumulated concurrent updates in bulk (§4,
+//! Concurrency).
+
+use crate::balance::{join_tree, Balance};
+use crate::node::{expose, EntryOwned, Tree};
+use crate::ops::split::join2;
+use crate::spec::AugSpec;
+use parlay::{granularity, par2_if};
+use std::cmp::Ordering;
+
+/// Construct a map from an unsorted sequence of key-value pairs. Values of
+/// duplicate keys are merged left-to-right with `combine` (in input
+/// order, because the sort is stable).
+pub fn build<S, B, F>(mut items: Vec<(S::K, S::V)>, combine: &F) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    F: Fn(&S::V, &S::V) -> S::V + Sync,
+{
+    parlay::par_sort_by(&mut items, |a, b| S::compare(&a.0, &b.0));
+    let items = parlay::combine_duplicates_by(
+        items,
+        |a, b| S::compare(&a.0, &b.0) == Ordering::Equal,
+        |a, b| (a.0.clone(), combine(&a.1, &b.1)),
+    );
+    from_sorted_distinct::<S, B>(&items)
+}
+
+/// Construct a map from a slice already sorted by key with distinct keys.
+/// Work O(n) joins (each O(1) amortized on balanced halves), span O(log n).
+pub fn from_sorted_distinct<S, B>(items: &[(S::K, S::V)]) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+{
+    if items.is_empty() {
+        return None;
+    }
+    debug_assert!(items
+        .windows(2)
+        .all(|w| S::compare(&w[0].0, &w[1].0) == Ordering::Less));
+    build_rec::<S, B>(items)
+}
+
+fn build_rec<S: AugSpec, B: Balance>(items: &[(S::K, S::V)]) -> Tree<S, B> {
+    if items.is_empty() {
+        return None;
+    }
+    let mid = items.len() / 2;
+    let (l, r) = par2_if(
+        items.len() > granularity(),
+        || build_rec::<S, B>(&items[..mid]),
+        || build_rec::<S, B>(&items[mid + 1..]),
+    );
+    join_tree(
+        l,
+        EntryOwned {
+            key: items[mid].0.clone(),
+            val: items[mid].1.clone(),
+            em: B::fresh_entry_meta(),
+        },
+        r,
+    )
+}
+
+/// Insert a whole batch. Existing values are merged with
+/// `combine(old, new)`; duplicate keys within the batch are merged
+/// left-to-right first.
+pub fn multi_insert<S, B, F>(t: Tree<S, B>, mut batch: Vec<(S::K, S::V)>, combine: &F) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    F: Fn(&S::V, &S::V) -> S::V + Sync,
+{
+    parlay::par_sort_by(&mut batch, |a, b| S::compare(&a.0, &b.0));
+    let batch = parlay::combine_duplicates_by(
+        batch,
+        |a, b| S::compare(&a.0, &b.0) == Ordering::Equal,
+        |a, b| (a.0.clone(), combine(&a.1, &b.1)),
+    );
+    multi_insert_sorted::<S, B, F>(t, &batch, combine)
+}
+
+fn multi_insert_sorted<S, B, F>(t: Tree<S, B>, batch: &[(S::K, S::V)], combine: &F) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    F: Fn(&S::V, &S::V) -> S::V + Sync,
+{
+    if batch.is_empty() {
+        return t;
+    }
+    match t {
+        None => from_sorted_distinct::<S, B>(batch),
+        Some(n) => {
+            let work = n.size + batch.len();
+            let (l, e, _m, r) = expose(n);
+            let lo = batch.partition_point(|x| S::compare(&x.0, &e.key) == Ordering::Less);
+            let found = lo < batch.len() && S::compare(&batch[lo].0, &e.key) == Ordering::Equal;
+            let hi = lo + usize::from(found);
+            let (bl, br) = (&batch[..lo], &batch[hi..]);
+            let (l2, r2) = par2_if(
+                work > granularity(),
+                move || multi_insert_sorted::<S, B, F>(l, bl, combine),
+                move || multi_insert_sorted::<S, B, F>(r, br, combine),
+            );
+            let val = if found {
+                combine(&e.val, &batch[lo].1)
+            } else {
+                e.val
+            };
+            join_tree(
+                l2,
+                EntryOwned {
+                    key: e.key,
+                    val,
+                    em: e.em,
+                },
+                r2,
+            )
+        }
+    }
+}
+
+/// Delete a whole batch of keys (absent keys are ignored).
+pub fn multi_delete<S, B>(t: Tree<S, B>, mut keys: Vec<S::K>) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+{
+    parlay::par_sort_by(&mut keys, |a, b| S::compare(a, b));
+    keys.dedup_by(|a, b| S::compare(a, b) == Ordering::Equal);
+    multi_delete_sorted::<S, B>(t, &keys)
+}
+
+fn multi_delete_sorted<S, B>(t: Tree<S, B>, keys: &[S::K]) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+{
+    if keys.is_empty() {
+        return t;
+    }
+    match t {
+        None => None,
+        Some(n) => {
+            let work = n.size + keys.len();
+            let (l, e, _m, r) = expose(n);
+            let lo = keys.partition_point(|x| S::compare(x, &e.key) == Ordering::Less);
+            let found = lo < keys.len() && S::compare(&keys[lo], &e.key) == Ordering::Equal;
+            let hi = lo + usize::from(found);
+            let (kl, kr) = (&keys[..lo], &keys[hi..]);
+            let (l2, r2) = par2_if(
+                work > granularity(),
+                move || multi_delete_sorted::<S, B>(l, kl),
+                move || multi_delete_sorted::<S, B>(r, kr),
+            );
+            if found {
+                join2(l2, r2)
+            } else {
+                join_tree(l2, e, r2)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::SumAug;
+    use crate::AugMap;
+
+    type M = AugMap<SumAug<u64, u64>>;
+
+    #[test]
+    fn build_with_combines_in_input_order() {
+        // non-commutative combine proves left-to-right merging
+        let m: AugMap<crate::spec::SumAug<u64, u64>> =
+            AugMap::build_with(vec![(1, 3), (1, 4), (1, 5)], |a, b| a * 10 + b);
+        assert_eq!(m.get(&1), Some(&345));
+    }
+
+    #[test]
+    fn from_sorted_distinct_matches_build() {
+        let sorted: Vec<(u64, u64)> = (0..1000u64).map(|i| (i * 2, i)).collect();
+        let a = M::from_sorted_distinct(&sorted);
+        let b = M::build(sorted.clone());
+        assert_eq!(a.to_vec(), b.to_vec());
+        a.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn multi_insert_on_empty_builds() {
+        let mut m = M::new();
+        m.multi_insert(vec![(3, 30), (1, 10), (2, 20)]);
+        assert_eq!(m.to_vec(), vec![(1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn multi_insert_batch_duplicates_merge_first() {
+        let mut m = M::singleton(5, 100);
+        // batch has duplicate key 5 twice: merged left-to-right, then
+        // combined with the existing value
+        m.multi_insert_with(vec![(5, 1), (5, 2)], |old, new| old + new);
+        assert_eq!(m.get(&5), Some(&103));
+    }
+
+    #[test]
+    fn multi_delete_ignores_missing() {
+        let mut m = M::build((0..100u64).map(|i| (i, i)).collect());
+        m.multi_delete(vec![5, 5, 50, 500, 5000]);
+        assert_eq!(m.len(), 98);
+        assert!(!m.contains_key(&5));
+        assert!(!m.contains_key(&50));
+        m.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn empty_batches_are_noops() {
+        let mut m = M::build(vec![(1, 1)]);
+        m.multi_insert(vec![]);
+        m.multi_delete(vec![]);
+        assert_eq!(m.len(), 1);
+        let e = M::build(vec![]);
+        assert!(e.is_empty());
+    }
+}

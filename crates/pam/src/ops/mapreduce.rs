@@ -1,0 +1,217 @@
+//! `mapReduce`, structure-preserving `map_values`, and parallel flattening.
+
+use crate::balance::Balance;
+use crate::node::{size, EntryOwned, Node, Tree};
+use crate::spec::AugSpec;
+use parlay::{granularity, par2_if, par_fill};
+use std::mem::MaybeUninit;
+
+/// The paper's `mapReduce(g', f', I', m)`: apply `map` to every entry and
+/// fold the results with the associative `reduce` (identity `id`).
+/// Linear work, O(log n) span.
+pub fn map_reduce<S, B, T, M, R>(t: &Tree<S, B>, map: &M, reduce: &R, id: T) -> T
+where
+    S: AugSpec,
+    B: Balance,
+    T: Send,
+    M: Fn(&S::K, &S::V) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    match rec(t, map, reduce) {
+        Some(v) => v,
+        None => id,
+    }
+}
+
+fn rec<S, B, T, M, R>(t: &Tree<S, B>, map: &M, reduce: &R) -> Option<T>
+where
+    S: AugSpec,
+    B: Balance,
+    T: Send,
+    M: Fn(&S::K, &S::V) -> T + Sync,
+    R: Fn(T, T) -> T + Sync,
+{
+    let n = t.as_deref()?;
+    let mid = map(&n.key, &n.val);
+    let (l, r) = par2_if(
+        n.size > granularity(),
+        || rec(&n.left, map, reduce),
+        || rec(&n.right, map, reduce),
+    );
+    let lm = match l {
+        Some(l) => reduce(l, mid),
+        None => mid,
+    };
+    Some(match r {
+        Some(r) => reduce(lm, r),
+        None => lm,
+    })
+}
+
+/// Rebuild the map with values transformed by `f`, preserving the tree
+/// *shape* (and therefore the balance metadata) while recomputing the
+/// augmented values under the target spec `S2`. The key type and order
+/// must be unchanged. Linear work, O(log n) span.
+pub fn map_values<S, S2, B, F>(t: &Tree<S, B>, f: &F) -> Tree<S2, B>
+where
+    S: AugSpec,
+    S2: AugSpec<K = S::K>,
+    B: Balance,
+    F: Fn(&S::K, &S::V) -> S2::V + Sync,
+{
+    let n: &Node<S, B> = t.as_deref()?;
+    let (l, r) = par2_if(
+        n.size > granularity(),
+        || map_values::<S, S2, B, F>(&n.left, f),
+        || map_values::<S, S2, B, F>(&n.right, f),
+    );
+    // Same shape + same balance scheme => reusing `meta`/`em` verbatim is
+    // valid for every scheme (heights, colors, priorities only depend on
+    // structure / entry identity).
+    Some(Node::make(
+        l,
+        EntryOwned {
+            key: n.key.clone(),
+            val: f(&n.key, &n.val),
+            em: n.em,
+        },
+        n.meta,
+        r,
+    ))
+}
+
+/// Filter-and-map in one pass: rebuild the map keeping only entries for
+/// which `f` returns `Some`, with transformed values under spec `S2`.
+/// Linear work, O(log² n) span (join-based, like `filter`).
+pub fn filter_map_values<S, S2, B, F>(t: &Tree<S, B>, f: &F) -> Tree<S2, B>
+where
+    S: AugSpec,
+    S2: AugSpec<K = S::K>,
+    B: Balance,
+    F: Fn(&S::K, &S::V) -> Option<S2::V> + Sync,
+{
+    let n: &Node<S, B> = t.as_deref()?;
+    let kept = f(&n.key, &n.val);
+    let (l, r) = par2_if(
+        n.size > granularity(),
+        || filter_map_values::<S, S2, B, F>(&n.left, f),
+        || filter_map_values::<S, S2, B, F>(&n.right, f),
+    );
+    match kept {
+        Some(val) => Some(B::join(
+            l,
+            EntryOwned {
+                key: n.key.clone(),
+                val,
+                em: n.em,
+            },
+            r,
+        )),
+        None => crate::ops::split::join2(l, r),
+    }
+}
+
+/// Flatten to a sorted `Vec<(K, V)>` in parallel.
+pub fn to_vec<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<(S::K, S::V)> {
+    par_fill(size(t), |out| fill_entries(t, out))
+}
+
+fn fill_entries<S: AugSpec, B: Balance>(
+    t: &Tree<S, B>,
+    out: &mut [MaybeUninit<(S::K, S::V)>],
+) {
+    if let Some(n) = t.as_deref() {
+        let ls = size(&n.left);
+        let (lo, rest) = out.split_at_mut(ls);
+        let (mid, ro) = rest.split_at_mut(1);
+        mid[0] = MaybeUninit::new((n.key.clone(), n.val.clone()));
+        par2_if(
+            n.size > granularity(),
+            || fill_entries(&n.left, lo),
+            || fill_entries(&n.right, ro),
+        );
+    }
+}
+
+/// The keys, in order, in parallel.
+pub fn keys<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<S::K> {
+    par_fill(size(t), |out| fill_keys(t, out))
+}
+
+fn fill_keys<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<S::K>]) {
+    if let Some(n) = t.as_deref() {
+        let ls = size(&n.left);
+        let (lo, rest) = out.split_at_mut(ls);
+        let (mid, ro) = rest.split_at_mut(1);
+        mid[0] = MaybeUninit::new(n.key.clone());
+        par2_if(
+            n.size > granularity(),
+            || fill_keys(&n.left, lo),
+            || fill_keys(&n.right, ro),
+        );
+    }
+}
+
+/// The values, in key order, in parallel.
+pub fn values<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<S::V> {
+    par_fill(size(t), |out| fill_vals(t, out))
+}
+
+fn fill_vals<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<S::V>]) {
+    if let Some(n) = t.as_deref() {
+        let ls = size(&n.left);
+        let (lo, rest) = out.split_at_mut(ls);
+        let (mid, ro) = rest.split_at_mut(1);
+        mid[0] = MaybeUninit::new(n.val.clone());
+        par2_if(
+            n.size > granularity(),
+            || fill_vals(&n.left, lo),
+            || fill_vals(&n.right, ro),
+        );
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::{NoAug, SumAug};
+    use crate::AugMap;
+
+    type M = AugMap<SumAug<u64, u64>>;
+
+    #[test]
+    fn map_reduce_identity_on_empty() {
+        assert_eq!(M::new().map_reduce(|_, &v| v, |a, b| a + b, 42), 42);
+    }
+
+    #[test]
+    fn map_reduce_non_commutative_reduce_sees_in_order() {
+        // concatenate keys: requires in-order association
+        let m: AugMap<NoAug<u8, u8>> =
+            AugMap::build(vec![(3, 0), (1, 0), (2, 0)]);
+        let s = m.map_reduce(
+            |k, _| k.to_string(),
+            |a, b| format!("{a}{b}"),
+            String::new(),
+        );
+        assert_eq!(s, "123");
+    }
+
+    #[test]
+    fn map_values_preserves_shape_and_recomputes_aug() {
+        let m = M::build((0..300u64).map(|i| (i, 1)).collect());
+        let doubled: M = m.map_values(|_, &v| v * 2);
+        doubled.check_invariants().unwrap();
+        assert_eq!(doubled.aug_val(), 600);
+        assert_eq!(doubled.len(), 300);
+    }
+
+    #[test]
+    fn to_vec_keys_values_agree() {
+        let m = M::build(vec![(5, 50), (1, 10), (9, 90)]);
+        assert_eq!(m.to_vec(), vec![(1, 10), (5, 50), (9, 90)]);
+        assert_eq!(m.keys(), vec![1, 5, 9]);
+        assert_eq!(m.values(), vec![10, 50, 90]);
+        assert!(M::new().to_vec().is_empty());
+    }
+}

@@ -1,0 +1,101 @@
+//! Range extraction: `up_to`, `down_to`, `range` — O(log n) each, returning
+//! persistent sub-maps that share structure with the input.
+
+use crate::balance::{join_tree, Balance};
+use crate::node::{expose, Tree};
+use crate::spec::AugSpec;
+use std::cmp::Ordering;
+
+/// Entries with keys `<= k`.
+pub fn up_to<S: AugSpec, B: Balance>(t: Tree<S, B>, k: &S::K) -> Tree<S, B> {
+    match t {
+        None => None,
+        Some(n) => {
+            let (l, e, _m, r) = expose(n);
+            if S::compare(&e.key, k) == Ordering::Greater {
+                up_to(l, k)
+            } else {
+                join_tree(l, e, up_to(r, k))
+            }
+        }
+    }
+}
+
+/// Entries with keys `>= k`.
+pub fn down_to<S: AugSpec, B: Balance>(t: Tree<S, B>, k: &S::K) -> Tree<S, B> {
+    match t {
+        None => None,
+        Some(n) => {
+            let (l, e, _m, r) = expose(n);
+            if S::compare(&e.key, k) == Ordering::Less {
+                down_to(r, k)
+            } else {
+                join_tree(down_to(l, k), e, r)
+            }
+        }
+    }
+}
+
+/// Entries with keys in the inclusive range `[lo, hi]` (the paper's
+/// `range(m, k1, k2)`).
+pub fn range<S: AugSpec, B: Balance>(t: Tree<S, B>, lo: &S::K, hi: &S::K) -> Tree<S, B> {
+    match t {
+        None => None,
+        Some(n) => {
+            if S::compare(&n.key, lo) == Ordering::Less {
+                let (_l, _e, _m, r) = expose(n);
+                range(r, lo, hi)
+            } else if S::compare(&n.key, hi) == Ordering::Greater {
+                let (l, _e, _m, _r) = expose(n);
+                range(l, lo, hi)
+            } else {
+                // lo <= key <= hi: keep root, trim both sides.
+                let (l, e, _m, r) = expose(n);
+                join_tree(down_to(l, lo), e, up_to(r, hi))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::spec::SumAug;
+    use crate::AugMap;
+
+    type M = AugMap<SumAug<u64, u64>>;
+
+    fn m() -> M {
+        M::build((0..100u64).map(|i| (i * 10, i)).collect())
+    }
+
+    #[test]
+    fn up_to_down_to_inclusive() {
+        let m = m();
+        assert_eq!(m.up_to(&500).len(), 51); // keys 0..=500
+        assert_eq!(m.up_to(&505).len(), 51);
+        assert_eq!(m.up_to(&0).len(), 1);
+        assert_eq!(m.down_to(&500).len(), 50); // keys 500..=990
+        assert_eq!(m.down_to(&991).len(), 0);
+        assert_eq!(m.down_to(&0).len(), 100);
+    }
+
+    #[test]
+    fn range_boundaries_and_empty() {
+        let m = m();
+        assert_eq!(m.range(&0, &990).len(), 100);
+        assert_eq!(m.range(&500, &500).len(), 1);
+        assert_eq!(m.range(&501, &509).len(), 0);
+        assert_eq!(m.range(&990, &0).len(), 0); // inverted
+        assert_eq!(M::new().range(&1, &5).len(), 0);
+    }
+
+    #[test]
+    fn extracted_ranges_are_valid_and_share() {
+        let m = m();
+        let r = m.range(&200, &700);
+        r.check_invariants().unwrap();
+        // structure sharing: most of the nodes come from the source
+        let (total, shared) = crate::stats::shared_with(r.root(), &[m.root()]);
+        assert!(shared * 2 > total, "{shared}/{total}");
+    }
+}

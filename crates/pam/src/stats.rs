@@ -1,0 +1,64 @@
+//! Space accounting (for the Table 4 reproduction).
+//!
+//! Persistence via path copying means trees *share* nodes: the union of a
+//! large and a small map reuses most of the large map's nodes. These
+//! helpers measure that sharing exactly, by walking reachable nodes and
+//! deduplicating on their addresses — no global allocation counters, so
+//! the hot paths stay untouched.
+
+use crate::balance::Balance;
+use crate::node::{Node, Tree};
+use crate::spec::AugSpec;
+use std::collections::HashSet;
+
+/// Size in bytes of one tree node for this spec/scheme (excluding the two
+/// `Arc` refcount words, which add 16 bytes per heap allocation).
+pub fn node_size<S: AugSpec, B: Balance>() -> usize {
+    std::mem::size_of::<Node<S, B>>()
+}
+
+fn collect<S: AugSpec, B: Balance>(t: &Tree<S, B>, seen: &mut HashSet<*const Node<S, B>>) {
+    let mut stack: Vec<&Node<S, B>> = Vec::new();
+    if let Some(n) = t.as_deref() {
+        stack.push(n);
+    }
+    while let Some(n) = stack.pop() {
+        if !seen.insert(n as *const _) {
+            continue; // subtree already counted (shared)
+        }
+        if let Some(l) = n.left.as_deref() {
+            stack.push(l);
+        }
+        if let Some(r) = n.right.as_deref() {
+            stack.push(r);
+        }
+    }
+}
+
+/// Number of *distinct* nodes reachable from any of `roots` (shared nodes
+/// counted once).
+pub fn unique_nodes<S: AugSpec, B: Balance>(roots: &[&Tree<S, B>]) -> usize {
+    let mut seen = HashSet::new();
+    for t in roots {
+        collect(t, &mut seen);
+    }
+    seen.len()
+}
+
+/// How many of `result`'s nodes are shared with (reachable from) `inputs`?
+///
+/// `unique - shared` is the number of freshly allocated nodes the
+/// operation producing `result` had to create.
+pub fn shared_with<S: AugSpec, B: Balance>(
+    result: &Tree<S, B>,
+    inputs: &[&Tree<S, B>],
+) -> (usize, usize) {
+    let mut input_nodes = HashSet::new();
+    for t in inputs {
+        collect(t, &mut input_nodes);
+    }
+    let mut result_nodes = HashSet::new();
+    collect(result, &mut result_nodes);
+    let shared = result_nodes.iter().filter(|p| input_nodes.contains(*p)).count();
+    (result_nodes.len(), shared)
+}

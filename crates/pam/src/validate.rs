@@ -1,0 +1,70 @@
+//! Invariant checking for tests and property tests.
+//!
+//! [`check_tree`] verifies, for every node:
+//!
+//! 1. **order** — in-order keys strictly increase under `S::compare`;
+//! 2. **size** — the cached subtree size is correct;
+//! 3. **augmentation** — the stored augmented value equals
+//!    `f(g(k1,v1), ..., g(kn,vn))` recomputed from scratch;
+//! 4. **balance** — the scheme's local invariant holds ([`Balance::local_ok`]).
+
+use crate::balance::Balance;
+use crate::node::{Node, Tree};
+use crate::spec::AugSpec;
+use std::cmp::Ordering;
+
+/// Check all structural invariants of `t`; returns a description of the
+/// first violation found.
+pub fn check_tree<S, B>(t: &Tree<S, B>) -> Result<(), String>
+where
+    S: AugSpec,
+    S::A: PartialEq + std::fmt::Debug,
+    B: Balance,
+{
+    // order
+    let mut prev: Option<&S::K> = None;
+    for (k, _) in crate::iter::Iter::new(t) {
+        if let Some(p) = prev {
+            if S::compare(p, k) != Ordering::Less {
+                return Err("keys not strictly increasing".into());
+            }
+        }
+        prev = Some(k);
+    }
+    // size / aug / balance
+    rec(t).map(|_| ())
+}
+
+fn rec<S, B>(t: &Tree<S, B>) -> Result<(usize, Option<S::A>), String>
+where
+    S: AugSpec,
+    S::A: PartialEq + std::fmt::Debug,
+    B: Balance,
+{
+    let n: &Node<S, B> = match t.as_deref() {
+        None => return Ok((0, None)),
+        Some(n) => n,
+    };
+    let (ls, laug) = rec(&n.left)?;
+    let (rs, raug) = rec(&n.right)?;
+    if n.size != ls + rs + 1 {
+        return Err(format!("size mismatch: stored {} != {}", n.size, ls + rs + 1));
+    }
+    let mid = S::base(&n.key, &n.val);
+    let expect = match (laug, raug) {
+        (None, None) => mid,
+        (Some(l), None) => S::combine(&l, &mid),
+        (None, Some(r)) => S::combine(&mid, &r),
+        (Some(l), Some(r)) => S::combine(&l, &S::combine(&mid, &r)),
+    };
+    if n.aug != expect {
+        return Err(format!(
+            "augmented value mismatch: stored {:?} != recomputed {:?}",
+            n.aug, expect
+        ));
+    }
+    if !B::local_ok(n) {
+        return Err(format!("{} balance invariant violated", B::NAME));
+    }
+    Ok((n.size, Some(n.aug.clone())))
+}

@@ -1,0 +1,161 @@
+//! Tests for the extension operations beyond the paper's core interface:
+//! rank splitting, value updates, filter-map, the footnote-3 filter
+//! optimization, and generic best-first top-k.
+
+use pam::{AugMap, MaxAug, MinAug, SumAug};
+use std::collections::BTreeMap;
+
+type Sum = AugMap<SumAug<u64, u64>>;
+
+fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e3779b97f4a7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
+    x ^ (x >> 31)
+}
+
+fn sample(n: u64) -> Vec<(u64, u64)> {
+    (0..n).map(|i| (hash64(i) % (n * 3), i % 1000)).collect()
+}
+
+#[test]
+fn split_rank_partitions_by_index() {
+    let m = Sum::build(sample(5000));
+    let all = m.to_vec();
+    for i in [0usize, 1, 7, all.len() / 2, all.len() - 1, all.len(), all.len() + 5] {
+        let (lo, hi) = m.split_rank(i);
+        lo.check_invariants().unwrap();
+        hi.check_invariants().unwrap();
+        let cut = i.min(all.len());
+        assert_eq!(lo.to_vec(), &all[..cut]);
+        assert_eq!(hi.to_vec(), &all[cut..]);
+    }
+}
+
+#[test]
+fn split_returns_value_and_strict_halves() {
+    let m = Sum::build(vec![(1, 10), (5, 50), (9, 90)]);
+    let (lo, v, hi) = m.split(&5);
+    assert_eq!(v, Some(50));
+    assert_eq!(lo.to_vec(), vec![(1, 10)]);
+    assert_eq!(hi.to_vec(), vec![(9, 90)]);
+    let (lo, v, hi) = m.split(&6);
+    assert_eq!(v, None);
+    assert_eq!(lo.len(), 2);
+    assert_eq!(hi.len(), 1);
+    // the source is untouched (splits are persistent)
+    assert_eq!(m.len(), 3);
+}
+
+#[test]
+fn update_modifies_or_removes() {
+    let mut m = Sum::build(vec![(1, 10), (2, 20), (3, 30)]);
+    m.update(&2, |v| Some(v + 5));
+    assert_eq!(m.get(&2), Some(&25));
+    m.update(&2, |_| None);
+    assert_eq!(m.get(&2), None);
+    assert_eq!(m.len(), 2);
+    m.update(&99, |_| Some(1)); // absent: no-op
+    assert_eq!(m.len(), 2);
+    m.check_invariants().unwrap();
+    assert_eq!(m.aug_val(), 40); // 10 + 30
+}
+
+#[test]
+fn filter_map_values_transforms_and_drops() {
+    let m = Sum::build(sample(3000));
+    let out: AugMap<MaxAug<u64, u64>> =
+        m.filter_map_values(|k, &v| (k % 2 == 0).then_some(v * 2));
+    out.check_invariants().unwrap();
+    let want: Vec<(u64, u64)> = m
+        .to_vec()
+        .into_iter()
+        .filter(|&(k, _)| k % 2 == 0)
+        .map(|(k, v)| (k, v * 2))
+        .collect();
+    assert_eq!(out.to_vec(), want);
+}
+
+#[test]
+fn aug_filter_with_all_equals_plain_aug_filter() {
+    // (min, max) pair augmentation allows both the "none below" prune
+    // and the "all below" keep-whole shortcut.
+    use pam::AugSpec;
+    struct MinMax;
+    impl AugSpec for MinMax {
+        type K = u64;
+        type V = u64;
+        type A = (u64, u64); // (min, max) of values
+        fn compare(a: &u64, b: &u64) -> std::cmp::Ordering {
+            a.cmp(b)
+        }
+        fn identity() -> (u64, u64) {
+            (u64::MAX, u64::MIN)
+        }
+        fn base(_: &u64, v: &u64) -> (u64, u64) {
+            (*v, *v)
+        }
+        fn combine(a: &(u64, u64), b: &(u64, u64)) -> (u64, u64) {
+            (a.0.min(b.0), a.1.max(b.1))
+        }
+    }
+    let pairs = sample(4000);
+    let m: AugMap<MinMax> = AugMap::build(pairs);
+    let theta = 600u64;
+    let fast = m.aug_filter_with_all(|&(_, max)| max > theta, |&(min, _)| min > theta);
+    let slow = m.clone().filter(|_, &v| v > theta);
+    assert_eq!(fast.to_vec(), slow.to_vec());
+    fast.check_invariants().unwrap();
+
+    // whole-map shortcut: everything matches => same root shared
+    let all = m.aug_filter_with_all(|_| true, |_| true);
+    assert!(all.ptr_eq(&m));
+    // nothing matches => empty
+    let none = m.aug_filter_with_all(|_| false, |_| false);
+    assert!(none.is_empty());
+}
+
+#[test]
+fn top_k_by_on_min_augmentation() {
+    // bottom-k via MinAug with reversed ordering
+    let pairs = sample(2000);
+    let m: AugMap<MinAug<u64, u64>> = AugMap::build(pairs);
+    let got = m.top_k_by(
+        10,
+        |&a| std::cmp::Reverse(a),
+        |_, &v| std::cmp::Reverse(v),
+    );
+    let mut vals: Vec<u64> = m.values();
+    vals.sort_unstable();
+    let got_vals: Vec<u64> = got.iter().map(|&(_, &v)| v).collect();
+    assert_eq!(got_vals, vals[..10].to_vec());
+}
+
+#[test]
+fn extensions_compose_with_model() {
+    // split_rank + union roundtrip, update sequences vs oracle
+    let mut m = Sum::build(sample(2000));
+    let mut oracle: BTreeMap<u64, u64> = m.to_vec().into_iter().collect();
+    for i in 0..500u64 {
+        let k = hash64(i * 7) % 6000;
+        match i % 3 {
+            0 => {
+                m.update(&k, |v| Some(v + 1));
+                oracle.entry(k).and_modify(|v| *v += 1);
+            }
+            1 => {
+                m.update(&k, |_| None);
+                oracle.remove(&k);
+            }
+            _ => {
+                let (lo, hi) = m.split_rank(m.len() / 2);
+                m = lo.union_with(hi, |_, _| unreachable!("disjoint"));
+            }
+        }
+    }
+    m.check_invariants().unwrap();
+    assert_eq!(
+        m.to_vec(),
+        oracle.iter().map(|(&k, &v)| (k, v)).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,105 @@
+//! Persistence and node-sharing tests: the behaviour Table 4 of the paper
+//! quantifies.
+
+use pam::stats::{node_size, shared_with, unique_nodes};
+use pam::{AugMap, NoAug, SumAug, WeightBalanced};
+
+type M = AugMap<SumAug<u64, u64>, WeightBalanced>;
+
+#[test]
+fn snapshots_survive_heavy_mutation() {
+    let mut m = M::build((0..10_000u64).map(|i| (i, i)).collect());
+    let snap = m.clone();
+    let snap_vec = snap.to_vec();
+    for i in 0..5_000u64 {
+        m.remove(&(i * 2));
+        m.insert(1_000_000 + i, 1);
+    }
+    assert_eq!(snap.to_vec(), snap_vec);
+    snap.check_invariants().unwrap();
+    m.check_invariants().unwrap();
+}
+
+#[test]
+fn union_shares_nodes_with_larger_input() {
+    // Table 4's headline: union of 10^8 with 10^5 re-uses ~half the
+    // larger tree's nodes. Shape check at 10^5 vs 10^2.
+    let big = M::build((0..100_000u64).map(|i| (i * 2, 1)).collect());
+    let small = M::build((0..100u64).map(|i| (i * 1001, 1)).collect());
+    let before = unique_nodes(&[big.root()]);
+    let out = big.clone().union_with(small, |a, b| a + b);
+    let (total, shared) = shared_with(out.root(), &[big.root()]);
+    assert_eq!(total, out.len()); // distinct keys -> distinct nodes
+    // most nodes must be shared: only the paths to ~100 keys are copied
+    assert!(
+        shared * 10 > before * 9,
+        "expected >90% sharing, got {shared}/{before}"
+    );
+}
+
+#[test]
+fn equal_size_union_shares_little() {
+    // When the inputs interleave fully, nearly every node is rebuilt.
+    let a = M::build((0..20_000u64).map(|i| (i * 2, 1)).collect());
+    let b = M::build((0..20_000u64).map(|i| (i * 2 + 1, 1)).collect());
+    let (total, shared) = shared_with(
+        a.clone().union_with(b.clone(), |x, y| x + y).root(),
+        &[a.root(), b.root()],
+    );
+    // interleaving forces most of the output to be fresh
+    assert!(
+        shared * 2 < total,
+        "expected <50% sharing, got {shared}/{total}"
+    );
+}
+
+#[test]
+fn range_extraction_shares_with_source() {
+    let m = M::build((0..50_000u64).map(|i| (i, i)).collect());
+    let r = m.range(&10_000, &40_000);
+    let (total, shared) = shared_with(r.root(), &[m.root()]);
+    assert_eq!(total, r.len());
+    // a contiguous range reuses all interior subtrees except the two
+    // boundary spines
+    assert!(shared * 10 > total * 9, "got {shared}/{total}");
+}
+
+#[test]
+fn augmentation_space_overhead_matches_paper_shape() {
+    // Paper: 48B vs 40B per node (+20%) for u64 keys/values.
+    let with_aug = node_size::<SumAug<u64, u64>, WeightBalanced>();
+    let without = node_size::<NoAug<u64, u64>, WeightBalanced>();
+    assert_eq!(with_aug - without, 8, "aug adds exactly one u64");
+    assert!(with_aug <= 64, "node should stay within a cache line: {with_aug}");
+}
+
+#[test]
+fn ptr_eq_detects_sharing() {
+    let m = M::build((0..100u64).map(|i| (i, i)).collect());
+    let snap = m.clone();
+    assert!(m.ptr_eq(&snap));
+    let changed = {
+        let mut c = m.clone();
+        c.insert(1000, 1);
+        c
+    };
+    assert!(!m.ptr_eq(&changed));
+}
+
+#[test]
+fn par_drop_releases_unique_tree() {
+    let m = M::build((0..200_000u64).map(|i| (i, i)).collect());
+    m.par_drop(); // must not deadlock/crash; Miri-style checks in CI
+}
+
+#[cfg(not(feature = "no-reuse"))]
+#[test]
+fn unique_trees_mutate_without_copying_everything() {
+    // With the reuse optimization, inserting into a uniquely-owned tree
+    // allocates only the path, so total unique nodes stay ~n.
+    let mut m = M::build((0..10_000u64).map(|i| (i, i)).collect());
+    for i in 0..1000u64 {
+        m.insert(20_000 + i, 1);
+    }
+    assert_eq!(unique_nodes(&[m.root()]), m.len());
+}

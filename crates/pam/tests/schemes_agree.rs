@@ -1,0 +1,127 @@
+//! Cross-scheme agreement: the same operation sequence must produce the
+//! same *map* (entries and augmented values) under every balancing
+//! scheme — the strongest form of §4's claim that balancing is fully
+//! abstracted behind `join`.
+
+use pam::{AugMap, Avl, Balance, RedBlack, SumAug, Treap, WeightBalanced};
+use proptest::prelude::*;
+
+type Spec = SumAug<u32, u64>;
+
+#[derive(Debug, Clone)]
+enum Op {
+    Insert(u32, u64),
+    Remove(u32),
+    UnionWith(Vec<(u32, u64)>),
+    Filter(u32),
+    Range(u32, u32),
+    MultiDelete(Vec<u32>),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u32..200, 0u64..500).prop_map(|(k, v)| Op::Insert(k, v)),
+        (0u32..200).prop_map(Op::Remove),
+        proptest::collection::vec((0u32..200, 0u64..500), 0..30).prop_map(Op::UnionWith),
+        (1u32..6).prop_map(Op::Filter),
+        (0u32..200, 0u32..200).prop_map(|(a, b)| Op::Range(a.min(b), a.max(b))),
+        proptest::collection::vec(0u32..200, 0..20).prop_map(Op::MultiDelete),
+    ]
+}
+
+fn apply<B: Balance>(m: AugMap<Spec, B>, op: &Op) -> AugMap<Spec, B> {
+    let mut m = m;
+    match op {
+        Op::Insert(k, v) => {
+            m.insert(*k, *v);
+            m
+        }
+        Op::Remove(k) => {
+            m.remove(k);
+            m
+        }
+        Op::UnionWith(ps) => {
+            let other: AugMap<Spec, B> = AugMap::build(ps.clone());
+            m.union_with(other, |a, b| a.wrapping_add(*b))
+        }
+        Op::Filter(d) => {
+            let d = *d;
+            m.filter(move |k, _| k % d != 0)
+        }
+        Op::Range(lo, hi) => m.range(lo, hi),
+        Op::MultiDelete(ks) => {
+            m.multi_delete(ks.clone());
+            m
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn all_schemes_agree(
+        init in proptest::collection::vec((0u32..200, 0u64..500), 0..80),
+        ops in proptest::collection::vec(op_strategy(), 1..20),
+    ) {
+        let mut wb: AugMap<Spec, WeightBalanced> = AugMap::build(init.clone());
+        let mut avl: AugMap<Spec, Avl> = AugMap::build(init.clone());
+        let mut rb: AugMap<Spec, RedBlack> = AugMap::build(init.clone());
+        let mut tr: AugMap<Spec, Treap> = AugMap::build(init);
+        for op in &ops {
+            wb = apply(wb, op);
+            avl = apply(avl, op);
+            rb = apply(rb, op);
+            tr = apply(tr, op);
+            let expect = wb.to_vec();
+            prop_assert_eq!(avl.to_vec(), expect.clone(), "avl diverged on {:?}", op);
+            prop_assert_eq!(rb.to_vec(), expect.clone(), "red-black diverged on {:?}", op);
+            prop_assert_eq!(tr.to_vec(), expect.clone(), "treap diverged on {:?}", op);
+            prop_assert_eq!(avl.aug_val(), wb.aug_val());
+            prop_assert_eq!(rb.aug_val(), wb.aug_val());
+            prop_assert_eq!(tr.aug_val(), wb.aug_val());
+        }
+        wb.check_invariants().unwrap();
+        avl.check_invariants().unwrap();
+        rb.check_invariants().unwrap();
+        tr.check_invariants().unwrap();
+    }
+
+    #[test]
+    fn aug_queries_agree_across_schemes(
+        init in proptest::collection::vec((0u32..500, 0u64..1000), 1..150),
+        probes in proptest::collection::vec((0u32..520, 0u32..520), 1..15),
+    ) {
+        let wb: AugMap<Spec, WeightBalanced> = AugMap::build(init.clone());
+        let avl: AugMap<Spec, Avl> = AugMap::build(init.clone());
+        let rb: AugMap<Spec, RedBlack> = AugMap::build(init.clone());
+        let tr: AugMap<Spec, Treap> = AugMap::build(init);
+        for (a, b) in probes {
+            let (lo, hi) = (a.min(b), a.max(b));
+            let expect = wb.aug_range(&lo, &hi);
+            prop_assert_eq!(avl.aug_range(&lo, &hi), expect);
+            prop_assert_eq!(rb.aug_range(&lo, &hi), expect);
+            prop_assert_eq!(tr.aug_range(&lo, &hi), expect);
+            prop_assert_eq!(avl.rank(&a), wb.rank(&a));
+            prop_assert_eq!(rb.rank(&a), wb.rank(&a));
+            prop_assert_eq!(tr.rank(&a), wb.rank(&a));
+        }
+    }
+}
+
+#[test]
+fn iterator_is_exact_size_and_sorted() {
+    let m: AugMap<Spec, WeightBalanced> =
+        AugMap::build((0..1000u32).map(|i| ((i * 7) % 1001, i as u64)).collect());
+    let it = m.iter();
+    assert_eq!(it.len(), m.len());
+    let keys: Vec<u32> = m.iter().map(|(&k, _)| k).collect();
+    assert!(keys.windows(2).all(|w| w[0] < w[1]));
+    // size_hint stays consistent while consuming
+    let mut it = m.iter();
+    for consumed in 0..m.len() {
+        assert_eq!(it.size_hint(), (m.len() - consumed, Some(m.len() - consumed)));
+        it.next();
+    }
+    assert_eq!(it.next(), None);
+}

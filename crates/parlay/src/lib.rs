@@ -1,0 +1,31 @@
+//! # parlay — parallel primitives substrate
+//!
+//! This crate is the stand-in for the runtime substrate that the PAM paper
+//! takes as given: the Cilk Plus fork-join runtime plus the PBBS-style
+//! utility library (parallel sorting, duplicate removal, prefix sums).
+//!
+//! The fork-join *scheduler* itself is provided by [`rayon`] (the idiomatic
+//! Rust equivalent of Cilk's work-stealing scheduler); everything
+//! *algorithmic* — the parallel merge sort, the parallel merge, prefix
+//! sums, packing, and combining duplicates in sorted runs — is implemented
+//! here from scratch, exactly the pieces PAM's `build` and `multi_insert`
+//! rely on.
+//!
+//! All entry points degrade gracefully to their sequential counterparts
+//! below a tunable granularity threshold (see [`granularity`] /
+//! [`set_granularity`]), mirroring PAM's "granularity set so parallelism is
+//! not used on very small trees".
+
+mod dedup;
+mod merge;
+mod par;
+mod scan;
+mod sort;
+mod uninit;
+
+pub use dedup::{combine_duplicates, combine_duplicates_by};
+pub use merge::{merge_by, par_merge_into};
+pub use par::{granularity, par2, par2_if, set_granularity, with_threads};
+pub use scan::{pack, pack_index, scan_inclusive, sum_u64};
+pub use sort::{par_merge_sort_by, par_sort_by, par_sort_unstable_by};
+pub use uninit::par_fill;

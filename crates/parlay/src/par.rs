@@ -1,0 +1,109 @@
+//! Fork-join helpers and granularity control.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Default sequential-fallback threshold (number of elements / tree nodes).
+///
+/// PAM sets "a granularity so parallelism is not used on very small trees";
+/// 2^11 is a good default for ~100ns-per-element workloads.
+const DEFAULT_GRANULARITY: usize = 1 << 11;
+
+static GRANULARITY: AtomicUsize = AtomicUsize::new(DEFAULT_GRANULARITY);
+
+/// Current fork-join granularity: recursive algorithms run sequentially on
+/// inputs smaller than this.
+#[inline]
+pub fn granularity() -> usize {
+    GRANULARITY.load(Ordering::Relaxed)
+}
+
+/// Set the fork-join granularity (used by the granularity-sweep ablation
+/// bench). Affects all subsequent parallel calls process-wide.
+pub fn set_granularity(g: usize) {
+    GRANULARITY.store(g.max(1), Ordering::Relaxed);
+}
+
+/// Run two closures, in parallel via `rayon::join`.
+///
+/// This is the `s1 || s2` of the paper's pseudocode.
+#[inline]
+pub fn par2<RA, RB>(fa: impl FnOnce() -> RA + Send, fb: impl FnOnce() -> RB + Send) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    rayon::join(fa, fb)
+}
+
+/// Run two closures in parallel when `do_par` holds, sequentially otherwise.
+///
+/// Callers pass `size > granularity()` (or a similar test) so that small
+/// subproblems do not pay fork-join overhead.
+#[inline]
+pub fn par2_if<RA, RB>(
+    do_par: bool,
+    fa: impl FnOnce() -> RA + Send,
+    fb: impl FnOnce() -> RB + Send,
+) -> (RA, RB)
+where
+    RA: Send,
+    RB: Send,
+{
+    if do_par {
+        rayon::join(fa, fb)
+    } else {
+        (fa(), fb())
+    }
+}
+
+/// Run `f` on a dedicated rayon pool with `n` worker threads.
+///
+/// The experiment harness uses this for thread-count sweeps ("T1" vs "Tp"
+/// columns of the paper's tables).
+pub fn with_threads<R: Send>(n: usize, f: impl FnOnce() -> R + Send) -> R {
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(n.max(1))
+        .build()
+        .expect("failed to build rayon pool");
+    pool.install(f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par2_returns_both() {
+        let (a, b) = par2(|| 1 + 1, || "x".to_string());
+        assert_eq!(a, 2);
+        assert_eq!(b, "x");
+    }
+
+    #[test]
+    fn par2_if_sequential_path() {
+        let (a, b) = par2_if(false, || 40, || 2);
+        assert_eq!(a + b, 42);
+    }
+
+    #[test]
+    fn granularity_roundtrip() {
+        let old = granularity();
+        set_granularity(123);
+        assert_eq!(granularity(), 123);
+        set_granularity(old);
+    }
+
+    #[test]
+    fn with_threads_runs_on_pool() {
+        let n = with_threads(2, || rayon::current_num_threads());
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn set_granularity_clamps_to_one() {
+        let old = granularity();
+        set_granularity(0);
+        assert_eq!(granularity(), 1);
+        set_granularity(old);
+    }
+}

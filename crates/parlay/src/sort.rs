@@ -1,0 +1,114 @@
+//! Parallel comparison sorting.
+//!
+//! PAM's `build` starts by sorting the input sequence; the paper assumes a
+//! work-efficient parallel sort with O(log n) span (PBBS sample sort). We
+//! provide a from-scratch parallel merge sort ([`par_merge_sort_by`]) built
+//! on [`crate::par_merge_into`], plus thin wrappers choosing between it and
+//! rayon's pdqsort so benchmarks can compare the two (see the `sort`
+//! ablation bench).
+
+use crate::merge::par_merge_into;
+use crate::par::{granularity, par2_if};
+use crate::uninit::par_fill;
+use rayon::prelude::*;
+use std::cmp::Ordering;
+
+/// Sort `v` with a from-scratch parallel merge sort (stable).
+///
+/// Work O(n log n), span O(log^2 n · log gran) — the divide-and-conquer
+/// recursion forks both halves and merges them with the parallel merge.
+pub fn par_merge_sort_by<T, F>(v: &mut Vec<T>, cmp: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let sorted = sort_rec(v.as_slice(), &cmp);
+    *v = sorted;
+}
+
+fn sort_rec<T, F>(s: &[T], cmp: &F) -> Vec<T>
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    if s.len() <= granularity().max(64) {
+        let mut v = s.to_vec();
+        v.sort_by(|a, b| cmp(a, b));
+        return v;
+    }
+    let (left, right) = s.split_at(s.len() / 2);
+    let (a, b) = par2_if(true, || sort_rec(left, cmp), || sort_rec(right, cmp));
+    par_fill(s.len(), |out| par_merge_into(&a, &b, out, cmp))
+}
+
+/// Default parallel sort used by PAM's `build`: the from-scratch merge sort.
+pub fn par_sort_by<T, F>(v: &mut Vec<T>, cmp: F)
+where
+    T: Clone + Send + Sync,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    par_merge_sort_by(v, cmp);
+}
+
+/// Rayon's parallel unstable sort (pdqsort), exposed for the sort ablation
+/// benchmark and for callers that do not need stability.
+pub fn par_sort_unstable_by<T, F>(v: &mut [T], cmp: F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    v.par_sort_unstable_by(cmp);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn xorshift(mut x: u64) -> u64 {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+
+    #[test]
+    fn sorts_random() {
+        let mut v: Vec<u64> = (0..100_000u64)
+            .map(|i| xorshift(i.wrapping_add(0x9e3779b97f4a7c15)))
+            .collect();
+        let mut expect = v.clone();
+        expect.sort();
+        par_merge_sort_by(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn sorts_empty_and_single() {
+        let mut v: Vec<u32> = vec![];
+        par_merge_sort_by(&mut v, |a, b| a.cmp(b));
+        assert!(v.is_empty());
+        let mut v = vec![9];
+        par_merge_sort_by(&mut v, |a, b| a.cmp(b));
+        assert_eq!(v, vec![9]);
+    }
+
+    #[test]
+    fn stable_on_equal_keys() {
+        // (key, original index): after a stable sort by key, indices within
+        // each key group must stay increasing.
+        let mut v: Vec<(u8, u32)> = (0..50_000u32).map(|i| ((i % 7) as u8, i)).collect();
+        par_merge_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        for w in v.windows(2) {
+            if w[0].0 == w[1].0 {
+                assert!(w[0].1 < w[1].1, "stability violated");
+            }
+        }
+    }
+
+    #[test]
+    fn rayon_wrapper_sorts() {
+        let mut v: Vec<u64> = (0..10_000u64).rev().collect();
+        par_sort_unstable_by(&mut v, |a, b| a.cmp(b));
+        assert!(v.windows(2).all(|w| w[0] <= w[1]));
+    }
+}

@@ -1,0 +1,65 @@
+//! Property tests for the parallel primitives: every parallel routine
+//! agrees with its obvious sequential counterpart on arbitrary inputs.
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_sort_matches_std_stable_sort(mut v in proptest::collection::vec((0u8..16, 0u32..1000), 0..3000)) {
+        let mut expect = v.clone();
+        expect.sort_by(|a, b| a.0.cmp(&b.0)); // stable
+        parlay::par_merge_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
+        prop_assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn merge_matches_concat_sort(a in proptest::collection::vec(0u64..500, 0..500),
+                                 b in proptest::collection::vec(0u64..500, 0..500)) {
+        let mut sa = a.clone();
+        sa.sort();
+        let mut sb = b.clone();
+        sb.sort();
+        let got = parlay::merge_by(&sa, &sb, |x, y| x.cmp(y));
+        let mut expect = [sa, sb].concat();
+        expect.sort();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn scan_matches_running_sum(v in proptest::collection::vec(0u64..1000, 0..3000)) {
+        let got = parlay::scan_inclusive(&v);
+        let mut acc = 0u64;
+        let expect: Vec<u64> = v.iter().map(|&x| { acc += x; acc }).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn pack_matches_filter(v in proptest::collection::vec(0u32..100, 0..2000),
+                           seed in 0u32..100) {
+        let flags: Vec<bool> = v.iter().map(|&x| (x + seed) % 3 == 0).collect();
+        let got = parlay::pack(&v, &flags);
+        let expect: Vec<u32> = v.iter().zip(&flags).filter(|(_, &f)| f).map(|(&x, _)| x).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn combine_duplicates_matches_fold(mut v in proptest::collection::vec((0u16..50, 1u64..10), 0..2000)) {
+        v.sort_by_key(|&(k, _)| k);
+        let got = parlay::combine_duplicates(v.clone(), |a, b| a + b);
+        let mut expect: Vec<(u16, u64)> = Vec::new();
+        for (k, x) in v {
+            match expect.last_mut() {
+                Some(last) if last.0 == k => last.1 += x,
+                _ => expect.push((k, x)),
+            }
+        }
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn sum_matches(v in proptest::collection::vec(0u64..1_000_000, 0..5000)) {
+        prop_assert_eq!(parlay::sum_u64(&v), v.iter().sum::<u64>());
+    }
+}

@@ -1,0 +1,50 @@
+//! Interval workloads for the §5.1 / §6.2 experiments.
+
+use crate::rng::hash64;
+use rayon::prelude::*;
+
+/// `n` random intervals `(left, right)` with `left` uniform in
+/// `[0, universe)` and length `1..=max_len`; `left < right` always holds.
+///
+/// Mirrors the paper's interval-tree input: e.g. login sessions with a
+/// bounded duration scattered over a long timeline.
+pub fn random_intervals(n: usize, seed: u64, universe: u64, max_len: u64) -> Vec<(u64, u64)> {
+    assert!(universe > 0 && max_len > 0);
+    (0..n as u64)
+        .into_par_iter()
+        .map(|i| {
+            let left = hash64(seed ^ (i * 2)) % universe;
+            let len = 1 + hash64(seed ^ (i * 2 + 1)) % max_len;
+            (left, left + len)
+        })
+        .collect()
+}
+
+/// `m` stabbing-query points over the same universe.
+pub fn stab_points(m: usize, seed: u64, universe: u64) -> Vec<u64> {
+    (0..m as u64)
+        .into_par_iter()
+        .map(|i| hash64(seed ^ i) % universe)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intervals_are_well_formed() {
+        for (l, r) in random_intervals(10_000, 11, 1 << 30, 1000) {
+            assert!(l < r);
+            assert!(r <= (1 << 30) + 1000);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            random_intervals(100, 5, 1000, 10),
+            random_intervals(100, 5, 1000, 10)
+        );
+    }
+}

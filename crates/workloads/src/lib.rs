@@ -1,0 +1,25 @@
+//! Deterministic workload generators for the PAM reproduction.
+//!
+//! Everything is generated from stateless hash functions (SplitMix64) so
+//! that workloads are reproducible across runs and can be generated in
+//! parallel without shared RNG state (the PBBS approach, which is also
+//! what the paper's drivers do).
+//!
+//! The synthetic text corpus ([`corpus`]) replaces the 2016 Wikipedia
+//! dump used in §6.4 (unavailable offline): word frequencies follow a
+//! Zipf distribution, matching the vocabulary-vs-token shape that the
+//! inverted-index experiment depends on. See DESIGN.md ("Substitutions").
+
+pub mod corpus;
+pub mod intervals;
+pub mod keys;
+pub mod points;
+pub mod rng;
+pub mod zipf;
+
+pub use corpus::{Corpus, CorpusConfig};
+pub use intervals::random_intervals;
+pub use keys::{distinct_shuffled_keys, read_probes, uniform_pairs};
+pub use points::random_points;
+pub use rng::hash64;
+pub use zipf::Zipf;

@@ -1,0 +1,92 @@
+//! Zipf-distributed sampling (word frequencies, skewed key access).
+//!
+//! Implemented from scratch with an inverse-CDF table over the harmonic
+//! weights `1/k^s` — O(N) setup, O(log N) per sample, exact (no rejection
+//! approximation), deterministic given the seed.
+
+use crate::rng::hash64;
+
+/// A Zipf(N, s) sampler over ranks `0..n` (rank 0 is the most frequent).
+#[derive(Clone, Debug)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a sampler for `n` ranks with exponent `s` (s = 1.0 is the
+    /// classic Zipf law; Wikipedia word frequencies fit s ≈ 1.0-1.1).
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for v in &mut cdf {
+            *v /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Is the support empty? (never true — kept for API completeness)
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Sample a rank using 64 random bits derived from `(seed, i)`.
+    /// Stateless: any index can be drawn independently (and in parallel).
+    pub fn sample(&self, seed: u64, i: u64) -> usize {
+        let u = (hash64(seed ^ i) >> 11) as f64 / (1u64 << 53) as f64;
+        // first index with cdf[idx] >= u
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(idx) => idx,
+            Err(idx) => idx.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_frequent_rank_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut counts = vec![0usize; 1000];
+        for i in 0..100_000u64 {
+            counts[z.sample(42, i)] += 1;
+        }
+        // rank 0 should be roughly 1/H(1000) ≈ 13% of draws
+        assert!(counts[0] > 8_000, "rank0 drawn {} times", counts[0]);
+        // frequency must decay with rank (coarse check on decades)
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[99]);
+        assert!(counts[99] > counts[990].saturating_sub(5));
+    }
+
+    #[test]
+    fn samples_cover_support_bounds() {
+        let z = Zipf::new(10, 1.2);
+        for i in 0..10_000u64 {
+            assert!(z.sample(7, i) < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic() {
+        let z = Zipf::new(100, 1.0);
+        let a: Vec<usize> = (0..100).map(|i| z.sample(3, i)).collect();
+        let b: Vec<usize> = (0..100).map(|i| z.sample(3, i)).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,65 @@
+//! 2D range trees (§5.2): "how many users are between 20 and 25 years
+//! old and have salaries between $50K and $90K?"
+//!
+//! Each person is a point (age, salary) with weight 1 (for counting) or
+//! a dollar weight (for sums). One nested augmented map answers both.
+//!
+//! Run with: `cargo run --release --example census_range`
+
+use pam_rangetree::RangeTree;
+
+fn main() {
+    // Synthetic census: 300k people. x = age in months, y = salary in $.
+    let people: Vec<(u32, u32, u64)> = (0..300_000u64)
+        .map(|i| {
+            let age_months = (216 + workloads::hash64(i) % 600) as u32; // 18..68y
+            let salary = (20_000 + workloads::hash64(i ^ 0xFEED) % 180_000) as u32;
+            (age_months, salary, 1) // weight 1: counting
+        })
+        .collect();
+
+    let counts = RangeTree::build(people.clone());
+    println!("indexed {} people", counts.len());
+
+    // The paper's intro query: age in [20, 25], salary in [$50K, $90K].
+    let hits = counts.query_sum(20 * 12, 25 * 12, 50_000, 90_000);
+    println!("20-25 years & $50K-$90K: {hits} people");
+
+    // A salary-weighted view of the same data answers payroll questions.
+    let payroll = RangeTree::build(
+        people
+            .iter()
+            .map(|&(a, s, _)| (a, s, s as u64))
+            .collect(),
+    );
+    let total = payroll.query_sum(30 * 12, 40 * 12, 0, u32::MAX);
+    let n = counts.query_sum(30 * 12, 40 * 12, 0, u32::MAX);
+    println!(
+        "30-40 years: {} people, mean salary ${:.0}",
+        n,
+        total as f64 / n as f64
+    );
+
+    // Report-all materializes the matching points (O(k + log^2 n)).
+    let sample = counts.query_points(65 * 12, 66 * 12, 150_000, u32::MAX);
+    println!("{} high earners aged 65-66; first few:", sample.len());
+    for (age, salary, _) in sample.iter().take(3) {
+        println!("  age {:.1}y, ${salary}", *age as f64 / 12.0);
+    }
+
+    // Snapshots are O(1): hand the tree to concurrent dashboard threads.
+    let snap = counts.clone();
+    let handles: Vec<_> = (0..4)
+        .map(|decade| {
+            let t = snap.clone();
+            std::thread::spawn(move || {
+                let lo = (20 + decade * 10) * 12u32;
+                (decade, t.query_sum(lo, lo + 119, 0, u32::MAX))
+            })
+        })
+        .collect();
+    for h in handles {
+        let (d, c) = h.join().unwrap();
+        println!("ages {}-{}: {c}", 20 + d * 10, 29 + d * 10);
+    }
+}

@@ -1,0 +1,55 @@
+//! Quickstart: the augmented map in five minutes.
+//!
+//! Builds the paper's Equation-1 map (integer keys/values, sum
+//! augmentation) and tours the core interface: construction, point and
+//! bulk updates, range sums, set operations, and persistence.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use pam::{AugMap, SumAug};
+
+fn main() {
+    // AM(u64, <, u64, u64, (k,v) -> v, +, 0): values summed.
+    type M = AugMap<SumAug<u64, u64>>;
+
+    // Parallel bulk construction from unsorted pairs.
+    let mut m: M = AugMap::build((0..1_000_000).map(|i| (i, 1)).collect());
+    println!("built {} entries", m.len());
+
+    // O(1): the augmented value (sum of all values) is cached at the root.
+    assert_eq!(m.aug_val(), 1_000_000);
+
+    // O(log n): range sums without scanning.
+    assert_eq!(m.aug_range(&100, &199), 100);
+    assert_eq!(m.aug_left(&499_999), 500_000); // keys <= 499_999
+
+    // Point updates are O(log n) and persistent: snapshot first.
+    let snapshot = m.clone(); // O(1)
+    m.insert(2_000_000, 42);
+    m.remove(&0);
+    assert_eq!(m.aug_val(), 1_000_000 + 42 - 1);
+    assert_eq!(snapshot.aug_val(), 1_000_000); // unchanged
+
+    // Bulk operations run in parallel and are work-optimal.
+    let evens: M = AugMap::build((0..1_000_000).map(|i| (i * 2, 10)).collect());
+    let union = m.union_with(evens, |a, b| a + b);
+    println!("union has {} entries, total {}", union.len(), union.aug_val());
+
+    // Filter with a predicate on entries (linear work, parallel)...
+    let big = union.clone().filter(|&k, _| k >= 1_500_000);
+    println!("{} keys >= 1.5M", big.len());
+
+    // ...or extract ranges as first-class maps that share structure.
+    let mid = union.range(&250_000, &750_000);
+    println!(
+        "[250k, 750k] holds {} entries summing to {}",
+        mid.len(),
+        mid.aug_val()
+    );
+
+    // Order statistics come free with the size counters.
+    let (k, _) = union.select(union.len() / 2).unwrap();
+    println!("median key: {k}");
+
+    println!("quickstart OK");
+}

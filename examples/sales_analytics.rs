@@ -1,0 +1,74 @@
+//! The paper's introductory motivating example: a database of sales
+//! receipts, keyed by time of sale, analyzed with augmented range sums.
+//!
+//! "consider a database of sales receipts keeping the value of each sale
+//! ordered by the time of sale ... quickly query the sum or maximum of
+//! sales during a period of time ... reporting the sales above a
+//! threshold in O(k log(n/k + 1)) time if the augmentation is the
+//! maximum of sales."
+//!
+//! Run with: `cargo run --release --example sales_analytics`
+
+use pam::{AugMap, MaxAug, SumAug};
+
+type Timestamp = u64;
+type Cents = u64;
+
+fn main() {
+    // One year of synthetic sales: ~3 per minute.
+    let receipts: Vec<(Timestamp, Cents)> = (0..1_500_000u64)
+        .map(|i| {
+            let t = i * 21 + workloads::hash64(i) % 20; // seconds since Jan 1
+            let amount = 100 + workloads::hash64(i ^ 0xCAFE) % 50_000; // cents
+            (t, amount)
+        })
+        .collect();
+
+    // Two augmented views over the same data: sum and max of sales.
+    let by_sum: AugMap<SumAug<Timestamp, Cents>> = AugMap::build_with(receipts.clone(), |a, b| a + b);
+    let by_max: AugMap<MaxAug<Timestamp, Cents>> = AugMap::build(receipts.clone());
+
+    const DAY: u64 = 86_400;
+    let (day_lo, day_hi) = (100 * DAY, 101 * DAY - 1);
+
+    // Total revenue for day 100 — O(log n), no scan.
+    let revenue = by_sum.aug_range(&day_lo, &day_hi);
+    println!("day-100 revenue: ${:.2}", revenue as f64 / 100.0);
+
+    // Largest single sale that day — same query on the max view.
+    let biggest = by_max.aug_range(&day_lo, &day_hi);
+    println!("day-100 biggest sale: ${:.2}", biggest as f64 / 100.0);
+
+    // All sales above a threshold, via aug_filter: prunes every subtree
+    // whose max is below the threshold, so the cost scales with the
+    // output size, not the database size.
+    let threshold = 49_900;
+    let big_sales = by_max.aug_filter(|&max| max > threshold);
+    println!(
+        "{} sales above ${:.2} (out of {})",
+        big_sales.len(),
+        threshold as f64 / 100.0,
+        by_max.len()
+    );
+
+    // Weekly report: mapReduce over a range extraction.
+    let week = by_sum.range(&(100 * DAY), &(107 * DAY));
+    let (count, total) = (week.len(), week.aug_val());
+    println!(
+        "week from day 100: {count} sales, ${:.2}, avg ${:.2}",
+        total as f64 / 100.0,
+        total as f64 / count as f64 / 100.0
+    );
+
+    // End-of-day bulk load: yesterday's receipts arrive as a batch.
+    let mut live = by_sum.clone(); // snapshot for the analysts
+    let batch: Vec<(Timestamp, Cents)> = (0..10_000u64)
+        .map(|i| (366 * DAY + i * 8, 100 + workloads::hash64(i) % 9_000))
+        .collect();
+    live.multi_insert_with(batch, |a, b| a + b);
+    println!(
+        "after nightly load: {} receipts (analyst snapshot still {})",
+        live.len(),
+        by_sum.len()
+    );
+}

@@ -1,0 +1,88 @@
+//! Weighted inverted index (§5.3): a miniature search engine supporting
+//! and/or queries with top-k ranking, built over a Zipfian corpus.
+//!
+//! Run with: `cargo run --release --example search_engine`
+
+use pam_index::{top_k, InvertedIndex};
+use workloads::{Corpus, CorpusConfig};
+
+fn main() {
+    // Generate a synthetic corpus (stand-in for the paper's Wikipedia
+    // dump; word frequencies follow a Zipf law like natural text).
+    let corpus = Corpus::generate(CorpusConfig {
+        docs: 20_000,
+        vocab: 50_000,
+        doc_len: 150,
+        zipf_s: 1.0,
+        seed: 2024,
+    });
+    println!(
+        "corpus: {} docs, {} tokens, {} word vocabulary",
+        corpus.config.docs,
+        corpus.tokens(),
+        corpus.config.vocab
+    );
+
+    let idx = InvertedIndex::build(corpus.triples.clone());
+    println!("index: {} distinct terms", idx.num_terms());
+
+    // A two-word AND query with top-10 ranking. Weights combine on
+    // intersection; the max-augmentation makes top-k cheap.
+    let (w1, w2) = (3u32, 17u32); // two common words
+    let and = idx.and_query(w1, w2);
+    println!(
+        "\"{w1} AND {w2}\": {} matching docs; top 5:",
+        and.len()
+    );
+    for (doc, score) in top_k(&and, 5) {
+        println!("  doc {doc} (score {score})");
+    }
+
+    // OR broadens, AND-NOT excludes.
+    let or = idx.or_query(w1, w2);
+    let not = idx.and_not_query(w1, w2);
+    println!(
+        "\"{w1} OR {w2}\": {} docs; \"{w1} NOT {w2}\": {} docs",
+        or.len(),
+        not.len()
+    );
+
+    // Many "users" querying concurrently: each works on an O(1) snapshot
+    // of the shared index and builds its own persistent result maps —
+    // the paper's snapshot-isolation story.
+    let shared = std::sync::Arc::new(idx);
+    let queries = corpus.query_pairs(10_000, 7);
+    let start = std::time::Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let idx = shared.clone();
+            let qs = queries.clone();
+            std::thread::spawn(move || {
+                qs.iter()
+                    .skip(t)
+                    .step_by(4)
+                    .map(|&(a, b)| top_k(&idx.and_query(a, b), 10).len())
+                    .sum::<usize>()
+            })
+        })
+        .collect();
+    let results: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    println!(
+        "4 threads answered {} and+top10 queries ({} results) in {:.2?}",
+        queries.len(),
+        results,
+        start.elapsed()
+    );
+
+    // Incremental crawl: merge a new batch of documents; concurrent
+    // readers holding the old snapshot are unaffected.
+    let snapshot = shared.as_ref().clone();
+    let mut live = shared.as_ref().clone();
+    live.merge(vec![(3, 1_000_000, 999_999), (17, 1_000_000, 999_998)]);
+    let new_top = top_k(&live.and_query(3, 17), 1);
+    println!(
+        "after crawl: new best doc for \"3 AND 17\" is {:?} (old snapshot top: {:?})",
+        new_top.first(),
+        top_k(&snapshot.and_query(3, 17), 1).first()
+    );
+}

@@ -1,0 +1,65 @@
+//! Interval trees (§5.1): "the intervals of times in which users are
+//! logged into a site ... is there any user logged in at a given time?"
+//!
+//! Run with: `cargo run --release --example server_sessions`
+
+use pam_interval::IntervalMap;
+
+fn main() {
+    // A day of user sessions: (login, logout) in seconds since midnight.
+    let sessions = workloads::random_intervals(500_000, 42, 86_400, 3_600);
+    let tree = IntervalMap::from_intervals(sessions.clone());
+    println!("indexed {} sessions", tree.len());
+
+    // Stabbing query: anyone online at 03:00? O(log n).
+    let t = 3 * 3600;
+    println!("03:00 — anyone online? {}", tree.stab(t));
+
+    // Who exactly? report_all costs O(k log(n/k + 1)) for k sessions.
+    let online = tree.report_all(t);
+    println!("03:00 — {} sessions cover that instant", online.len());
+
+    // Concurrency dashboard: sample the day at 5-minute ticks.
+    let peak = (0..288u64)
+        .map(|i| {
+            let tick = i * 300;
+            (tree.count_containing(tick), tick)
+        })
+        .max()
+        .unwrap();
+    println!(
+        "peak concurrency ~{} sessions at {:02}:{:02}",
+        peak.0,
+        peak.1 / 3600,
+        (peak.1 % 3600) / 60
+    );
+
+    // Live updates: a new session logs in; the dashboard snapshot taken
+    // earlier is unaffected (persistence).
+    let dashboard = tree.clone();
+    let mut live = tree;
+    live.insert(t - 100, t + 100);
+    assert_eq!(live.count_containing(t), dashboard.count_containing(t) + 1);
+    println!(
+        "after login: live={} dashboard={}",
+        live.count_containing(t),
+        dashboard.count_containing(t)
+    );
+
+    // Bulk session expiry at end of day.
+    let expired: Vec<(u64, u64)> = sessions
+        .iter()
+        .copied()
+        .filter(|&(_, logout)| logout <= 43_200)
+        .collect();
+    let n_expired = expired.len();
+    let mut pruned = live.clone();
+    for (l, r) in expired {
+        pruned.remove(l, r);
+    }
+    println!(
+        "pruned {} morning sessions: {} remain",
+        n_expired,
+        pruned.len()
+    );
+}

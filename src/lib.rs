@@ -1,0 +1,24 @@
+//! # pam-repro — workspace root
+//!
+//! Reproduction of **"PAM: Parallel Augmented Maps"** (Sun, Ferizovic,
+//! Blelloch; PPoPP 2018). This root package exists to host the runnable
+//! examples (`examples/`) and the cross-crate integration tests
+//! (`tests/`); the library code lives in the workspace crates:
+//!
+//! * [`pam`] — the core augmented-map library,
+//! * [`parlay`] — the parallel-primitives substrate,
+//! * [`pam_interval`], [`pam_rangetree`], [`pam_index`] — the paper's
+//!   three example applications,
+//! * [`baselines`] — every comparison structure of §6,
+//! * [`workloads`] — deterministic input generators.
+//!
+//! See README.md for the tour and EXPERIMENTS.md for paper-vs-measured
+//! results.
+
+pub use baselines;
+pub use pam;
+pub use pam_index;
+pub use pam_interval;
+pub use pam_rangetree;
+pub use parlay;
+pub use workloads;

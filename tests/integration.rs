@@ -1,0 +1,183 @@
+//! Cross-crate integration tests: the applications, the core library,
+//! the workload generators, and the baselines working together the way
+//! the experiment harness uses them.
+
+use pam::{AugMap, MaxAug, SumAug};
+use pam_index::{top_k, InvertedIndex};
+use pam_interval::IntervalMap;
+use pam_rangetree::RangeTree;
+
+#[test]
+fn equation1_range_sum_pipeline() {
+    // build -> aug queries -> bulk update -> persistence, end to end
+    let pairs = workloads::uniform_pairs(50_000, 1, 200_000);
+    let m: AugMap<SumAug<u64, u64>> =
+        AugMap::build_with(pairs.clone(), |a: &u64, b: &u64| a.wrapping_add(*b));
+    let brute: u64 = pairs.iter().map(|&(_, v)| v).fold(0, u64::wrapping_add);
+    assert_eq!(m.aug_val(), brute);
+
+    let lo = 50_000u64;
+    let hi = 150_000u64;
+    let mut oracle = std::collections::BTreeMap::new();
+    for &(k, v) in &pairs {
+        oracle
+            .entry(k)
+            .and_modify(|x: &mut u64| *x = x.wrapping_add(v))
+            .or_insert(v);
+    }
+    let want: u64 = oracle
+        .range(lo..=hi)
+        .fold(0u64, |s, (_, &v)| s.wrapping_add(v));
+    assert_eq!(m.aug_range(&lo, &hi), want);
+}
+
+#[test]
+fn interval_tree_on_generated_sessions() {
+    let sessions = workloads::random_intervals(20_000, 2, 100_000, 500);
+    let tree = IntervalMap::from_intervals(sessions.clone());
+    let brute = baselines::IntervalList::from_intervals(sessions);
+    for p in (0..100_000).step_by(997) {
+        assert_eq!(tree.stab(p), brute.stab(p));
+        assert_eq!(tree.report_all(p), brute.report_all(p));
+    }
+}
+
+#[test]
+fn range_tree_matches_static_baseline() {
+    let pts = workloads::random_points(20_000, 3, 1 << 12);
+    // The static baseline keeps duplicate (x,y) points distinct while the
+    // PAM tree sums them — compare on deduplicated input.
+    let mut dedup = std::collections::BTreeMap::new();
+    for &(x, y, w) in &pts {
+        *dedup.entry((x, y)).or_insert(0u64) += w;
+    }
+    let flat: Vec<(u32, u32, u64)> = dedup.iter().map(|(&(x, y), &w)| (x, y, w)).collect();
+
+    let pam_tree = RangeTree::build(flat.clone());
+    let static_tree = baselines::StaticRangeTree::build(flat);
+    for &(xl, xr, yl, yr) in &workloads::points::query_windows(100, 4, 1 << 12, 0.1) {
+        assert_eq!(
+            pam_tree.query_sum(xl, xr, yl, yr),
+            static_tree.query_sum(xl, xr, yl, yr)
+        );
+        assert_eq!(
+            pam_tree.query_points(xl, xr, yl, yr),
+            static_tree.query_points(xl, xr, yl, yr)
+        );
+    }
+}
+
+#[test]
+fn inverted_index_over_corpus_with_concurrent_updates() {
+    let corpus = workloads::Corpus::generate(workloads::CorpusConfig {
+        docs: 500,
+        vocab: 2_000,
+        doc_len: 80,
+        zipf_s: 1.0,
+        seed: 4,
+    });
+    let idx = std::sync::Arc::new(InvertedIndex::build(corpus.triples.clone()));
+    let queries = corpus.query_pairs(100, 5);
+
+    // concurrent snapshot queries while the "main" copy merges updates
+    let reader = {
+        let idx = idx.clone();
+        let queries = queries.clone();
+        std::thread::spawn(move || {
+            queries
+                .iter()
+                .map(|&(a, b)| top_k(&idx.and_query(a, b), 10).len())
+                .sum::<usize>()
+        })
+    };
+    let mut live = idx.as_ref().clone();
+    live.merge(vec![(0, 9_999_999, 1)]);
+    let before = reader.join().unwrap();
+    // re-running the same queries on the snapshot yields the same totals
+    let after: usize = queries
+        .iter()
+        .map(|&(a, b)| top_k(&idx.and_query(a, b), 10).len())
+        .sum();
+    assert_eq!(before, after);
+    assert!(live.posting(0).contains_key(&9_999_999));
+}
+
+#[test]
+fn baselines_agree_with_pam_on_union() {
+    let pa = workloads::uniform_pairs(5_000, 6, 20_000);
+    let pb = workloads::uniform_pairs(5_000, 7, 20_000);
+    let ma: AugMap<SumAug<u64, u64>> = AugMap::build(pa.clone());
+    let mb: AugMap<SumAug<u64, u64>> = AugMap::build(pb.clone());
+    let pam_union = ma.union_with(mb, |x, y| x.wrapping_add(*y)).to_vec();
+
+    let sa = baselines::SortedVecMap::from_unsorted(pa.clone());
+    let sb = baselines::SortedVecMap::from_unsorted(pb.clone());
+    let arr_union = sa.union(&sb, |x, y| x.wrapping_add(y));
+    assert_eq!(pam_union, arr_union.as_slice());
+
+    let par_union = baselines::par_merge::par_union(sa.as_slice(), sb.as_slice(), |x, y| {
+        x.wrapping_add(y)
+    });
+    assert_eq!(pam_union, par_union);
+
+    let mut ra = baselines::RbTree::new();
+    let mut rb = baselines::RbTree::new();
+    for &(k, v) in sa.as_slice() {
+        ra.insert(k, v);
+    }
+    for &(k, v) in sb.as_slice() {
+        rb.insert(k, v);
+    }
+    let tree_union = baselines::RbTree::union_by_insertion(&ra, &rb, |x, y| x.wrapping_add(y));
+    assert_eq!(pam_union, tree_union.to_vec());
+}
+
+#[test]
+fn concurrent_structures_agree_on_ycsb_loads() {
+    let keys = workloads::distinct_shuffled_keys(20_000, 8, 5);
+    let sl = baselines::SkipList::new();
+    let bp = baselines::BPlusTree::new();
+    let sh = baselines::ShardedMap::default();
+    for &k in &keys {
+        sl.insert(k, k + 1);
+        bp.insert(k, k + 1);
+        sh.insert(k, k + 1);
+    }
+    for &k in workloads::read_probes(2_000, 9, &keys).iter() {
+        assert_eq!(sl.get(k), Some(k + 1));
+        assert_eq!(bp.get(k), Some(k + 1));
+        assert_eq!(sh.get(k), Some(k + 1));
+    }
+    assert_eq!(sl.len(), keys.len());
+    assert_eq!(bp.len(), keys.len());
+}
+
+#[test]
+fn word_count_with_plain_ordered_map() {
+    // OrdMap (NoAug) as a general-purpose ordered map
+    let words = ["the", "quick", "the", "fox", "the", "quick"];
+    let mut m: pam::OrdMap<String, u64> = pam::OrdMap::new();
+    for w in words {
+        m.insert_with(w.to_string(), 1, |a, b| a + b);
+    }
+    assert_eq!(m.get(&"the".to_string()), Some(&3));
+    assert_eq!(m.get(&"quick".to_string()), Some(&2));
+    assert_eq!(m.len(), 3);
+}
+
+#[test]
+fn max_aug_top_k_against_sort() {
+    let pairs = workloads::uniform_pairs(10_000, 11, 1 << 30);
+    let posting: AugMap<MaxAug<u32, u64>> = AugMap::build(
+        pairs
+            .iter()
+            .map(|&(k, v)| ((k % 100_000) as u32, v))
+            .collect(),
+    );
+    let got = top_k(&posting, 25);
+    let mut sorted = posting.to_vec();
+    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    let want_weights: Vec<u64> = sorted.iter().take(25).map(|&(_, w)| w).collect();
+    let got_weights: Vec<u64> = got.iter().map(|&(_, w)| w).collect();
+    assert_eq!(got_weights, want_weights);
+}
