@@ -211,10 +211,7 @@ impl BPlusTree {
         loop {
             let next: Option<ReadGuard> = match &*cur {
                 BpNode::Leaf { keys, vals } => {
-                    return keys
-                        .binary_search(&key)
-                        .ok()
-                        .map(|i| vals[i]);
+                    return keys.binary_search(&key).ok().map(|i| vals[i]);
                 }
                 BpNode::Internal { keys, kids } => {
                     let idx = keys.partition_point(|&x| x <= key);

@@ -22,18 +22,18 @@
 #![warn(missing_docs)]
 
 pub mod bplustree;
-pub mod static_rangetree;
 pub mod interval_list;
 pub mod par_merge;
 pub mod rbtree;
 pub mod sharded_map;
 pub mod skiplist;
 pub mod sorted_seq;
+pub mod static_rangetree;
 
 pub use bplustree::BPlusTree;
-pub use static_rangetree::StaticRangeTree;
 pub use interval_list::IntervalList;
 pub use rbtree::RbTree;
 pub use sharded_map::ShardedMap;
 pub use skiplist::SkipList;
 pub use sorted_seq::SortedVecMap;
+pub use static_rangetree::StaticRangeTree;

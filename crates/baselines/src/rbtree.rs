@@ -183,11 +183,7 @@ impl RbTree {
     /// The paper's "Union-Tree": merge two trees' entries and insert them
     /// one by one into a brand-new tree (what `std::set_union` into a
     /// `std::map` does — and why it loses badly in Table 3).
-    pub fn union_by_insertion(
-        a: &RbTree,
-        b: &RbTree,
-        combine: impl Fn(u64, u64) -> u64,
-    ) -> RbTree {
+    pub fn union_by_insertion(a: &RbTree, b: &RbTree, combine: impl Fn(u64, u64) -> u64) -> RbTree {
         let (va, vb) = (a.to_vec(), b.to_vec());
         let mut out = RbTree::new();
         let (mut i, mut j) = (0, 0);
@@ -318,10 +314,7 @@ mod tests {
             model.insert(i * 2, i);
         }
         for i in 0..1000u64 {
-            model
-                .entry(i * 3)
-                .and_modify(|v| *v += i)
-                .or_insert(i);
+            model.entry(i * 3).and_modify(|v| *v += i).or_insert(i);
         }
         assert_eq!(
             u.to_vec(),

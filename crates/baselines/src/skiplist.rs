@@ -25,7 +25,9 @@ struct Node {
 
 impl Node {
     fn alloc(key: u64, val: u64, height: usize) -> *mut Node {
-        let next = (0..height).map(|_| AtomicPtr::new(ptr::null_mut())).collect();
+        let next = (0..height)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect();
         Box::into_raw(Box::new(Node {
             key,
             val: AtomicU64::new(val),
@@ -109,7 +111,7 @@ impl SkipList {
             let existing = self.find(key, &mut preds, &mut succs);
             if !existing.is_null() {
                 // SAFETY: published node, never freed while list is alive.
-                unsafe { (&(*existing).val).store(val, Ordering::Release) };
+                unsafe { (*existing).val.store(val, Ordering::Release) };
                 return false;
             }
             let node = Node::alloc(key, val, height);
@@ -169,7 +171,7 @@ impl SkipList {
                 cur = unsafe { (&(*cur).next)[lvl].load(Ordering::Acquire) };
             }
             if !cur.is_null() && unsafe { (*cur).key } == key {
-                return Some(unsafe { (&(*cur).val).load(Ordering::Acquire) });
+                return Some(unsafe { (*cur).val.load(Ordering::Acquire) });
             }
         }
         None
@@ -193,7 +195,7 @@ impl SkipList {
         let mut cur = unsafe { (&(*self.head).next)[0].load(Ordering::Acquire) };
         while !cur.is_null() {
             unsafe {
-                out.push(((*cur).key, (&(*cur).val).load(Ordering::Acquire)));
+                out.push(((*cur).key, (*cur).val.load(Ordering::Acquire)));
                 cur = (&(*cur).next)[0].load(Ordering::Acquire);
             }
         }

@@ -116,10 +116,7 @@ mod tests {
         let a = SortedVecMap::from_sorted(vec![(1, 1), (3, 3), (5, 5)]);
         let b = SortedVecMap::from_sorted(vec![(2, 2), (3, 30), (6, 6)]);
         let u = a.union(&b, |x, y| x + y);
-        assert_eq!(
-            u.as_slice(),
-            &[(1, 1), (2, 2), (3, 33), (5, 5), (6, 6)]
-        );
+        assert_eq!(u.as_slice(), &[(1, 1), (2, 2), (3, 33), (5, 5), (6, 6)]);
     }
 
     #[test]

@@ -11,11 +11,11 @@
 
 /// A static, sequential 2D range tree over `(x, y, w)` points.
 pub struct StaticRangeTree {
-    size: usize,               // number of leaves (padded to a power of two)
-    n: usize,                  // number of points
-    xs: Vec<u32>,              // x of each point, sorted
+    size: usize,                      // number of leaves (padded to a power of two)
+    n: usize,                         // number of points
+    xs: Vec<u32>,                     // x of each point, sorted
     nodes: Vec<Vec<(u32, u32, u64)>>, // per node: (y, x, w) sorted by (y, x)
-    prefix: Vec<Vec<u64>>,     // per node: prefix sums of w
+    prefix: Vec<Vec<u64>>,            // per node: prefix sums of w
 }
 
 impl StaticRangeTree {

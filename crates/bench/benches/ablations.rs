@@ -21,8 +21,7 @@ const N: usize = 100_000;
 fn bench_granularity(c: &mut Criterion) {
     let pairs = workloads::uniform_pairs(N, 1, N as u64 * 4);
     let a: AugMap<SumAug<u64, u64>> = AugMap::build(pairs.clone());
-    let b: AugMap<SumAug<u64, u64>> =
-        AugMap::build(workloads::uniform_pairs(N, 2, N as u64 * 4));
+    let b: AugMap<SumAug<u64, u64>> = AugMap::build(workloads::uniform_pairs(N, 2, N as u64 * 4));
     for gran in [64usize, 1 << 11, 1 << 16] {
         c.bench_function(&format!("union_granularity_{gran}"), |bch| {
             parlay::set_granularity(gran);

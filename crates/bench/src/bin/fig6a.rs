@@ -39,11 +39,12 @@ fn main() {
         let sl = baselines::SkipList::new();
         let (_, sl_t) = time(|| {
             with_threads(p, || {
-                keys.par_chunks(keys.len().div_ceil(p).max(1)).for_each(|c| {
-                    for &(k, v) in c {
-                        sl.insert(k, v);
-                    }
-                });
+                keys.par_chunks(keys.len().div_ceil(p).max(1))
+                    .for_each(|c| {
+                        for &(k, v) in c {
+                            sl.insert(k, v);
+                        }
+                    });
             })
         });
         assert_eq!(sl.len(), n);
@@ -51,11 +52,12 @@ fn main() {
         let bp = baselines::BPlusTree::new();
         let (_, bp_t) = time(|| {
             with_threads(p, || {
-                keys.par_chunks(keys.len().div_ceil(p).max(1)).for_each(|c| {
-                    for &(k, v) in c {
-                        bp.insert(k, v);
-                    }
-                });
+                keys.par_chunks(keys.len().div_ceil(p).max(1))
+                    .for_each(|c| {
+                        for &(k, v) in c {
+                            bp.insert(k, v);
+                        }
+                    });
             })
         });
         assert_eq!(bp.len(), n);
@@ -63,11 +65,12 @@ fn main() {
         let sh = baselines::ShardedMap::new(8, n / 128);
         let (_, sh_t) = time(|| {
             with_threads(p, || {
-                keys.par_chunks(keys.len().div_ceil(p).max(1)).for_each(|c| {
-                    for &(k, v) in c {
-                        sh.insert(k, v);
-                    }
-                });
+                keys.par_chunks(keys.len().div_ceil(p).max(1))
+                    .for_each(|c| {
+                        for &(k, v) in c {
+                            sh.insert(k, v);
+                        }
+                    });
             })
         });
 

@@ -12,15 +12,17 @@ use pam_bench::*;
 use rayon::prelude::*;
 
 fn main() {
-    banner("Figure 6(b): read throughput vs threads (YCSB-C)", "Figure 6(b)");
+    banner(
+        "Figure 6(b): read throughput vs threads (YCSB-C)",
+        "Figure 6(b)",
+    );
     let n = scaled(2_000_000);
     let reads = scaled(1_000_000);
     let population = workloads::distinct_shuffled_keys(n, 1, 3);
     let probes = workloads::read_probes(reads, 7, &population);
 
     // pre-load all structures
-    let pam: AugMap<SumAug<u64, u64>> =
-        AugMap::build(population.iter().map(|&k| (k, k)).collect());
+    let pam: AugMap<SumAug<u64, u64>> = AugMap::build(population.iter().map(|&k| (k, k)).collect());
     let sl = baselines::SkipList::new();
     let bp = baselines::BPlusTree::new();
     let sh = baselines::ShardedMap::new(8, n / 128);

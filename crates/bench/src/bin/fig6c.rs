@@ -12,12 +12,19 @@ use pam_bench::*;
 type M = AugMap<SumAug<u64, u64>>;
 
 fn main() {
-    banner("Figure 6(c): union & build time vs input size", "Figure 6(c)");
+    banner(
+        "Figure 6(c): union & build time vs input size",
+        "Figure 6(c)",
+    );
     let n = scaled(2_000_000);
     let p = max_threads();
     let big: M = AugMap::build(workloads::uniform_pairs(n, 1, n as u64 * 4));
 
-    let mut t = Table::new(&["m", &format!("Union(n={n}, m) T{p}"), &format!("Build(m) T{p}")]);
+    let mut t = Table::new(&[
+        "m",
+        &format!("Union(n={n}, m) T{p}"),
+        &format!("Build(m) T{p}"),
+    ]);
     let mut m = 100usize;
     while m <= n {
         let pairs = workloads::uniform_pairs(m, 2, n as u64 * 4);

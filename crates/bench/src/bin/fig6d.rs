@@ -10,7 +10,10 @@ use pam_interval::IntervalMap;
 use rayon::prelude::*;
 
 fn main() {
-    banner("Figure 6(d): interval tree speedup vs threads", "Figure 6(d)");
+    banner(
+        "Figure 6(d): interval tree speedup vs threads",
+        "Figure 6(d)",
+    );
     let n = scaled(1_000_000);
     let q = scaled(1_000_000);
     let universe = n as u64 * 10;

@@ -36,21 +36,19 @@ fn main() {
     ]);
 
     // helper: time f at each size with all threads
-    let mut series = |label: &str,
-                      bound: &str,
-                      predicted: &str,
-                      f: &mut (dyn FnMut(usize) -> f64 + Send)| {
-        let times: Vec<f64> = sizes.iter().map(|&n| with_threads(p, || f(n))).collect();
-        t.row(vec![
-            label.into(),
-            bound.into(),
-            fmt_secs(times[0]),
-            fmt_secs(times[1]),
-            fmt_secs(times[2]),
-            format!("{:.2}x", times[2] / times[0]),
-            predicted.into(),
-        ]);
-    };
+    let mut series =
+        |label: &str, bound: &str, predicted: &str, f: &mut (dyn FnMut(usize) -> f64 + Send)| {
+            let times: Vec<f64> = sizes.iter().map(|&n| with_threads(p, || f(n))).collect();
+            t.row(vec![
+                label.into(),
+                bound.into(),
+                fmt_secs(times[0]),
+                fmt_secs(times[1]),
+                fmt_secs(times[2]),
+                format!("{:.2}x", times[2] / times[0]),
+                predicted.into(),
+            ]);
+        };
 
     series("build", "O(n log n)", "~4.4x", &mut |n| {
         let pairs = workloads::uniform_pairs(n, 1, n as u64 * 4);
@@ -77,13 +75,17 @@ fn main() {
 
     series("find x n", "O(log n) each", "~4.4x", &mut |n| {
         let a = build_of(n, 1);
-        let probes: Vec<u64> = (0..n as u64).map(|i| workloads::hash64(i) % (n as u64 * 4)).collect();
+        let probes: Vec<u64> = (0..n as u64)
+            .map(|i| workloads::hash64(i) % (n as u64 * 4))
+            .collect();
         time(|| probes.iter().filter(|k| a.get(k).is_some()).count()).1
     });
 
     series("aug_range x n", "O(log n) each", "~4.4x", &mut |n| {
         let a = build_of(n, 1);
-        let probes: Vec<u64> = (0..n as u64).map(|i| workloads::hash64(i) % (n as u64 * 4)).collect();
+        let probes: Vec<u64> = (0..n as u64)
+            .map(|i| workloads::hash64(i) % (n as u64 * 4))
+            .collect();
         time(|| {
             probes
                 .iter()
@@ -100,7 +102,9 @@ fn main() {
 
     series("range x n", "O(log n) each", "~4.4x", &mut |n| {
         let a = build_of(n, 1);
-        let probes: Vec<u64> = (0..n as u64).map(|i| workloads::hash64(i) % (n as u64 * 4)).collect();
+        let probes: Vec<u64> = (0..n as u64)
+            .map(|i| workloads::hash64(i) % (n as u64 * 4))
+            .collect();
         time(|| {
             probes
                 .iter()

@@ -28,10 +28,10 @@ fn both(
     mut f: impl FnMut() -> f64 + Send,
 ) {
     // warm up caches/allocator at both pool sizes, then take best-of-2
-    let _w1 = with_threads(1, || f());
-    let _wp = with_threads(p, || f());
-    let t1 = with_threads(1, || f()).min(with_threads(1, || f()));
-    let tp = with_threads(p, || f()).min(with_threads(p, || f()));
+    let _w1 = with_threads(1, &mut f);
+    let _wp = with_threads(p, &mut f);
+    let t1 = with_threads(1, &mut f).min(with_threads(1, &mut f));
+    let tp = with_threads(p, &mut f).min(with_threads(p, f));
     t.row(vec![
         label.into(),
         n_lbl.to_string(),
@@ -85,7 +85,11 @@ fn main() {
         time(|| a.clone().union_with(b.clone(), |x, y| x.wrapping_add(*y))).1
     });
     both(&mut t, p, "Union", n, m_small, || {
-        time(|| a.clone().union_with(small.clone(), |x, y| x.wrapping_add(*y))).1
+        time(|| {
+            a.clone()
+                .union_with(small.clone(), |x, y| x.wrapping_add(*y))
+        })
+        .1
     });
 
     let probes: Vec<u64> = (0..n as u64)
@@ -248,9 +252,11 @@ fn main() {
     for &(k, v) in &pairs_small {
         rsmall.insert(k, v);
     }
-    let (_, t1) = time(|| baselines::RbTree::union_by_insertion(&ra, &rb, |x, y| x.wrapping_add(y)));
+    let (_, t1) =
+        time(|| baselines::RbTree::union_by_insertion(&ra, &rb, |x, y| x.wrapping_add(y)));
     seq_only(&mut t, "Union-Tree (STL)", n, n, t1);
-    let (_, t1) = time(|| baselines::RbTree::union_by_insertion(&ra, &rsmall, |x, y| x.wrapping_add(y)));
+    let (_, t1) =
+        time(|| baselines::RbTree::union_by_insertion(&ra, &rsmall, |x, y| x.wrapping_add(y)));
     seq_only(&mut t, "Union-Tree (STL)", n, m_small, t1);
 
     let sa = baselines::SortedVecMap::from_unsorted(pairs_a.clone());
@@ -280,10 +286,16 @@ fn main() {
 
     // MCSTL-equivalent parallel bulk insertion into a sorted array
     both(&mut t, p, "Multi-Insert (MCSTL)", n, n, || {
-        time(|| baselines::par_merge::par_union(sa.as_slice(), sb.as_slice(), |x, y| x.wrapping_add(y))).1
+        time(|| {
+            baselines::par_merge::par_union(sa.as_slice(), sb.as_slice(), |x, y| x.wrapping_add(y))
+        })
+        .1
     });
     both(&mut t, p, "Multi-Insert (MCSTL)", n, m_small, || {
-        time(|| baselines::par_merge::par_union(sa.as_slice(), ss.as_slice(), |x, y| x.wrapping_add(y))).1
+        time(|| {
+            baselines::par_merge::par_union(sa.as_slice(), ss.as_slice(), |x, y| x.wrapping_add(y))
+        })
+        .1
     });
 
     t.print();

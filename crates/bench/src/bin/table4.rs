@@ -15,7 +15,10 @@ use pam_rangetree::{InnerSpec, OuterSpec, RangeTree};
 type M = AugMap<SumAug<u64, u64>>;
 
 fn main() {
-    banner("Table 4: space usage and node sharing", "Table 4 of the paper");
+    banner(
+        "Table 4: space usage and node sharing",
+        "Table 4 of the paper",
+    );
 
     // ---- augmentation overhead per node ----
     let with_aug = node_size::<SumAug<u64, u64>, WeightBalanced>();
@@ -31,14 +34,7 @@ fn main() {
 
     // ---- union sharing ----
     let n = scaled(1_000_000);
-    let mut t = Table::new(&[
-        "Func",
-        "n",
-        "m",
-        "#nodes theory",
-        "actual #nodes",
-        "saving",
-    ]);
+    let mut t = Table::new(&["Func", "n", "m", "#nodes theory", "actual #nodes", "saving"]);
     for m in [n, n / 1000] {
         let a: M = AugMap::build(
             workloads::uniform_pairs(n, 1, n as u64 * 4)

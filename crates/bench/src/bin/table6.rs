@@ -13,7 +13,10 @@ use pam_index::{top_k, InvertedIndex};
 use rayon::prelude::*;
 
 fn main() {
-    banner("Table 6: inverted index build & query rates", "Table 6 of the paper");
+    banner(
+        "Table 6: inverted index build & query rates",
+        "Table 6 of the paper",
+    );
     let p = max_threads();
 
     let docs = scaled(50_000);
@@ -27,14 +30,16 @@ fn main() {
     let n = corpus.tokens();
     println!(
         "corpus: {} docs, {} tokens, vocab {}",
-        docs,
-        n,
-        corpus.config.vocab
+        docs, n, corpus.config.vocab
     );
     println!();
 
-    let b1 = with_threads(1, || time(|| InvertedIndex::build(corpus.triples.clone())).1);
-    let bp = with_threads(p, || time(|| InvertedIndex::build(corpus.triples.clone())).1);
+    let b1 = with_threads(1, || {
+        time(|| InvertedIndex::build(corpus.triples.clone())).1
+    });
+    let bp = with_threads(p, || {
+        time(|| InvertedIndex::build(corpus.triples.clone())).1
+    });
 
     let idx = InvertedIndex::build(corpus.triples.clone());
     let nq = scaled(10_000);

@@ -1,0 +1,174 @@
+//! YCSB-style mixed read/write benchmark for the `pam-store` versioned
+//! snapshot store.
+//!
+//! Reproduces the shape of the standard YCSB core workloads against
+//! `VersionedStore` (reads pin the current version; writes flow through
+//! the group-commit pipeline):
+//!
+//! * **A** — 50% reads / 50% writes (update-heavy),
+//! * **B** — 95% reads /  5% writes (read-heavy),
+//! * **C** — 100% reads,
+//! * plus a **range** mix (90% point reads / 5% range scans / 5% writes)
+//!   and a **sum** mix exercising `aug_range` (the augmented O(log n)
+//!   range sum — the query classic stores answer with a full scan).
+//!
+//! For each mix the driver sweeps the group-commit window to expose the
+//! batching/latency trade-off: wider windows mean bigger batches, fewer
+//! `multi_insert`s, higher write throughput — at the cost of commit
+//! latency. Keys are drawn uniformly; `PAM_SCALE` scales the sizes.
+
+use pam::SumAug;
+use pam_bench::*;
+use pam_store::{StoreConfig, VersionedStore};
+use std::sync::Arc;
+use std::time::Duration;
+use workloads::hash64;
+
+type Store = VersionedStore<SumAug<u64, u64>>;
+
+struct Mix {
+    name: &'static str,
+    read_pct: u32,
+    scan_pct: u32,
+    sum_pct: u32,
+}
+
+const MIXES: &[Mix] = &[
+    Mix {
+        name: "A (50r/50w)",
+        read_pct: 50,
+        scan_pct: 0,
+        sum_pct: 0,
+    },
+    Mix {
+        name: "B (95r/5w)",
+        read_pct: 95,
+        scan_pct: 0,
+        sum_pct: 0,
+    },
+    Mix {
+        name: "C (100r)",
+        read_pct: 100,
+        scan_pct: 0,
+        sum_pct: 0,
+    },
+    Mix {
+        name: "range (90r/5s/5w)",
+        read_pct: 90,
+        scan_pct: 5,
+        sum_pct: 0,
+    },
+    Mix {
+        name: "augsum (90r/5q/5w)",
+        read_pct: 90,
+        scan_pct: 0,
+        sum_pct: 5,
+    },
+];
+
+fn run_mix(
+    mix: &Mix,
+    window: Duration,
+    threads: usize,
+    preload: usize,
+    ops_per_thread: usize,
+    key_space: u64,
+) -> (f64, pam_store::StoreStats) {
+    let store = Arc::new(Store::from_map(
+        pam::AugMap::build(
+            (0..preload as u64)
+                .map(|i| (hash64(i) % key_space, i))
+                .collect(),
+        ),
+        StoreConfig {
+            batch_window: window,
+            ..StoreConfig::default()
+        },
+    ));
+    let (read_pct, scan_pct, sum_pct) = (mix.read_pct, mix.scan_pct, mix.sum_pct);
+    let (_, secs) = time(|| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let s = store.clone();
+                std::thread::spawn(move || {
+                    let mut acc = 0u64;
+                    for i in 0..ops_per_thread {
+                        let r = hash64((t as u64) << 32 | i as u64);
+                        let k = hash64(r) % key_space;
+                        let dice = (r % 100) as u32;
+                        if dice < read_pct {
+                            acc = acc.wrapping_add(s.get(&k).unwrap_or(0));
+                        } else if dice < read_pct + scan_pct {
+                            acc = acc.wrapping_add(s.range(&k, &(k + 1000)).len() as u64);
+                        } else if dice < read_pct + scan_pct + sum_pct {
+                            acc = acc.wrapping_add(s.aug_range(&k, &(k + 100_000)));
+                        } else {
+                            s.put(k, i as u64);
+                        }
+                    }
+                    std::hint::black_box(acc)
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        store.flush();
+    });
+    (secs, store.stats())
+}
+
+fn main() {
+    banner(
+        "YCSB-style mixed workloads on pam-store",
+        "the serving-layer extension of §4 (group commit + snapshot reads)",
+    );
+    let threads = max_threads();
+    let preload = scaled(200_000);
+    let ops_per_thread = scaled(50_000);
+    let key_space = (preload as u64) * 4;
+    let windows = [
+        Duration::ZERO,
+        Duration::from_micros(50),
+        Duration::from_micros(200),
+        Duration::from_millis(1),
+    ];
+
+    println!(
+        "{} threads, {preload} preloaded keys, {ops_per_thread} ops/thread\n",
+        threads
+    );
+    let mut table = Table::new(&[
+        "mix",
+        "window",
+        "Mops/s",
+        "commits",
+        "mean batch",
+        "mean commit",
+        "max commit",
+    ]);
+    for mix in MIXES {
+        for &window in &windows {
+            let (secs, stats) = run_mix(mix, window, threads, preload, ops_per_thread, key_space);
+            let total_ops = threads * ops_per_thread;
+            table.row(vec![
+                mix.name.to_string(),
+                format!("{window:?}"),
+                fmt_meps(total_ops, secs),
+                stats.commits.to_string(),
+                format!("{:.1}", stats.mean_batch()),
+                format!("{:?}", stats.mean_commit),
+                format!("{:?}", stats.max_commit),
+            ]);
+            // read-only mixes do not depend on the window; run once
+            if mix.read_pct == 100 {
+                break;
+            }
+        }
+    }
+    table.print();
+    println!(
+        "\n(wider window => larger batches => fewer multi_inserts; \
+         reads always pin the current version and never block)"
+    );
+}

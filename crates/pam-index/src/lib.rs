@@ -69,16 +69,11 @@ impl InvertedIndex {
     /// Work O(n log n): a parallel sort of the triples, then each term's
     /// posting list is built from its contiguous slice.
     pub fn build(triples: Vec<(Term, Doc, Weight)>) -> Self {
-        let mut items: Vec<((Term, Doc), Weight)> = triples
-            .into_iter()
-            .map(|(t, d, w)| ((t, d), w))
-            .collect();
+        let mut items: Vec<((Term, Doc), Weight)> =
+            triples.into_iter().map(|(t, d, w)| ((t, d), w)).collect();
         parlay::par_sort_by(&mut items, |a, b| a.0.cmp(&b.0));
-        let items = parlay::combine_duplicates_by(
-            items,
-            |a, b| a.0 == b.0,
-            |a, b| (a.0, a.1.max(b.1)),
-        );
+        let items =
+            parlay::combine_duplicates_by(items, |a, b| a.0 == b.0, |a, b| (a.0, a.1.max(b.1)));
         // group boundaries per term
         let flags: Vec<bool> = (0..items.len())
             .map(|i| i == 0 || items[i - 1].0 .0 != items[i].0 .0)
@@ -91,8 +86,7 @@ impl InvertedIndex {
             .map(|w| {
                 let group = &items[w[0]..w[1]];
                 let term = group[0].0 .0;
-                let docs: Vec<(Doc, Weight)> =
-                    group.iter().map(|&((_, d), w)| (d, w)).collect();
+                let docs: Vec<(Doc, Weight)> = group.iter().map(|&((_, d), w)| (d, w)).collect();
                 (term, PostingList::from_sorted_distinct(&docs))
             })
             .collect();
@@ -214,10 +208,7 @@ mod tests {
         assert_eq!(and.to_vec(), vec![(101, 13)]); // 9 + 4
 
         let or = idx.or_query(1, 2);
-        assert_eq!(
-            or.to_vec(),
-            vec![(100, 5), (101, 13), (102, 2), (103, 7)]
-        );
+        assert_eq!(or.to_vec(), vec![(100, 5), (101, 13), (102, 2), (103, 7)]);
 
         let not = idx.and_not_query(1, 2);
         assert_eq!(not.to_vec(), vec![(100, 5), (102, 2)]);

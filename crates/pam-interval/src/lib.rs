@@ -185,7 +185,7 @@ impl<P: Endpoint> IntervalMap<P> {
     /// right endpoint is `<= ql` are discarded wholesale.
     /// O(k log(n/k + 1)) for k results.
     pub fn overlapping(&self, ql: P, qr: P) -> Vec<(P, P)> {
-        if !(ql < qr) {
+        if ql >= qr {
             return Vec::new();
         }
         // left endpoint strictly below qr: up_to is inclusive, so probe

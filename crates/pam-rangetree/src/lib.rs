@@ -134,7 +134,13 @@ impl RangeTree {
 
     /// All points inside the window, as `(x, y, w)` — the paper's "Q-All"
     /// (O(k + log² n)): extract the y-range of each canonical inner map.
-    pub fn query_points(&self, xl: Coord, xr: Coord, yl: Coord, yr: Coord) -> Vec<(Coord, Coord, Weight)> {
+    pub fn query_points(
+        &self,
+        xl: Coord,
+        xr: Coord,
+        yl: Coord,
+        yr: Coord,
+    ) -> Vec<(Coord, Coord, Weight)> {
         if xl > xr || yl > yr {
             return Vec::new();
         }
@@ -197,7 +203,13 @@ impl std::fmt::Debug for RangeTree {
 mod tests {
     use super::*;
 
-    fn brute_sum(pts: &[(Coord, Coord, Weight)], xl: Coord, xr: Coord, yl: Coord, yr: Coord) -> Weight {
+    fn brute_sum(
+        pts: &[(Coord, Coord, Weight)],
+        xl: Coord,
+        xr: Coord,
+        yl: Coord,
+        yr: Coord,
+    ) -> Weight {
         pts.iter()
             .filter(|&&(x, y, _)| xl <= x && x <= xr && yl <= y && y <= yr)
             .map(|&(_, _, w)| w)

@@ -1,0 +1,31 @@
+//! Store tuning knobs.
+
+use std::time::Duration;
+
+/// Configuration for a [`crate::VersionedStore`].
+#[derive(Clone, Debug)]
+pub struct StoreConfig {
+    /// How long the committer lingers after the first enqueued operation
+    /// of an epoch, letting concurrent writers pile into the same batch
+    /// (the *group-commit window*). `Duration::ZERO` commits eagerly:
+    /// smallest latency, smallest batches.
+    pub batch_window: Duration,
+    /// Drain the epoch as soon as this many operations are buffered,
+    /// even if the window has not elapsed (bounds batch latency and
+    /// memory under write bursts).
+    pub max_batch: usize,
+    /// How many recent *unpinned* versions the registry retains for
+    /// `pin_version`-style time travel. Pinned or tagged versions are
+    /// always retained (their nodes stay alive through the pin anyway).
+    pub keep_versions: usize,
+}
+
+impl Default for StoreConfig {
+    fn default() -> Self {
+        StoreConfig {
+            batch_window: Duration::from_micros(200),
+            max_batch: 1 << 14,
+            keep_versions: 8,
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # pam-store — a versioned snapshot store over parallel augmented maps
+//!
+//! PAM's concurrency model (§4 of the paper) is "swap in a new root":
+//! readers take O(1) persistent snapshots while writers serialize bulk
+//! updates. That is exactly the shape of a production multi-version
+//! (MVCC) store, and this crate is the serving layer that turns the
+//! primitive into one:
+//!
+//! * **Version registry** ([`registry`]) — every commit publishes an O(1)
+//!   snapshot under a monotonically increasing [`VersionId`]. Versions are
+//!   *refcount-pinned*: a [`PinnedVersion`] guard (or a named tag) keeps a
+//!   historical version readable for free — path-copying means N similar
+//!   versions share almost all of their nodes (measurable via
+//!   [`VersionedStore::memory_bytes`]).
+//! * **Group-commit write pipeline** ([`pipeline`]) — concurrent writers
+//!   enqueue operations into an epoch buffer and immediately receive a
+//!   [`CommitTicket`]. A dedicated committer thread drains the buffer,
+//!   normalizes the batch (parallel sort + last-write-wins dedup, via
+//!   `parlay`), and applies it with one work-optimal
+//!   `multi_insert`/`multi_delete` per epoch, amortizing the O(log n)
+//!   tree work across every writer in the window. The new root is
+//!   published with the CAS-retry commit of [`pam::SharedMap`], so the
+//!   write lock is held only for the pointer swap.
+//! * **Read API** — [`VersionedStore::get`] / [`VersionedStore::range`] /
+//!   [`VersionedStore::aug_range`] pin the current version for the
+//!   duration of the call and never block (or are blocked by) commits.
+//! * **Stats surface** ([`stats`]) — commit latency, batch sizes, CAS
+//!   retries, live versions, and a node-exact memory footprint built on
+//!   `pam::stats`.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use pam_store::{StoreConfig, VersionedStore};
+//! use pam::SumAug;
+//! use std::time::Duration;
+//!
+//! let store: VersionedStore<SumAug<u64, u64>> =
+//!     VersionedStore::with_config(StoreConfig {
+//!         batch_window: Duration::from_micros(100),
+//!         ..StoreConfig::default()
+//!     });
+//!
+//! // writers get a ticket; the committer batches concurrent writes
+//! let t = store.put(1, 10);
+//! store.put(2, 20);
+//! let v = t.wait(); // durable in version `v`
+//!
+//! // readers never block: O(1) pin of the current version
+//! assert_eq!(store.get(&1), Some(10));
+//! assert_eq!(store.aug_range(&1, &2), 30); // augmented range sum
+//!
+//! // pin the current version; later writes don't touch it
+//! let snap = store.pin();
+//! store.delete(1).wait();
+//! assert_eq!(snap.map().get(&1), Some(&10)); // history intact
+//! assert_eq!(store.get(&1), None);
+//! assert!(snap.id() >= v);
+//! ```
+
+#![warn(missing_docs)]
+
+mod config;
+mod op;
+pub mod pipeline;
+pub mod registry;
+pub mod stats;
+mod store;
+
+pub use config::StoreConfig;
+pub use op::WriteOp;
+pub use pipeline::CommitTicket;
+pub use registry::{PinnedVersion, VersionId, VersionInfo};
+pub use stats::StoreStats;
+pub use store::VersionedStore;

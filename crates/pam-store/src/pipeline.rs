@@ -1,0 +1,239 @@
+//! The batched group-commit pipeline.
+//!
+//! Writers append operations to the current *epoch buffer* and receive a
+//! [`CommitTicket`] immediately — enqueueing is a mutex push, never tree
+//! work. A dedicated committer thread:
+//!
+//! 1. sleeps until an epoch has work, then lingers for the configured
+//!    *group-commit window* so concurrent writers share the batch;
+//! 2. drains the whole buffer atomically (this is what makes an epoch an
+//!    all-or-nothing unit: either every operation of an epoch is in the
+//!    published version, or none is);
+//! 3. normalizes the batch (parallel sort + last-write-wins dedup, see
+//!    [`crate::op`]) and applies it as one work-optimal
+//!    `multi_insert` + `multi_delete` on a snapshot — **outside** any
+//!    lock — publishing the result via `SharedMap::commit_cas`;
+//! 4. publishes the new version in the registry, then wakes every ticket
+//!    of the epoch.
+//!
+//! Tree work per epoch is O(m log(n/m + 1)) for m deduplicated operations
+//! — the paper's `multi_insert` bound — regardless of how many writers
+//! contributed, which is the whole point of group commit.
+
+use crate::config::StoreConfig;
+use crate::op::{normalize, WriteOp};
+use crate::registry::Registry;
+use crate::stats::StatsInner;
+use pam::balance::Balance;
+use pam::{AugSpec, SharedMap};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
+
+/// Epoch numbering starts at 1 so "nothing committed yet" is 0.
+struct PipeState<S: AugSpec> {
+    buffer: Vec<(u64, WriteOp<S>)>,
+    /// Epoch the buffer belongs to.
+    epoch: u64,
+    /// Highest epoch fully applied and published.
+    committed_epoch: u64,
+    /// Version that made `committed_epoch` durable.
+    committed_version: u64,
+    /// Global sequence counter for LWW ordering.
+    next_seq: u64,
+    shutdown: bool,
+}
+
+pub(crate) struct Pipeline<S: AugSpec> {
+    state: Mutex<PipeState<S>>,
+    /// Wakes the committer (work arrived / batch cap crossed / shutdown).
+    work: Condvar,
+    /// Wakes ticket holders (an epoch committed).
+    done: Condvar,
+    /// Crossing this buffered-op count cuts the group-commit window short.
+    max_batch: usize,
+}
+
+impl<S: AugSpec> Pipeline<S> {
+    pub fn new(max_batch: usize) -> Self {
+        Pipeline {
+            max_batch: max_batch.max(1),
+            state: Mutex::new(PipeState {
+                buffer: Vec::new(),
+                epoch: 1,
+                committed_epoch: 0,
+                committed_version: 0,
+                next_seq: 0,
+                shutdown: false,
+            }),
+            work: Condvar::new(),
+            done: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, PipeState<S>> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue one operation; returns its epoch.
+    pub fn submit(self: &Arc<Self>, op: WriteOp<S>) -> CommitTicket<S> {
+        self.submit_all(std::iter::once(op))
+    }
+
+    /// Enqueue several operations **atomically**: they share an epoch, so
+    /// a reader either sees all of them applied or none.
+    pub fn submit_all(
+        self: &Arc<Self>,
+        ops: impl IntoIterator<Item = WriteOp<S>>,
+    ) -> CommitTicket<S> {
+        let mut g = self.lock();
+        assert!(!g.shutdown, "store is shutting down");
+        let was_empty = g.buffer.is_empty();
+        let mut pushed = false;
+        for op in ops {
+            let seq = g.next_seq;
+            g.next_seq += 1;
+            g.buffer.push((seq, op));
+            pushed = true;
+        }
+        // an empty submission is vacuously durable (epoch 0 counts as
+        // always-committed)
+        let epoch = if pushed { g.epoch } else { 0 };
+        // Wake the committer when the epoch gets its first op (starts the
+        // group-commit window) and when the buffer crosses the batch cap
+        // (cuts the window short, bounding latency and memory).
+        if pushed && (was_empty || g.buffer.len() >= self.max_batch) {
+            self.work.notify_one();
+        }
+        drop(g);
+        CommitTicket {
+            epoch,
+            pipe: Arc::clone(self),
+        }
+    }
+
+    /// Wait until everything enqueued so far is committed; returns the
+    /// version that contains it.
+    pub fn flush(&self) -> u64 {
+        let mut g = self.lock();
+        // An empty buffer does NOT mean everything is durable: the
+        // committer may have drained epoch `epoch - 1` and still be
+        // applying it. Wait for every *started* epoch, plus the current
+        // one if it has buffered work.
+        let target = if g.buffer.is_empty() {
+            g.epoch - 1
+        } else {
+            g.epoch
+        };
+        if g.committed_epoch >= target {
+            return g.committed_version;
+        }
+        self.work.notify_one();
+        while g.committed_epoch < target {
+            g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        g.committed_version
+    }
+
+    /// Ask the committer to exit once the buffer is drained.
+    pub fn begin_shutdown(&self) {
+        self.lock().shutdown = true;
+        self.work.notify_one();
+    }
+
+    /// The committer loop. Runs on its own thread until shutdown *and*
+    /// empty buffer.
+    pub fn run_committer<B: Balance>(
+        &self,
+        head: &SharedMap<S, B>,
+        registry: &Registry<S, B>,
+        stats: &StatsInner,
+        config: &StoreConfig,
+    ) {
+        let mut g = self.lock();
+        loop {
+            if g.buffer.is_empty() {
+                if g.shutdown {
+                    return;
+                }
+                g = self.work.wait(g).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // Group-commit window: linger once so concurrent writers can
+            // join this epoch (skipped when already over the batch cap,
+            // when draining for shutdown, or with a zero window).
+            if !config.batch_window.is_zero() && g.buffer.len() < config.max_batch && !g.shutdown {
+                let (ng, _timeout) = self
+                    .work
+                    .wait_timeout(g, config.batch_window)
+                    .unwrap_or_else(PoisonError::into_inner);
+                g = ng;
+                if g.buffer.is_empty() {
+                    continue; // spurious wakeup before any op landed
+                }
+            }
+            // Drain the epoch atomically.
+            let batch = std::mem::take(&mut g.buffer);
+            let epoch = g.epoch;
+            g.epoch += 1;
+            drop(g);
+
+            let t0 = Instant::now();
+            let normalized = normalize::<S>(batch);
+            let batch_len = normalized.puts.len() + normalized.deletes.len();
+            let raw_ops = normalized.raw_ops;
+            // Apply on a snapshot outside any lock; publish with the
+            // optimistic swap (the write lock is held only for the O(1)
+            // pointer exchange). The batch vectors are *moved* into the
+            // tree ops — no per-commit clone — which is safe because the
+            // pipeline is the head's only writer (the store never exposes
+            // it), so the swap cannot lose a race.
+            let (snap, ver) = head.snapshot_versioned();
+            let mut m = snap;
+            if !normalized.puts.is_empty() {
+                m.multi_insert(normalized.puts);
+            }
+            if !normalized.deletes.is_empty() {
+                m.multi_delete(normalized.deletes);
+            }
+            let applied = m.clone(); // O(1) snapshot of the result
+            let version = head
+                .try_swap(ver, m)
+                .unwrap_or_else(|_| unreachable!("pipeline is the sole head writer"));
+            registry.publish(version, applied, batch_len);
+            stats.record_commit(raw_ops, batch_len, 0, t0.elapsed());
+
+            g = self.lock();
+            g.committed_epoch = epoch;
+            g.committed_version = version;
+            self.done.notify_all();
+        }
+    }
+}
+
+/// A receipt for enqueued write(s): [`CommitTicket::wait`] blocks until
+/// the epoch containing them is applied and published.
+pub struct CommitTicket<S: AugSpec> {
+    epoch: u64,
+    pipe: Arc<Pipeline<S>>,
+}
+
+impl<S: AugSpec> CommitTicket<S> {
+    /// Block until the write is durable; returns the id of a version that
+    /// contains it (the epoch's own version, by construction).
+    pub fn wait(&self) -> u64 {
+        let mut g = self.pipe.lock();
+        while g.committed_epoch < self.epoch {
+            g = self
+                .pipe
+                .done
+                .wait(g)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        g.committed_version
+    }
+
+    /// Has the epoch committed yet (non-blocking)?
+    pub fn is_done(&self) -> bool {
+        self.pipe.lock().committed_epoch >= self.epoch
+    }
+}

@@ -1,0 +1,110 @@
+//! The store's observability surface.
+//!
+//! Counters are lock-free atomics bumped by the committer; a coherent
+//! [`StoreStats`] snapshot is assembled on demand. Memory numbers come
+//! from `pam::stats` (exact distinct-node walks over every live version),
+//! which is what makes the multi-version sharing visible: N pinned
+//! versions of similar maps report barely more bytes than one.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+#[derive(Default)]
+pub(crate) struct StatsInner {
+    commits: AtomicU64,
+    raw_ops: AtomicU64,
+    applied_ops: AtomicU64,
+    cas_retries: AtomicU64,
+    max_batch: AtomicU64,
+    total_commit_nanos: AtomicU64,
+    max_commit_nanos: AtomicU64,
+}
+
+impl StatsInner {
+    pub fn record_commit(&self, raw_ops: usize, applied_ops: usize, retries: u64, took: Duration) {
+        let nanos = took.as_nanos() as u64;
+        self.commits.fetch_add(1, Ordering::Relaxed);
+        self.raw_ops.fetch_add(raw_ops as u64, Ordering::Relaxed);
+        self.applied_ops
+            .fetch_add(applied_ops as u64, Ordering::Relaxed);
+        self.cas_retries.fetch_add(retries, Ordering::Relaxed);
+        self.max_batch.fetch_max(raw_ops as u64, Ordering::Relaxed);
+        self.total_commit_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_commit_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+}
+
+/// A point-in-time summary of store activity.
+#[derive(Clone, Debug, Default)]
+pub struct StoreStats {
+    /// Commits (group-commit epochs) applied so far.
+    pub commits: u64,
+    /// Operations enqueued by writers and drained by the committer.
+    pub raw_ops: u64,
+    /// Operations surviving last-write-wins deduplication.
+    pub applied_ops: u64,
+    /// CAS publish retries (always 0 today: the pipeline is the head's
+    /// sole writer; reserved for future direct-commit paths).
+    pub cas_retries: u64,
+    /// Largest single batch (raw operations) drained in one epoch.
+    pub max_batch: u64,
+    /// Mean wall time of a commit (normalize + apply + publish).
+    pub mean_commit: Duration,
+    /// Worst-case commit wall time.
+    pub max_commit: Duration,
+    /// Versions currently retained by the registry.
+    pub live_versions: usize,
+    /// Versions pruned since the store started.
+    pub retired_versions: u64,
+    /// Current head version id.
+    pub head_version: u64,
+}
+
+impl StoreStats {
+    pub(crate) fn from_inner(
+        inner: &StatsInner,
+        live_versions: usize,
+        retired_versions: u64,
+        head_version: u64,
+    ) -> Self {
+        let commits = inner.commits.load(Ordering::Relaxed);
+        let total = inner.total_commit_nanos.load(Ordering::Relaxed);
+        StoreStats {
+            commits,
+            raw_ops: inner.raw_ops.load(Ordering::Relaxed),
+            applied_ops: inner.applied_ops.load(Ordering::Relaxed),
+            cas_retries: inner.cas_retries.load(Ordering::Relaxed),
+            max_batch: inner.max_batch.load(Ordering::Relaxed),
+            mean_commit: Duration::from_nanos(total / commits.max(1)),
+            max_commit: Duration::from_nanos(inner.max_commit_nanos.load(Ordering::Relaxed)),
+            live_versions,
+            retired_versions,
+            head_version,
+        }
+    }
+
+    /// Mean raw operations per commit — the group-commit amortization
+    /// factor (1.0 means no batching benefit).
+    pub fn mean_batch(&self) -> f64 {
+        self.raw_ops as f64 / self.commits.max(1) as f64
+    }
+}
+
+impl std::fmt::Display for StoreStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "v{} | {} commits, {} ops ({} applied after LWW), mean batch {:.1}, \
+             commit mean {:?} max {:?}, {} live / {} retired versions",
+            self.head_version,
+            self.commits,
+            self.raw_ops,
+            self.applied_ops,
+            self.mean_batch(),
+            self.mean_commit,
+            self.max_commit,
+            self.live_versions,
+            self.retired_versions,
+        )
+    }
+}

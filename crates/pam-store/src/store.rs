@@ -1,0 +1,411 @@
+//! The store facade: ties head, registry, and pipeline together.
+
+use crate::config::StoreConfig;
+use crate::op::WriteOp;
+use crate::pipeline::{CommitTicket, Pipeline};
+use crate::registry::{PinnedVersion, Registry, VersionId, VersionInfo};
+use crate::stats::{StatsInner, StoreStats};
+use pam::balance::Balance;
+use pam::{AugMap, AugSpec, SharedMap, WeightBalanced};
+use std::sync::Arc;
+
+struct Inner<S: AugSpec, B: Balance> {
+    head: SharedMap<S, B>,
+    registry: Registry<S, B>,
+    pipeline: Arc<Pipeline<S>>,
+    stats: StatsInner,
+    config: StoreConfig,
+}
+
+/// A versioned key-value store over a parallel augmented map.
+///
+/// Writes flow through a batched group-commit pipeline; reads pin O(1)
+/// persistent snapshots and never block. See the crate docs for the
+/// architecture and [`StoreConfig`] for tuning.
+///
+/// The store is `Send + Sync`; wrap it in an [`Arc`] to share across
+/// threads. Dropping the last handle drains outstanding writes and joins
+/// the committer thread.
+pub struct VersionedStore<S: AugSpec, B: Balance = WeightBalanced> {
+    inner: Arc<Inner<S, B>>,
+    committer: Option<std::thread::JoinHandle<()>>,
+}
+
+impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
+    /// An empty store with the default configuration.
+    pub fn new() -> Self {
+        Self::with_config(StoreConfig::default())
+    }
+
+    /// An empty store with the given configuration.
+    pub fn with_config(config: StoreConfig) -> Self {
+        Self::from_map(AugMap::new(), config)
+    }
+
+    /// A store whose version 0 is `initial`.
+    pub fn from_map(initial: AugMap<S, B>, config: StoreConfig) -> Self {
+        let inner = Arc::new(Inner {
+            head: SharedMap::new(initial.clone()),
+            registry: Registry::new(initial, config.keep_versions),
+            pipeline: Arc::new(Pipeline::new(config.max_batch)),
+            stats: StatsInner::default(),
+            config,
+        });
+        let worker = inner.clone();
+        let committer = std::thread::Builder::new()
+            .name("pam-store-committer".into())
+            .spawn(move || {
+                worker.pipeline.run_committer(
+                    &worker.head,
+                    &worker.registry,
+                    &worker.stats,
+                    &worker.config,
+                );
+            })
+            .expect("spawn committer thread");
+        VersionedStore {
+            inner,
+            committer: Some(committer),
+        }
+    }
+
+    // -- writes (through the group-commit pipeline) -----------------------
+
+    /// Insert or overwrite `key`. Returns immediately with a ticket;
+    /// [`CommitTicket::wait`] blocks until the write is in a published
+    /// version.
+    pub fn put(&self, key: S::K, value: S::V) -> CommitTicket<S> {
+        self.inner.pipeline.submit(WriteOp::Put(key, value))
+    }
+
+    /// Remove `key` (no-op if absent).
+    pub fn delete(&self, key: S::K) -> CommitTicket<S> {
+        self.inner.pipeline.submit(WriteOp::Delete(key))
+    }
+
+    /// Enqueue several operations **atomically**: they land in the same
+    /// epoch, so every reader sees either all of them or none.
+    pub fn write_batch(&self, ops: impl IntoIterator<Item = WriteOp<S>>) -> CommitTicket<S> {
+        self.inner.pipeline.submit_all(ops)
+    }
+
+    /// Upsert many pairs atomically (convenience over [`Self::write_batch`]).
+    pub fn put_all(&self, pairs: impl IntoIterator<Item = (S::K, S::V)>) -> CommitTicket<S> {
+        self.write_batch(pairs.into_iter().map(|(k, v)| WriteOp::Put(k, v)))
+    }
+
+    /// Block until every previously enqueued operation is committed;
+    /// returns the version containing them.
+    pub fn flush(&self) -> VersionId {
+        self.inner.pipeline.flush()
+    }
+
+    // -- reads (current version; never block commits) ---------------------
+    //
+    // All reads go through the registry head — the same source `pin()`
+    // uses — so a reader that observes a write via `get` can never then
+    // pin an *older* version (no read-your-reads anomaly between the
+    // `SharedMap` swap and the registry publish).
+
+    /// The value at `key` in the current version.
+    pub fn get(&self, key: &S::K) -> Option<S::V> {
+        self.pin().map().get(key).cloned()
+    }
+
+    /// All entries with keys in `[lo, hi]` in the current version.
+    pub fn range(&self, lo: &S::K, hi: &S::K) -> Vec<(S::K, S::V)> {
+        self.pin().map().range(lo, hi).to_vec()
+    }
+
+    /// Augmented value over keys in `[lo, hi]` in the current version
+    /// (O(log n) — e.g. a range *sum* under `SumAug`).
+    pub fn aug_range(&self, lo: &S::K, hi: &S::K) -> S::A {
+        self.pin().map().aug_range(lo, hi)
+    }
+
+    /// Augmented value of the whole current version (O(1)).
+    pub fn aug_val(&self) -> S::A {
+        self.pin().map().aug_val()
+    }
+
+    /// Entries in the current version.
+    pub fn len(&self) -> usize {
+        self.pin().map().len()
+    }
+
+    /// Is the current version empty?
+    pub fn is_empty(&self) -> bool {
+        self.pin().map().is_empty()
+    }
+
+    // -- versions ----------------------------------------------------------
+
+    /// Pin the current head version (O(1)); the pin keeps it readable
+    /// while later commits advance the head.
+    pub fn pin(&self) -> PinnedVersion<S, B> {
+        self.inner.registry.pin_head()
+    }
+
+    /// Pin a historical version by id, if the registry still retains it.
+    pub fn pin_version(&self, id: VersionId) -> Option<PinnedVersion<S, B>> {
+        self.inner.registry.pin_version(id)
+    }
+
+    /// Name the current head version; a tag pins it until
+    /// [`Self::untag`]. Re-tagging an existing name moves the tag.
+    pub fn tag(&self, name: &str) -> VersionId {
+        self.inner.registry.tag(name)
+    }
+
+    /// Drop a named tag; returns the version it pinned.
+    pub fn untag(&self, name: &str) -> Option<VersionId> {
+        self.inner.registry.untag(name)
+    }
+
+    /// Pin the version a tag refers to.
+    pub fn pin_tagged(&self, name: &str) -> Option<PinnedVersion<S, B>> {
+        self.inner.registry.pin_tagged(name)
+    }
+
+    /// The current head version id (the id [`Self::pin`] would return).
+    pub fn head_version(&self) -> VersionId {
+        self.pin().id()
+    }
+
+    /// Live registry contents, oldest first.
+    pub fn versions(&self) -> Vec<VersionInfo> {
+        self.inner.registry.infos()
+    }
+
+    // -- observability ------------------------------------------------------
+
+    /// A coherent snapshot of commit/batch/version statistics.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats::from_inner(
+            &self.inner.stats,
+            self.inner.registry.live_versions(),
+            self.inner.registry.retired_versions(),
+            self.head_version(),
+        )
+    }
+
+    /// Exact heap bytes reachable from *all* live versions together.
+    /// Shared nodes count once — the measurable benefit of persistence.
+    pub fn memory_bytes(&self) -> usize {
+        self.inner.registry.with_live_maps(|maps| {
+            let roots: Vec<_> = maps.iter().map(|m| m.root()).collect();
+            pam::stats::reachable_bytes(&roots)
+        })
+    }
+}
+
+impl<S: AugSpec, B: Balance> Default for VersionedStore<S, B> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<S: AugSpec, B: Balance> Drop for VersionedStore<S, B> {
+    fn drop(&mut self) {
+        self.inner.pipeline.begin_shutdown();
+        if let Some(h) = self.committer.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::fmt::Debug for VersionedStore<S, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "VersionedStore(v{}, len {})",
+            self.head_version(),
+            self.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pam::SumAug;
+    use std::time::Duration;
+
+    type Store = VersionedStore<SumAug<u64, u64>>;
+
+    fn eager() -> Store {
+        Store::with_config(StoreConfig {
+            batch_window: Duration::ZERO,
+            ..StoreConfig::default()
+        })
+    }
+
+    #[test]
+    fn put_get_delete_roundtrip() {
+        let store = eager();
+        store.put(1, 10);
+        store.put(2, 20);
+        store.put(1, 11).wait();
+        assert_eq!(store.get(&1), Some(11));
+        assert_eq!(store.get(&2), Some(20));
+        assert_eq!(store.get(&3), None);
+        store.delete(1).wait();
+        assert_eq!(store.get(&1), None);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn aug_queries_on_head() {
+        let store = eager();
+        store.put_all((1..=100u64).map(|k| (k, k))).wait();
+        assert_eq!(store.aug_val(), 5050);
+        assert_eq!(store.aug_range(&10, &19), (10..=19).sum::<u64>());
+        assert_eq!(store.range(&98, &200), vec![(98, 98), (99, 99), (100, 100)]);
+    }
+
+    #[test]
+    fn pins_freeze_history() {
+        let store = eager();
+        store.put(1, 1).wait();
+        let pinned = store.pin();
+        let pinned_id = pinned.id();
+        store.put(1, 999).wait();
+        store.put(2, 2).wait();
+        assert_eq!(pinned.map().get(&1), Some(&1));
+        assert_eq!(pinned.map().len(), 1);
+        assert_eq!(store.get(&1), Some(999));
+        assert!(store.head_version() > pinned_id);
+    }
+
+    #[test]
+    fn tags_survive_pruning() {
+        let store = Store::with_config(StoreConfig {
+            batch_window: Duration::ZERO,
+            keep_versions: 2,
+            ..StoreConfig::default()
+        });
+        store.put(0, 0).wait();
+        store.tag("genesis-data");
+        for i in 1..30u64 {
+            store.put(i, i).wait();
+        }
+        let tagged = store.pin_tagged("genesis-data").expect("tag retained");
+        assert_eq!(tagged.map().len(), 1);
+        assert!(store.stats().retired_versions > 0);
+        assert_eq!(store.untag("genesis-data"), Some(tagged.id()));
+    }
+
+    #[test]
+    fn write_batch_is_atomic_wrt_flush() {
+        let store = eager();
+        let t = store.write_batch(vec![
+            WriteOp::Put(1, 1),
+            WriteOp::Put(2, 2),
+            WriteOp::Delete(1),
+        ]);
+        let v = t.wait();
+        let pinned = store.pin_version(v).expect("fresh version retained");
+        assert_eq!(pinned.map().get(&1), None);
+        assert_eq!(pinned.map().get(&2), Some(&2));
+    }
+
+    #[test]
+    fn flush_waits_for_everything() {
+        let store = Store::with_config(StoreConfig {
+            batch_window: Duration::from_millis(5),
+            ..StoreConfig::default()
+        });
+        for i in 0..500u64 {
+            store.put(i, i);
+        }
+        let v = store.flush();
+        assert!(v >= 1);
+        assert_eq!(store.len(), 500);
+        let s = store.stats();
+        assert_eq!(s.raw_ops, 500);
+        assert!(
+            s.commits < 500,
+            "group commit should have batched ({} commits)",
+            s.commits
+        );
+    }
+
+    #[test]
+    fn stats_and_memory_are_populated() {
+        let store = eager();
+        store.put_all((0..1000u64).map(|k| (k, 1))).wait();
+        store.put(5, 2).wait();
+        let s = store.stats();
+        assert_eq!(s.commits, 2);
+        assert_eq!(s.raw_ops, 1001);
+        assert_eq!(s.applied_ops, 1001);
+        assert_eq!(s.head_version, 2);
+        assert!(s.max_batch >= 1000);
+        assert!(s.mean_commit > Duration::ZERO);
+        assert!(store.memory_bytes() > 1000 * 8);
+        let display = s.to_string();
+        assert!(display.contains("2 commits"));
+    }
+
+    #[test]
+    fn flush_is_durable_even_mid_apply() {
+        // Regression: flush() used to return early when the buffer was
+        // empty but the committer was still *applying* a drained epoch.
+        // put → flush → get must always observe the write.
+        let store = eager();
+        for i in 0..1000u64 {
+            store.put(i % 7, i);
+            store.flush();
+            assert_eq!(store.get(&(i % 7)), Some(i), "write lost after flush");
+        }
+    }
+
+    #[test]
+    fn crossing_max_batch_cuts_the_window_short() {
+        let store = Store::with_config(StoreConfig {
+            batch_window: Duration::from_secs(2),
+            max_batch: 64,
+            ..StoreConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        for i in 0..64u64 {
+            store.put(i, i);
+        }
+        store.flush();
+        assert!(
+            t0.elapsed() < Duration::from_secs(1),
+            "batch cap must drain before the 2s window elapses (took {:?})",
+            t0.elapsed()
+        );
+        assert_eq!(store.len(), 64);
+    }
+
+    #[test]
+    fn drop_drains_pending_writes() {
+        let inner;
+        {
+            let store = Store::with_config(StoreConfig {
+                batch_window: Duration::from_millis(50),
+                ..StoreConfig::default()
+            });
+            for i in 0..100u64 {
+                store.put(i, i);
+            }
+            inner = store.inner.clone();
+            // store dropped here with writes possibly still buffered
+        }
+        assert_eq!(inner.head.len(), 100, "drop must drain the pipeline");
+    }
+
+    #[test]
+    fn works_with_other_balance_schemes() {
+        let store: VersionedStore<SumAug<u64, u64>, pam::Avl> =
+            VersionedStore::with_config(StoreConfig {
+                batch_window: Duration::ZERO,
+                ..StoreConfig::default()
+            });
+        store.put_all((0..100u64).map(|k| (k, k))).wait();
+        assert_eq!(store.aug_val(), 4950);
+        store.pin().map().check_invariants().unwrap();
+    }
+}

@@ -39,7 +39,7 @@ fn bh<S: AugSpec>(t: &T<S>) -> u32 {
 
 #[inline]
 fn is_red<S: AugSpec>(t: &T<S>) -> bool {
-    t.as_ref().map_or(false, |n| n.meta.red)
+    t.as_ref().is_some_and(|n| n.meta.red)
 }
 
 /// Make a node with an explicit color; `bh` is derived from the left child
@@ -82,7 +82,12 @@ fn balance_right<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
             // B(l, e, R(R(b2, y, c2), z, d)) -> R(B(l, e, b2), y, B(c2, z, d))
             let (rl, z, _m, d) = expose(r.expect("checked above"));
             let (b2, y, _m2, c2) = expose(rl.expect("red implies nonempty"));
-            return mk(Some(mk(l, e, false, b2)), y, true, Some(mk(c2, z, false, d)));
+            return mk(
+                Some(mk(l, e, false, b2)),
+                y,
+                true,
+                Some(mk(c2, z, false, d)),
+            );
         }
     }
     mk(l, e, red, r)
@@ -102,7 +107,12 @@ fn balance_left<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
             // B(R(a, x, R(b2, y, c2)), z, d) -> R(B(a, x, b2), y, B(c2, z, d))
             let (a, x, _m, lr) = expose(l.expect("checked above"));
             let (b2, y, _m2, c2) = expose(lr.expect("red implies nonempty"));
-            return mk(Some(mk(a, x, false, b2)), y, true, Some(mk(c2, e, false, r)));
+            return mk(
+                Some(mk(a, x, false, b2)),
+                y,
+                true,
+                Some(mk(c2, e, false, r)),
+            );
         }
     }
     mk(l, e, red, r)

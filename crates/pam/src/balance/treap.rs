@@ -73,8 +73,8 @@ impl Balance for Treap {
     }
 
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
-        let ok_l = n.left.as_ref().map_or(true, |l| n.em >= l.em);
-        let ok_r = n.right.as_ref().map_or(true, |r| n.em >= r.em);
+        let ok_l = n.left.as_ref().is_none_or(|l| n.em >= l.em);
+        let ok_r = n.right.as_ref().is_none_or(|r| n.em >= r.em);
         ok_l && ok_r
     }
 }

@@ -68,7 +68,10 @@ impl<S: AugSpec, B: Balance> AugMap<S, B> {
     /// assert_eq!(m.get(&1), Some(&12)); // duplicates combined
     /// assert_eq!(m.aug_val(), 13);
     /// ```
-    pub fn build_with(items: Vec<(S::K, S::V)>, combine: impl Fn(&S::V, &S::V) -> S::V + Sync) -> Self {
+    pub fn build_with(
+        items: Vec<(S::K, S::V)>,
+        combine: impl Fn(&S::V, &S::V) -> S::V + Sync,
+    ) -> Self {
         AugMap {
             root: ops::build::<S, B, _>(items, &combine),
         }
@@ -190,7 +193,11 @@ impl<S: AugSpec, B: Balance> AugMap<S, B> {
     }
 
     /// Intersection; values combined with `combine(self_v, other_v)`.
-    pub fn intersect_with(self, other: Self, combine: impl Fn(&S::V, &S::V) -> S::V + Sync) -> Self {
+    pub fn intersect_with(
+        self,
+        other: Self,
+        combine: impl Fn(&S::V, &S::V) -> S::V + Sync,
+    ) -> Self {
         AugMap {
             root: ops::intersect::<S, B, _>(self.root, other.root, &combine),
         }
@@ -383,7 +390,11 @@ impl<S: AugSpec, B: Balance> AugMap<S, B> {
     /// let keys: Vec<u32> = m.iter_range(&10, &13).map(|(&k, _)| k).collect();
     /// assert_eq!(keys, vec![10, 11, 12, 13]);
     /// ```
-    pub fn iter_range<'a>(&'a self, lo: &'a S::K, hi: &'a S::K) -> crate::iter::RangeIter<'a, S, B> {
+    pub fn iter_range<'a>(
+        &'a self,
+        lo: &'a S::K,
+        hi: &'a S::K,
+    ) -> crate::iter::RangeIter<'a, S, B> {
         crate::iter::RangeIter::new(&self.root, lo, hi)
     }
 

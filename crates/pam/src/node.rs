@@ -150,6 +150,7 @@ impl<S: AugSpec, B: Balance> Node<S, B> {
 /// snapshot untouched.
 #[cfg(not(feature = "no-reuse"))]
 #[inline]
+#[allow(clippy::type_complexity)]
 pub fn expose<S: AugSpec, B: Balance>(
     n: Arc<Node<S, B>>,
 ) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
@@ -171,12 +172,14 @@ pub fn expose<S: AugSpec, B: Balance>(
 /// `no-reuse` ablation build: always path-copy, even when uniquely owned.
 #[cfg(feature = "no-reuse")]
 #[inline]
+#[allow(clippy::type_complexity)]
 pub fn expose<S: AugSpec, B: Balance>(
     n: Arc<Node<S, B>>,
 ) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
     clone_out(&n)
 }
 
+#[allow(clippy::type_complexity)]
 fn clone_out<S: AugSpec, B: Balance>(
     n: &Arc<Node<S, B>>,
 ) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {

@@ -108,13 +108,7 @@ where
     }
 }
 
-fn project_range<S, B, T, G, F2>(
-    t: &Tree<S, B>,
-    lo: &S::K,
-    hi: &S::K,
-    g2: &G,
-    f2: &F2,
-) -> Option<T>
+fn project_range<S, B, T, G, F2>(t: &Tree<S, B>, lo: &S::K, hi: &S::K, g2: &G, f2: &F2) -> Option<T>
 where
     S: AugSpec,
     B: Balance,
@@ -314,7 +308,11 @@ mod tests {
 
     #[test]
     fn aug_filter_on_max_keeps_exactly_matching() {
-        let m = Max::build((0..1000u64).map(|i| (i, (i as i64 * 7919) % 1000)).collect());
+        let m = Max::build(
+            (0..1000u64)
+                .map(|i| (i, (i as i64 * 7919) % 1000))
+                .collect(),
+        );
         let kept = m.aug_filter(|&a| a >= 995);
         assert!(kept.iter().all(|(_, &v)| v >= 995));
         let brute = m

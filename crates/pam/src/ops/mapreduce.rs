@@ -116,10 +116,7 @@ pub fn to_vec<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<(S::K, S::V)> {
     par_fill(size(t), |out| fill_entries(t, out))
 }
 
-fn fill_entries<S: AugSpec, B: Balance>(
-    t: &Tree<S, B>,
-    out: &mut [MaybeUninit<(S::K, S::V)>],
-) {
+fn fill_entries<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<(S::K, S::V)>]) {
     if let Some(n) = t.as_deref() {
         let ls = size(&n.left);
         let (lo, rest) = out.split_at_mut(ls);
@@ -171,7 +168,6 @@ fn fill_vals<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<S::V
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use crate::spec::{NoAug, SumAug};
@@ -187,8 +183,7 @@ mod tests {
     #[test]
     fn map_reduce_non_commutative_reduce_sees_in_order() {
         // concatenate keys: requires in-order association
-        let m: AugMap<NoAug<u8, u8>> =
-            AugMap::build(vec![(3, 0), (1, 0), (2, 0)]);
+        let m: AugMap<NoAug<u8, u8>> = AugMap::build(vec![(3, 0), (1, 0), (2, 0)]);
         let s = m.map_reduce(
             |k, _| k.to_string(),
             |a, b| format!("{a}{b}"),

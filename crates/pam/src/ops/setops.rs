@@ -111,7 +111,6 @@ where
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use crate::spec::SumAug;

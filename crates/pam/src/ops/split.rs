@@ -9,6 +9,7 @@ use std::sync::Arc;
 
 /// `⟨L, v, R⟩ = split(T, k)`: entries less than `k`, the value at `k` (if
 /// present), and entries greater than `k`. O(log n).
+#[allow(clippy::type_complexity)]
 pub fn split<S: AugSpec, B: Balance>(
     t: Tree<S, B>,
     k: &S::K,

@@ -114,7 +114,7 @@ mod tests {
         let m: AugMap<MaxAug<u64, u64>> = AugMap::build(pairs.clone());
         let got = top_k_by(m.root(), 50, |&a| a, |_, &v| v);
         let mut sorted = pairs.clone();
-        sorted.sort_by(|a, b| b.1.cmp(&a.1));
+        sorted.sort_by_key(|&(_, v)| std::cmp::Reverse(v));
         let got_scores: Vec<u64> = got.iter().map(|&(_, &v)| v).collect();
         let want_scores: Vec<u64> = sorted[..50].iter().map(|&(_, v)| v).collect();
         assert_eq!(got_scores, want_scores);

@@ -45,6 +45,15 @@ pub fn unique_nodes<S: AugSpec, B: Balance>(roots: &[&Tree<S, B>]) -> usize {
     seen.len()
 }
 
+/// Approximate heap footprint, in bytes, of everything reachable from
+/// `roots`: distinct nodes × (node size + the two `Arc` refcount words).
+/// Shared nodes are counted once, which is exactly what makes multi-version
+/// stores cheap — N snapshots of similar maps cost barely more than one.
+/// (Used by `pam-store`'s stats surface.)
+pub fn reachable_bytes<S: AugSpec, B: Balance>(roots: &[&Tree<S, B>]) -> usize {
+    unique_nodes(roots) * (node_size::<S, B>() + 2 * std::mem::size_of::<usize>())
+}
+
 /// How many of `result`'s nodes are shared with (reachable from) `inputs`?
 ///
 /// `unique - shared` is the number of freshly allocated nodes the
@@ -59,6 +68,9 @@ pub fn shared_with<S: AugSpec, B: Balance>(
     }
     let mut result_nodes = HashSet::new();
     collect(result, &mut result_nodes);
-    let shared = result_nodes.iter().filter(|p| input_nodes.contains(*p)).count();
+    let shared = result_nodes
+        .iter()
+        .filter(|p| input_nodes.contains(*p))
+        .count();
     (result_nodes.len(), shared)
 }

@@ -48,7 +48,11 @@ where
     let (ls, laug) = rec(&n.left)?;
     let (rs, raug) = rec(&n.right)?;
     if n.size != ls + rs + 1 {
-        return Err(format!("size mismatch: stored {} != {}", n.size, ls + rs + 1));
+        return Err(format!(
+            "size mismatch: stored {} != {}",
+            n.size,
+            ls + rs + 1
+        ));
     }
     let mid = S::base(&n.key, &n.val);
     let expect = match (laug, raug) {

@@ -22,7 +22,15 @@ fn sample(n: u64) -> Vec<(u64, u64)> {
 fn split_rank_partitions_by_index() {
     let m = Sum::build(sample(5000));
     let all = m.to_vec();
-    for i in [0usize, 1, 7, all.len() / 2, all.len() - 1, all.len(), all.len() + 5] {
+    for i in [
+        0usize,
+        1,
+        7,
+        all.len() / 2,
+        all.len() - 1,
+        all.len(),
+        all.len() + 5,
+    ] {
         let (lo, hi) = m.split_rank(i);
         lo.check_invariants().unwrap();
         hi.check_invariants().unwrap();
@@ -64,8 +72,7 @@ fn update_modifies_or_removes() {
 #[test]
 fn filter_map_values_transforms_and_drops() {
     let m = Sum::build(sample(3000));
-    let out: AugMap<MaxAug<u64, u64>> =
-        m.filter_map_values(|k, &v| (k % 2 == 0).then_some(v * 2));
+    let out: AugMap<MaxAug<u64, u64>> = m.filter_map_values(|k, &v| (k % 2 == 0).then_some(v * 2));
     out.check_invariants().unwrap();
     let want: Vec<(u64, u64)> = m
         .to_vec()
@@ -120,11 +127,7 @@ fn top_k_by_on_min_augmentation() {
     // bottom-k via MinAug with reversed ordering
     let pairs = sample(2000);
     let m: AugMap<MinAug<u64, u64>> = AugMap::build(pairs);
-    let got = m.top_k_by(
-        10,
-        |&a| std::cmp::Reverse(a),
-        |_, &v| std::cmp::Reverse(v),
-    );
+    let got = m.top_k_by(10, |&a| std::cmp::Reverse(a), |_, &v| std::cmp::Reverse(v));
     let mut vals: Vec<u64> = m.values();
     vals.sort_unstable();
     let got_vals: Vec<u64> = got.iter().map(|&(_, &v)| v).collect();

@@ -81,7 +81,13 @@ fn insert_delete_match_model<B: Balance>() {
 }
 
 fn union_intersect_difference_match_model<B: Balance>() {
-    for (n1, n2) in [(1000u64, 1000u64), (5000, 50), (50, 5000), (0, 100), (100, 0)] {
+    for (n1, n2) in [
+        (1000u64, 1000u64),
+        (5000, 50),
+        (50, 5000),
+        (0, 100),
+        (100, 0),
+    ] {
         let p1 = pairs(n1, 1, 3000);
         let p2 = pairs(n2, 2, 3000);
         let m1: AugMap<Spec, B> = AugMap::build(p1.clone());
@@ -119,7 +125,13 @@ fn ranges_match_model<B: Balance>() {
     let ps = pairs(5000, 9, 10_000);
     let m: AugMap<Spec, B> = AugMap::build(ps.clone());
     let o = oracle_of(&ps);
-    for (lo, hi) in [(0u64, 10_000u64), (500, 600), (9_999, 10_000), (600, 500), (3, 3)] {
+    for (lo, hi) in [
+        (0u64, 10_000u64),
+        (500, 600),
+        (9_999, 10_000),
+        (600, 500),
+        (3, 3),
+    ] {
         let r = m.range(&lo, &hi);
         let or: BTreeMap<u64, u64> = if lo <= hi {
             o.range(lo..=hi).map(|(&k, &v)| (k, v)).collect()
@@ -146,10 +158,7 @@ fn multi_ops_match_model<B: Balance>() {
     // duplicates merge left-to-right first.
     let mut merged_batch: BTreeMap<u64, u64> = BTreeMap::new();
     for &(k, v) in &batch {
-        merged_batch
-            .entry(k)
-            .and_modify(|x| *x += v)
-            .or_insert(v);
+        merged_batch.entry(k).and_modify(|x| *x += v).or_insert(v);
     }
     m.multi_insert_with(batch.clone(), |a, b| a + b);
     for (&k, &v) in &merged_batch {
@@ -158,7 +167,11 @@ fn multi_ops_match_model<B: Balance>() {
     check(&m, &o);
 
     // multi_delete (half the batch keys, plus some misses)
-    let keys: Vec<u64> = batch.iter().map(|&(k, _)| k).chain(7_000_000..7_000_100).collect();
+    let keys: Vec<u64> = batch
+        .iter()
+        .map(|&(k, _)| k)
+        .chain(7_000_000..7_000_100)
+        .collect();
     m.multi_delete(keys.clone());
     for k in keys {
         o.remove(&k);
@@ -175,10 +188,17 @@ fn order_statistics_match_model<B: Balance>() {
     assert_eq!(m.first().map(|(k, v)| (*k, *v)), sorted.first().copied());
     assert_eq!(m.last().map(|(k, v)| (*k, *v)), sorted.last().copied());
     for probe in [0u64, 1, 57, 1999, 3999, 4001] {
-        assert_eq!(m.rank(&probe), sorted.iter().filter(|&&(k, _)| k < probe).count());
+        assert_eq!(
+            m.rank(&probe),
+            sorted.iter().filter(|&&(k, _)| k < probe).count()
+        );
         assert_eq!(
             m.previous(&probe).map(|(k, _)| *k),
-            sorted.iter().rev().find(|&&(k, _)| k < probe).map(|&(k, _)| k)
+            sorted
+                .iter()
+                .rev()
+                .find(|&&(k, _)| k < probe)
+                .map(|&(k, _)| k)
         );
         assert_eq!(
             m.next(&probe).map(|(k, _)| *k),

@@ -30,7 +30,7 @@ fn union_shares_nodes_with_larger_input() {
     let out = big.clone().union_with(small, |a, b| a + b);
     let (total, shared) = shared_with(out.root(), &[big.root()]);
     assert_eq!(total, out.len()); // distinct keys -> distinct nodes
-    // most nodes must be shared: only the paths to ~100 keys are copied
+                                  // most nodes must be shared: only the paths to ~100 keys are copied
     assert!(
         shared * 10 > before * 9,
         "expected >90% sharing, got {shared}/{before}"
@@ -70,7 +70,10 @@ fn augmentation_space_overhead_matches_paper_shape() {
     let with_aug = node_size::<SumAug<u64, u64>, WeightBalanced>();
     let without = node_size::<NoAug<u64, u64>, WeightBalanced>();
     assert_eq!(with_aug - without, 8, "aug adds exactly one u64");
-    assert!(with_aug <= 64, "node should stay within a cache line: {with_aug}");
+    assert!(
+        with_aug <= 64,
+        "node should stay within a cache line: {with_aug}"
+    );
 }
 
 #[test]

@@ -85,10 +85,7 @@ fn apply_model(model: &mut BTreeMap<u32, u64>, op: &Op) {
         }
         Op::Range(a, b) => {
             let (lo, hi) = (*a.min(b), *a.max(b));
-            *model = model
-                .range(lo..=hi)
-                .map(|(&k, &v)| (k, v))
-                .collect();
+            *model = model.range(lo..=hi).map(|(&k, &v)| (k, v)).collect();
         }
         Op::UpTo(k) => {
             *model = model.range(..=*k).map(|(&k, &v)| (k, v)).collect();
@@ -145,7 +142,8 @@ fn run_sequence<B: Balance>(init: Vec<(u32, u64)>, ops: Vec<Op>) {
     let mut model: BTreeMap<u32, u64> = init.iter().copied().collect();
     let mut map: AugMap<Spec, B> = AugMap::build(init);
     // keep every intermediate version: persistence must keep them intact
-    let mut versions: Vec<(AugMap<Spec, B>, Vec<(u32, u64)>)> = Vec::new();
+    type Version<B> = (AugMap<Spec, B>, Vec<(u32, u64)>);
+    let mut versions: Vec<Version<B>> = Vec::new();
     for op in &ops {
         versions.push((map.clone(), model.iter().map(|(&k, &v)| (k, v)).collect()));
         map = apply_map(map, op);

@@ -120,7 +120,10 @@ fn iterator_is_exact_size_and_sorted() {
     // size_hint stays consistent while consuming
     let mut it = m.iter();
     for consumed in 0..m.len() {
-        assert_eq!(it.size_hint(), (m.len() - consumed, Some(m.len() - consumed)));
+        assert_eq!(
+            it.size_hint(),
+            (m.len() - consumed, Some(m.len() - consumed))
+        );
         it.next();
     }
     assert_eq!(it.next(), None);

@@ -102,7 +102,7 @@ mod tests {
         let v: Vec<(u64, u64)> = (0..200_000u64).map(|i| (i / 3, 1)).collect();
         let got = combine_duplicates(v.clone(), |a, b| a + b);
         // every key 0..66666 appears 3 times except possibly the tail
-        assert_eq!(got.len(), (200_000 + 2) / 3);
+        assert_eq!(got.len(), 200_000_usize.div_ceil(3));
         assert!(got[..got.len() - 1].iter().all(|&(_, c)| c == 3));
         let total: u64 = got.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, 200_000);

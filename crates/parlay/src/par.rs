@@ -95,7 +95,7 @@ mod tests {
 
     #[test]
     fn with_threads_runs_on_pool() {
-        let n = with_threads(2, || rayon::current_num_threads());
+        let n = with_threads(2, rayon::current_num_threads);
         assert_eq!(n, 2);
     }
 

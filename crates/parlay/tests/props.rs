@@ -9,7 +9,7 @@ proptest! {
     #[test]
     fn par_sort_matches_std_stable_sort(mut v in proptest::collection::vec((0u8..16, 0u32..1000), 0..3000)) {
         let mut expect = v.clone();
-        expect.sort_by(|a, b| a.0.cmp(&b.0)); // stable
+        expect.sort_by_key(|a| a.0); // stable
         parlay::par_merge_sort_by(&mut v, |a, b| a.0.cmp(&b.0));
         prop_assert_eq!(v, expect);
     }

@@ -1,0 +1,166 @@
+//! Offline shim for [criterion](https://docs.rs/criterion) (see
+//! `crates/shims/README.md`): the `criterion_group!`/`criterion_main!`
+//! surface over a plain best/mean-of-N timing loop. One line is printed
+//! per benchmark; there are no statistics, plots, or saved baselines.
+
+use std::time::{Duration, Instant};
+
+/// How `iter_batched` amortizes setup cost. The shim runs one routine
+/// call per batch regardless, so the variants only document intent.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch in real criterion.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness handle.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Define and immediately run a benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: self.sample_size,
+            times: Vec::new(),
+        };
+        f(&mut b);
+        b.report(name);
+        self
+    }
+}
+
+/// Times a closure `sample_size` times.
+pub struct Bencher {
+    samples: usize,
+    times: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Time `routine` (called once per sample).
+    pub fn iter<R>(&mut self, mut routine: impl FnMut() -> R) {
+        // one warmup call
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(routine());
+            self.times.push(t.elapsed());
+        }
+    }
+
+    /// Time `routine` on fresh input from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> R,
+        _size: BatchSize,
+    ) {
+        std::hint::black_box(routine(setup()));
+        for _ in 0..self.samples {
+            let input = setup();
+            let t = Instant::now();
+            std::hint::black_box(routine(input));
+            self.times.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.times.is_empty() {
+            println!("{name:<40} (no samples)");
+            return;
+        }
+        let total: Duration = self.times.iter().sum();
+        let mean = total / self.times.len() as u32;
+        let best = self.times.iter().min().expect("non-empty");
+        println!(
+            "{name:<40} mean {:>12?}   best {:>12?}   ({} samples)",
+            mean,
+            best,
+            self.times.len()
+        );
+    }
+}
+
+/// Define a benchmark group function (both criterion forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Define `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut calls = 0usize;
+        Criterion::default()
+            .sample_size(3)
+            .bench_function("shim_smoke", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+        assert_eq!(calls, 4); // 1 warmup + 3 samples
+    }
+
+    #[test]
+    fn iter_batched_gets_fresh_input() {
+        let mut next = 0u32;
+        Criterion::default()
+            .sample_size(2)
+            .bench_function("shim_batched", |b| {
+                b.iter_batched(
+                    || {
+                        next += 1;
+                        next
+                    },
+                    |x| assert!(x > 0),
+                    BatchSize::LargeInput,
+                )
+            });
+        assert_eq!(next, 3);
+    }
+}

@@ -1,0 +1,294 @@
+//! Offline shim for [parking_lot](https://docs.rs/parking_lot) (see
+//! `crates/shims/README.md`): `Mutex` / `RwLock` with the parking_lot API
+//! (no poisoning, guards returned directly) implemented over `std::sync`,
+//! plus the owned Arc guards from `lock_api` that the B+-tree baseline
+//! uses for lock coupling.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::{Arc, PoisonError};
+
+/// Marker standing in for parking_lot's raw lock type parameter.
+pub struct RawRwLock;
+
+/// A mutex that hands out its guard directly (panics in a critical
+/// section simply release the lock; there is no poisoning).
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T: ?Sized>(std::sync::MutexGuard<'a, T>);
+
+impl<T> Mutex<T> {
+    /// Create a new mutex.
+    pub const fn new(t: T) -> Self {
+        Mutex(std::sync::Mutex::new(t))
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquire the lock, blocking.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard(self.0.lock().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Try to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.0.try_lock() {
+            Ok(g) => Some(MutexGuard(g)),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(MutexGuard(p.into_inner())),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for Mutex<T> {
+    fn default() -> Self {
+        Mutex::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mutex").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// A reader-writer lock with the parking_lot API.
+pub struct RwLock<T: ?Sized>(std::sync::RwLock<T>);
+
+/// RAII shared-read guard for [`RwLock`].
+pub struct RwLockReadGuard<'a, T: ?Sized>(std::sync::RwLockReadGuard<'a, T>);
+
+/// RAII exclusive-write guard for [`RwLock`].
+pub struct RwLockWriteGuard<'a, T: ?Sized>(std::sync::RwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    /// Create a new lock.
+    pub const fn new(t: T) -> Self {
+        RwLock(std::sync::RwLock::new(t))
+    }
+
+    /// Consume the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Acquire an *owned* read guard through an `Arc` (the
+    /// `lock_api::ArcRwLockReadGuard` of the real crate).
+    pub fn read_arc(this: &Arc<Self>) -> lock_api::ArcRwLockReadGuard<RawRwLock, T> {
+        lock_api::ArcRwLockReadGuard::lock(Arc::clone(this))
+    }
+
+    /// Acquire an *owned* write guard through an `Arc`.
+    pub fn write_arc(this: &Arc<Self>) -> lock_api::ArcRwLockWriteGuard<RawRwLock, T> {
+        lock_api::ArcRwLockWriteGuard::lock(Arc::clone(this))
+    }
+}
+
+impl<T: ?Sized> RwLock<T> {
+    /// Acquire a shared read lock, blocking.
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Acquire an exclusive write lock, blocking.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(PoisonError::into_inner))
+    }
+
+    /// Mutable access without locking.
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+impl<T: Default> Default for RwLock<T> {
+    fn default() -> Self {
+        RwLock::new(T::default())
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RwLock").finish_non_exhaustive()
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Owned (Arc-holding) guards, mirroring `parking_lot::lock_api`.
+pub mod lock_api {
+    use super::{RawRwLock, RwLock};
+    use std::marker::PhantomData;
+    use std::ops::{Deref, DerefMut};
+    use std::sync::{Arc, PoisonError};
+
+    /// An owned read guard: keeps the `Arc<RwLock<T>>` alive while held.
+    ///
+    /// Field order matters: the borrow-erased guard must drop before the
+    /// `Arc` that owns the lock it points into.
+    pub struct ArcRwLockReadGuard<R, T: ?Sized + 'static> {
+        guard: Option<std::sync::RwLockReadGuard<'static, T>>,
+        _lock: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    /// An owned write guard: keeps the `Arc<RwLock<T>>` alive while held.
+    pub struct ArcRwLockWriteGuard<R, T: ?Sized + 'static> {
+        guard: Option<std::sync::RwLockWriteGuard<'static, T>>,
+        _lock: Arc<RwLock<T>>,
+        _raw: PhantomData<R>,
+    }
+
+    impl<T: 'static> ArcRwLockReadGuard<RawRwLock, T> {
+        pub(super) fn lock(lock: Arc<RwLock<T>>) -> Self {
+            let short = lock.0.read().unwrap_or_else(PoisonError::into_inner);
+            // SAFETY: the guard points into the RwLock owned by `lock`,
+            // which this struct keeps alive (and never moves: the RwLock
+            // lives on the Arc's heap allocation) for as long as the
+            // erased-lifetime guard exists; `guard` is dropped first.
+            let guard = unsafe {
+                std::mem::transmute::<
+                    std::sync::RwLockReadGuard<'_, T>,
+                    std::sync::RwLockReadGuard<'static, T>,
+                >(short)
+            };
+            ArcRwLockReadGuard {
+                guard: Some(guard),
+                _lock: lock,
+                _raw: PhantomData,
+            }
+        }
+    }
+
+    impl<T: 'static> ArcRwLockWriteGuard<RawRwLock, T> {
+        pub(super) fn lock(lock: Arc<RwLock<T>>) -> Self {
+            let short = lock.0.write().unwrap_or_else(PoisonError::into_inner);
+            // SAFETY: as for `ArcRwLockReadGuard::lock`.
+            let guard = unsafe {
+                std::mem::transmute::<
+                    std::sync::RwLockWriteGuard<'_, T>,
+                    std::sync::RwLockWriteGuard<'static, T>,
+                >(short)
+            };
+            ArcRwLockWriteGuard {
+                guard: Some(guard),
+                _lock: lock,
+                _raw: PhantomData,
+            }
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Deref for ArcRwLockReadGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard present until drop")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Deref for ArcRwLockWriteGuard<R, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.guard.as_ref().expect("guard present until drop")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> DerefMut for ArcRwLockWriteGuard<R, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.guard.as_mut().expect("guard present until drop")
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Drop for ArcRwLockReadGuard<R, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+        }
+    }
+
+    impl<R, T: ?Sized + 'static> Drop for ArcRwLockWriteGuard<R, T> {
+        fn drop(&mut self) {
+            self.guard.take();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutex_basic() {
+        let m = Mutex::new(5);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 6);
+    }
+
+    #[test]
+    fn rwlock_many_readers() {
+        let l = RwLock::new(7);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 14);
+    }
+
+    #[test]
+    fn arc_guards_hold_the_lock() {
+        let l = Arc::new(RwLock::new(1));
+        let mut w = RwLock::write_arc(&l);
+        *w = 2;
+        assert!(l.0.try_read().is_err(), "write guard must exclude readers");
+        drop(w);
+        let r1 = RwLock::read_arc(&l);
+        let r2 = RwLock::read_arc(&l);
+        assert_eq!(*r1 + *r2, 4);
+    }
+
+    #[test]
+    fn arc_guard_outlives_original_handle() {
+        let l = Arc::new(RwLock::new(String::from("alive")));
+        let r = RwLock::read_arc(&l);
+        drop(l);
+        assert_eq!(&*r, "alive");
+    }
+}

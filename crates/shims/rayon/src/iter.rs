@@ -1,0 +1,183 @@
+//! Sequentially-executing stand-ins for rayon's parallel iterators.
+//!
+//! [`ParIter`] wraps an ordinary [`Iterator`] and re-exposes the adapter
+//! and driver methods the workspace uses. Execution order matches the
+//! sequential iterator, which is a legal (and deterministic) schedule of
+//! the corresponding parallel computation.
+
+/// A "parallel" iterator: a thin wrapper over a sequential one.
+pub struct ParIter<I>(pub(crate) I);
+
+/// Conversion into a [`ParIter`] by value (`into_par_iter`).
+pub trait IntoParallelIterator {
+    /// Element type.
+    type Item;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert.
+    fn into_par_iter(self) -> ParIter<Self::Iter>;
+}
+
+impl<T> IntoParallelIterator for Vec<T> {
+    type Item = T;
+    type Iter = std::vec::IntoIter<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self.into_iter())
+    }
+}
+
+impl<T> IntoParallelIterator for std::ops::Range<T>
+where
+    std::ops::Range<T>: Iterator<Item = T>,
+{
+    type Item = T;
+    type Iter = std::ops::Range<T>;
+    fn into_par_iter(self) -> ParIter<Self::Iter> {
+        ParIter(self)
+    }
+}
+
+/// Conversion into a borrowing [`ParIter`] (`par_iter`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Borrowed element type.
+    type Item: 'a;
+    /// Underlying sequential iterator.
+    type Iter: Iterator<Item = Self::Item>;
+    /// Convert.
+    fn par_iter(&'a self) -> ParIter<Self::Iter>;
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<'a, T: 'a + Sync> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = std::slice::Iter<'a, T>;
+    fn par_iter(&'a self) -> ParIter<Self::Iter> {
+        ParIter(self.iter())
+    }
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Transform every element.
+    pub fn map<U, F: FnMut(I::Item) -> U>(self, f: F) -> ParIter<std::iter::Map<I, F>> {
+        ParIter(self.0.map(f))
+    }
+
+    /// Keep elements satisfying the predicate.
+    pub fn filter<F: FnMut(&I::Item) -> bool>(self, f: F) -> ParIter<std::iter::Filter<I, F>> {
+        ParIter(self.0.filter(f))
+    }
+
+    /// Map-and-filter in one pass.
+    pub fn filter_map<U, F: FnMut(I::Item) -> Option<U>>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FilterMap<I, F>> {
+        ParIter(self.0.filter_map(f))
+    }
+
+    /// Map each element to a *sequential* iterator and flatten.
+    pub fn flat_map_iter<U: IntoIterator, F: FnMut(I::Item) -> U>(
+        self,
+        f: F,
+    ) -> ParIter<std::iter::FlatMap<I, U, F>> {
+        ParIter(self.0.flat_map(f))
+    }
+
+    /// Pair every element with its index.
+    pub fn enumerate(self) -> ParIter<std::iter::Enumerate<I>> {
+        ParIter(self.0.enumerate())
+    }
+
+    /// Zip with another parallel iterator.
+    pub fn zip<J: Iterator>(self, other: ParIter<J>) -> ParIter<std::iter::Zip<I, J>> {
+        ParIter(self.0.zip(other.0))
+    }
+
+    /// Run `f` on every element.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.0.for_each(f)
+    }
+
+    /// Collect into any `FromIterator` collection.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.0.collect()
+    }
+
+    /// Sum the elements.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.0.sum()
+    }
+
+    /// Count the elements.
+    pub fn count(self) -> usize {
+        self.0.count()
+    }
+
+    /// Parallel fold: produces per-"split" partial accumulators (a single
+    /// one under this sequential shim), to be combined with [`ParIter::reduce`].
+    pub fn fold<T, ID, F>(self, identity: ID, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        ID: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        ParIter(std::iter::once(self.0.fold(identity(), fold_op)))
+    }
+
+    /// Fold with `identity` / `op`, rayon-style (associative reduction).
+    pub fn reduce<F>(self, identity: impl Fn() -> I::Item, op: F) -> I::Item
+    where
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.0.fold(identity(), op)
+    }
+
+    /// Smallest element.
+    pub fn min(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.min()
+    }
+
+    /// Largest element.
+    pub fn max(self) -> Option<I::Item>
+    where
+        I::Item: Ord,
+    {
+        self.0.max()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_roundtrip() {
+        let v: Vec<u64> = (0..10u64).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, (0..10u64).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_and_sum() {
+        let a = vec![1u64, 2, 3];
+        let b = vec![10u64, 20, 30];
+        let s: u64 = a.par_iter().zip(b.par_iter()).map(|(x, y)| x * y).sum();
+        assert_eq!(s, 10 + 40 + 90);
+    }
+
+    #[test]
+    fn filter_count() {
+        assert_eq!(
+            (0..100u32).into_par_iter().filter(|x| x % 3 == 0).count(),
+            34
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Offline shim for [rayon](https://docs.rs/rayon) (see `crates/shims/README.md`).
+//!
+//! Fork-join (`join`, `scope`) forks real OS threads through a global
+//! permit budget sized to the hardware parallelism: a fork that finds no
+//! permit free runs inline, which is exactly the steady-state behavior of
+//! a saturated work-stealing pool (all workers busy ⇒ the "stolen" half is
+//! executed by the forking worker itself). Because callers gate forks by a
+//! granularity threshold (see `parlay::par2_if`), the spawn rate stays far
+//! below the permit cap and thread-creation overhead is hidden behind the
+//! actual parallel work.
+//!
+//! The parallel *iterator* adapters execute sequentially; PAM's
+//! parallelism flows through `join`, so the tree operations that the paper
+//! measures still scale.
+
+mod iter;
+mod pool;
+mod slice;
+
+pub use pool::{
+    current_num_threads, join, scope, Scope, ThreadPool, ThreadPoolBuildError, ThreadPoolBuilder,
+};
+
+/// The traits and types imported by `use rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::slice::{ParallelSlice, ParallelSliceMut};
+}

@@ -1,0 +1,67 @@
+//! Parallel-slice traits (`par_chunks`, `par_sort_unstable`, ...).
+
+use crate::iter::ParIter;
+use std::cmp::Ordering;
+
+/// Shared-slice operations.
+pub trait ParallelSlice<T: Sync> {
+    /// Chunks of at most `size` elements.
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
+    /// Overlapping windows of `size` elements.
+    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
+        ParIter(self.chunks(size))
+    }
+    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
+        ParIter(self.windows(size))
+    }
+}
+
+/// Mutable-slice operations.
+pub trait ParallelSliceMut<T: Send> {
+    /// Mutable chunks of at most `size` elements.
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
+    /// Unstable sort (sequential pdqsort under this shim).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+    /// Unstable sort by comparator.
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
+        ParIter(self.chunks_mut(size))
+    }
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        self.sort_unstable();
+    }
+    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
+        self.sort_unstable_by(cmp);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunks_cover_slice() {
+        let v: Vec<u32> = (0..10).collect();
+        let lens: Vec<usize> = v.par_chunks(4).map(|c| c.len()).collect();
+        assert_eq!(lens, vec![4, 4, 2]);
+    }
+
+    #[test]
+    fn sort_unstable_by_sorts() {
+        let mut v = vec![3u8, 1, 2];
+        v.par_sort_unstable_by(|a, b| b.cmp(a));
+        assert_eq!(v, vec![3, 2, 1]);
+    }
+}

@@ -21,12 +21,7 @@ pub fn random_points(n: usize, seed: u64, universe: u32) -> Vec<(u32, u32, u64)>
 
 /// `m` query windows, each spanning roughly `frac` of the universe per
 /// axis (so the expected output size is `n · frac²`).
-pub fn query_windows(
-    m: usize,
-    seed: u64,
-    universe: u32,
-    frac: f64,
-) -> Vec<(u32, u32, u32, u32)> {
+pub fn query_windows(m: usize, seed: u64, universe: u32, frac: f64) -> Vec<(u32, u32, u32, u32)> {
     let span = ((universe as f64) * frac).max(1.0) as u64;
     (0..m as u64)
         .into_par_iter()

@@ -26,12 +26,7 @@ fn main() {
     println!("20-25 years & $50K-$90K: {hits} people");
 
     // A salary-weighted view of the same data answers payroll questions.
-    let payroll = RangeTree::build(
-        people
-            .iter()
-            .map(|&(a, s, _)| (a, s, s as u64))
-            .collect(),
-    );
+    let payroll = RangeTree::build(people.iter().map(|&(a, s, _)| (a, s, s as u64)).collect());
     let total = payroll.query_sum(30 * 12, 40 * 12, 0, u32::MAX);
     let n = counts.query_sum(30 * 12, 40 * 12, 0, u32::MAX);
     println!(

@@ -33,7 +33,11 @@ fn main() {
     // Bulk operations run in parallel and are work-optimal.
     let evens: M = AugMap::build((0..1_000_000).map(|i| (i * 2, 10)).collect());
     let union = m.union_with(evens, |a, b| a + b);
-    println!("union has {} entries, total {}", union.len(), union.aug_val());
+    println!(
+        "union has {} entries, total {}",
+        union.len(),
+        union.aug_val()
+    );
 
     // Filter with a predicate on entries (linear work, parallel)...
     let big = union.clone().filter(|&k, _| k >= 1_500_000);

@@ -25,7 +25,8 @@ fn main() {
         .collect();
 
     // Two augmented views over the same data: sum and max of sales.
-    let by_sum: AugMap<SumAug<Timestamp, Cents>> = AugMap::build_with(receipts.clone(), |a, b| a + b);
+    let by_sum: AugMap<SumAug<Timestamp, Cents>> =
+        AugMap::build_with(receipts.clone(), |a, b| a + b);
     let by_max: AugMap<MaxAug<Timestamp, Cents>> = AugMap::build(receipts.clone());
 
     const DAY: u64 = 86_400;

@@ -30,10 +30,7 @@ fn main() {
     // intersection; the max-augmentation makes top-k cheap.
     let (w1, w2) = (3u32, 17u32); // two common words
     let and = idx.and_query(w1, w2);
-    println!(
-        "\"{w1} AND {w2}\": {} matching docs; top 5:",
-        and.len()
-    );
+    println!("\"{w1} AND {w2}\": {} matching docs; top 5:", and.len());
     for (doc, score) in top_k(&and, 5) {
         println!("  doc {doc} (score {score})");
     }

@@ -6,6 +6,8 @@
 //! (`tests/`); the library code lives in the workspace crates:
 //!
 //! * [`pam`] — the core augmented-map library,
+//! * [`pam_store`] — the versioned snapshot store / group-commit
+//!   serving layer,
 //! * [`parlay`] — the parallel-primitives substrate,
 //! * [`pam_interval`], [`pam_rangetree`], [`pam_index`] — the paper's
 //!   three example applications,
@@ -20,5 +22,6 @@ pub use pam;
 pub use pam_index;
 pub use pam_interval;
 pub use pam_rangetree;
+pub use pam_store;
 pub use parlay;
 pub use workloads;

@@ -115,9 +115,8 @@ fn baselines_agree_with_pam_on_union() {
     let arr_union = sa.union(&sb, |x, y| x.wrapping_add(y));
     assert_eq!(pam_union, arr_union.as_slice());
 
-    let par_union = baselines::par_merge::par_union(sa.as_slice(), sb.as_slice(), |x, y| {
-        x.wrapping_add(y)
-    });
+    let par_union =
+        baselines::par_merge::par_union(sa.as_slice(), sb.as_slice(), |x, y| x.wrapping_add(y));
     assert_eq!(pam_union, par_union);
 
     let mut ra = baselines::RbTree::new();
@@ -176,7 +175,7 @@ fn max_aug_top_k_against_sort() {
     );
     let got = top_k(&posting, 25);
     let mut sorted = posting.to_vec();
-    sorted.sort_by(|a, b| b.1.cmp(&a.1));
+    sorted.sort_by_key(|&(_, w)| std::cmp::Reverse(w));
     let want_weights: Vec<u64> = sorted.iter().take(25).map(|&(_, w)| w).collect();
     let got_weights: Vec<u64> = got.iter().map(|&(_, w)| w).collect();
     assert_eq!(got_weights, want_weights);
