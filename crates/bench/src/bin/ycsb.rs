@@ -16,15 +16,22 @@
 //! batching/latency trade-off: wider windows mean bigger batches, fewer
 //! `multi_insert`s, higher write throughput — at the cost of commit
 //! latency. Keys are drawn uniformly; `PAM_SCALE` scales the sizes.
+//!
+//! With `--durability {off,wal,wal-fsync}` the driver instead measures
+//! what the write-ahead log costs: workload A against an in-memory
+//! store, a WAL'd store (`NoSync`), and/or a per-epoch-fsync store
+//! (`SyncEachEpoch`), reporting the commit-latency deltas. (`all` runs
+//! the full comparison.)
 
 use pam::SumAug;
 use pam_bench::*;
-use pam_store::{StoreConfig, VersionedStore};
+use pam_store::{DurabilityConfig, DurableStore, StoreConfig, SyncPolicy, VersionedStore};
 use std::sync::Arc;
 use std::time::Duration;
 use workloads::hash64;
 
 type Store = VersionedStore<SumAug<u64, u64>>;
+type Durable = DurableStore<SumAug<u64, u64>>;
 
 struct Mix {
     name: &'static str,
@@ -66,25 +73,15 @@ const MIXES: &[Mix] = &[
     },
 ];
 
-fn run_mix(
+/// Drive `threads × ops_per_thread` mixed operations against a store
+/// handle; returns the wall-clock seconds (including the final flush).
+fn drive(
+    store: &Arc<Store>,
     mix: &Mix,
-    window: Duration,
     threads: usize,
-    preload: usize,
     ops_per_thread: usize,
     key_space: u64,
-) -> (f64, pam_store::StoreStats) {
-    let store = Arc::new(Store::from_map(
-        pam::AugMap::build(
-            (0..preload as u64)
-                .map(|i| (hash64(i) % key_space, i))
-                .collect(),
-        ),
-        StoreConfig {
-            batch_window: window,
-            ..StoreConfig::default()
-        },
-    ));
+) -> f64 {
     let (read_pct, scan_pct, sum_pct) = (mix.read_pct, mix.scan_pct, mix.sum_pct);
     let (_, secs) = time(|| {
         let handles: Vec<_> = (0..threads)
@@ -115,7 +112,125 @@ fn run_mix(
         }
         store.flush();
     });
+    secs
+}
+
+fn run_mix(
+    mix: &Mix,
+    window: Duration,
+    threads: usize,
+    preload: usize,
+    ops_per_thread: usize,
+    key_space: u64,
+) -> (f64, pam_store::StoreStats) {
+    let store = Arc::new(Store::from_map(
+        pam::AugMap::build(
+            (0..preload as u64)
+                .map(|i| (hash64(i) % key_space, i))
+                .collect(),
+        ),
+        StoreConfig {
+            batch_window: window,
+            ..StoreConfig::default()
+        },
+    ));
+    let secs = drive(&store, mix, threads, ops_per_thread, key_space);
     (secs, store.stats())
+}
+
+/// The `--durability` comparison: workload A with the WAL off, on
+/// without fsync, and on with per-epoch group fsync.
+fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: usize) {
+    let key_space = (preload as u64) * 4;
+    let window = Duration::from_micros(200);
+    let mix = &MIXES[0]; // A: 50r/50w — the write-heavy stressor
+    let store_config = StoreConfig {
+        batch_window: window,
+        ..StoreConfig::default()
+    };
+    let modes: Vec<&str> = match mode {
+        "all" => vec!["off", "wal", "wal-fsync"],
+        "off" => vec!["off"],
+        m => vec!["off", m], // always include the baseline for the delta
+    };
+
+    let mut table = Table::new(&[
+        "durability",
+        "Mops/s",
+        "commits",
+        "mean commit",
+        "max commit",
+        "wal KiB",
+        "fsyncs",
+        "Δ mean commit",
+    ]);
+    let mut baseline_mean: Option<Duration> = None;
+    for m in modes {
+        // durable stores live in a scratch dir wiped per run
+        let dir = std::env::temp_dir().join(format!("pam-ycsb-wal-{}-{m}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (durable, store): (Option<Durable>, Arc<Store>) = match m {
+            "off" => (None, Arc::new(Store::with_config(store_config.clone()))),
+            "wal" | "wal-fsync" => {
+                let sync = if m == "wal" {
+                    SyncPolicy::NoSync
+                } else {
+                    SyncPolicy::SyncEachEpoch
+                };
+                let d = Durable::open(
+                    &dir,
+                    store_config.clone(),
+                    DurabilityConfig {
+                        sync,
+                        checkpoint_every_bytes: None, // measure the log alone
+                        ..DurabilityConfig::default()
+                    },
+                )
+                .expect("open durable store");
+                let handle = d.handle();
+                (Some(d), handle)
+            }
+            other => {
+                eprintln!("unknown --durability mode {other:?} (want off|wal|wal-fsync|all)");
+                std::process::exit(2);
+            }
+        };
+        store
+            .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
+            .wait();
+        let secs = drive(&store, mix, threads, ops_per_thread, key_space);
+        let stats = durable
+            .as_ref()
+            .map_or_else(|| store.stats(), |d| d.stats());
+        let delta = match (m, baseline_mean) {
+            ("off", _) => {
+                baseline_mean = Some(stats.mean_commit);
+                "baseline".to_string()
+            }
+            (_, Some(base)) => format!(
+                "{:+.1} µs",
+                (stats.mean_commit.as_secs_f64() - base.as_secs_f64()) * 1e6
+            ),
+            _ => "-".to_string(),
+        };
+        table.row(vec![
+            m.to_string(),
+            fmt_meps(threads * ops_per_thread, secs),
+            stats.commits.to_string(),
+            format!("{:?}", stats.mean_commit),
+            format!("{:?}", stats.max_commit),
+            (stats.durability.wal_bytes / 1024).to_string(),
+            stats.durability.wal_fsyncs.to_string(),
+            delta,
+        ]);
+        drop(durable);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    table.print();
+    println!(
+        "\n(one WAL record + at most one group fsync per epoch: the cost is \
+         amortized over every writer in the {window:?} window)"
+    );
 }
 
 fn main() {
@@ -127,6 +242,19 @@ fn main() {
     let preload = scaled(200_000);
     let ops_per_thread = scaled(50_000);
     let key_space = (preload as u64) * 4;
+
+    // `--durability {off,wal,wal-fsync,all}`: measure the WAL instead of
+    // sweeping the group-commit window.
+    let args: Vec<String> = std::env::args().collect();
+    if let Some(i) = args.iter().position(|a| a == "--durability") {
+        let mode = args.get(i + 1).map(String::as_str).unwrap_or("all");
+        println!(
+            "{} threads, {preload} preloaded keys, {ops_per_thread} ops/thread, workload A\n",
+            threads
+        );
+        run_durability(mode, threads, preload, ops_per_thread);
+        return;
+    }
     let windows = [
         Duration::ZERO,
         Duration::from_micros(50),

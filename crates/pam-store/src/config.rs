@@ -1,5 +1,6 @@
 //! Store tuning knobs.
 
+use pam_wal::SyncPolicy;
 use std::time::Duration;
 
 /// Configuration for a [`crate::VersionedStore`].
@@ -26,6 +27,45 @@ impl Default for StoreConfig {
             batch_window: Duration::from_micros(200),
             max_batch: 1 << 14,
             keep_versions: 8,
+        }
+    }
+}
+
+/// Durability tuning for a [`crate::DurableStore`].
+///
+/// The write-amplification story is unusually good here: group commit
+/// means one WAL record (and at most one fsync) per *epoch*, not per
+/// write, and checkpoints stream a pinned persistent snapshot without
+/// pausing writers — so the defaults lean toward safety.
+#[derive(Clone, Debug)]
+pub struct DurabilityConfig {
+    /// When the WAL fsyncs (see [`SyncPolicy`]). Default:
+    /// [`SyncPolicy::SyncEachEpoch`] — an acked write is on disk.
+    pub sync: SyncPolicy,
+    /// WAL segment rotation threshold in bytes. Smaller segments mean
+    /// finer-grained space reclamation after checkpoints.
+    pub segment_bytes: u64,
+    /// Write a checkpoint automatically once this many WAL bytes have
+    /// accumulated since the last one (`None`: only explicit
+    /// `checkpoint()` calls).
+    pub checkpoint_every_bytes: Option<u64>,
+    /// Also checkpoint on a wall-clock cadence (`None`: byte-triggered /
+    /// manual only).
+    pub checkpoint_interval: Option<Duration>,
+    /// Checkpoint files to retain; older ones are pruned. The extras are
+    /// insurance: a corrupt newest checkpoint falls back to the previous
+    /// one plus a longer WAL replay.
+    pub keep_checkpoints: usize,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            sync: SyncPolicy::SyncEachEpoch,
+            segment_bytes: 16 << 20,
+            checkpoint_every_bytes: Some(64 << 20),
+            checkpoint_interval: None,
+            keep_checkpoints: 2,
         }
     }
 }

@@ -1,0 +1,515 @@
+//! [`DurableStore`]: the versioned store with a disk underneath it.
+//!
+//! The design exploits the two properties PAM gives us for free:
+//!
+//! * **One record per epoch.** The group-commit pipeline already merges
+//!   all concurrent writers into one normalized batch, so the WAL costs
+//!   one append — and under [`pam_wal::SyncPolicy::SyncEachEpoch`] one
+//!   *group* fsync — per epoch, not per write. The committer's
+//!   [`CommitHook`] logs the batch *before* the epoch is applied or any
+//!   ticket wakes: an acknowledged write is a durable write.
+//! * **Checkpoints never pause writers.** A checkpoint pins the head
+//!   version (O(1), persistent) and streams it to disk in sorted order
+//!   while commits keep landing — the same snapshot trick PaC-trees use
+//!   for on-disk tree blocks. Afterwards, WAL segments wholly covered by
+//!   the checkpoint are unlinked.
+//!
+//! Recovery ([`DurableStore::open`]) is the composition: load the newest
+//! valid checkpoint with the bulk `AugMap::from_sorted_distinct` (O(n)
+//! work, parallel), then replay newer WAL epochs through the same
+//! `multi_insert`/`multi_delete` path the committer uses. Because logged
+//! epochs are normalized (sorted, LWW-resolved), replay is idempotent and
+//! may safely overlap the checkpoint's coverage; a torn final record —
+//! the signature of a crash mid-append — is truncated away by
+//! [`pam_wal::Wal::open`].
+
+use crate::config::{DurabilityConfig, StoreConfig};
+use crate::op::NormalizedBatch;
+use crate::pipeline::CommitHook;
+use crate::stats::{DurabilityStats, StoreStats};
+use crate::store::VersionedStore;
+use pam::balance::Balance;
+use pam::{AugMap, AugSpec, WeightBalanced};
+use pam_wal::{checkpoint, record, Codec, DirLock, Wal, WalConfig};
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// What [`DurableStore::open`] found on disk.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryInfo {
+    /// WAL epoch the loaded checkpoint claimed (0: no checkpoint).
+    pub checkpoint_epoch: u64,
+    /// Entries bulk-loaded from the checkpoint.
+    pub checkpoint_entries: u64,
+    /// WAL epochs replayed on top of the checkpoint.
+    pub replayed_epochs: u64,
+    /// Highest durable WAL epoch after recovery.
+    pub last_epoch: u64,
+}
+
+/// Durability counters shared between the commit hook (writer side) and
+/// `stats()` (reader side).
+#[derive(Default)]
+struct DurCounters {
+    records: AtomicU64,
+    bytes: AtomicU64,
+    fsyncs: AtomicU64,
+    checkpoints: AtomicU64,
+    last_ckpt_epoch: AtomicU64,
+    bytes_at_last_ckpt: AtomicU64,
+}
+
+/// The [`CommitHook`] that gives `VersionedStore` its WAL.
+struct WalHook<S: AugSpec>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    wal: Mutex<Wal>,
+    /// Serializes checkpoints: a manual `checkpoint()` racing the
+    /// background checkpointer must not interleave writes into the same
+    /// temp file (or race the prune of stale checkpoints).
+    ckpt_mutex: Mutex<()>,
+    /// Logged epoch = `base` + pipeline epoch, keeping WAL epochs
+    /// monotone across restarts (the pipeline restarts at 1 every open).
+    base: u64,
+    /// Highest WAL epoch whose version is published — the most a
+    /// checkpoint may claim to contain.
+    published: AtomicU64,
+    counters: DurCounters,
+    last_ckpt_at: Mutex<Option<Instant>>,
+    _spec: std::marker::PhantomData<fn(S)>,
+}
+
+impl<S: AugSpec> WalHook<S>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    fn lock_wal(&self) -> std::sync::MutexGuard<'_, Wal> {
+        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn durability_stats(&self) -> DurabilityStats {
+        let segments = self.lock_wal().segments() as u64;
+        DurabilityStats {
+            wal_records: self.counters.records.load(Ordering::Relaxed),
+            wal_bytes: self.counters.bytes.load(Ordering::Relaxed),
+            wal_fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            wal_segments: segments,
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            last_checkpoint_epoch: self.counters.last_ckpt_epoch.load(Ordering::Relaxed),
+            last_checkpoint_age: self
+                .last_ckpt_at
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .map(|at| at.elapsed()),
+        }
+    }
+}
+
+impl<S: AugSpec> CommitHook<S> for WalHook<S>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    fn log_epoch(&self, epoch: u64, batch: &NormalizedBatch<S>) -> io::Result<()> {
+        let mut body = Vec::with_capacity(16 * (batch.puts.len() + batch.deletes.len()) + 16);
+        record::encode_epoch_body(&batch.puts, &batch.deletes, &mut body);
+        let info = self.lock_wal().append(self.base + epoch, &body)?;
+        self.counters.records.fetch_add(1, Ordering::Relaxed);
+        self.counters.bytes.fetch_add(info.bytes, Ordering::Relaxed);
+        if info.synced {
+            self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(())
+    }
+
+    fn epoch_published(&self, epoch: u64, _version: u64) {
+        self.published.store(self.base + epoch, Ordering::Release);
+    }
+}
+
+/// Shutdown signal for the background checkpointer.
+#[derive(Default)]
+struct StopSignal {
+    stop: Mutex<bool>,
+    cv: Condvar,
+}
+
+/// A [`VersionedStore`] whose commits survive restarts and crashes.
+///
+/// Derefs to the inner [`VersionedStore`], so the whole read/write/version
+/// API is available unchanged; writes flow through the same group-commit
+/// pipeline, now logged by a [`CommitHook`] before they are acknowledged.
+///
+/// ```no_run
+/// use pam::SumAug;
+/// use pam_store::{DurabilityConfig, DurableStore, StoreConfig};
+///
+/// let dir = "/var/lib/myapp/store";
+/// let store: DurableStore<SumAug<u64, u64>> =
+///     DurableStore::open(dir, StoreConfig::default(), DurabilityConfig::default()).unwrap();
+/// store.put(1, 10).wait(); // on disk when wait() returns
+/// drop(store);
+///
+/// let store: DurableStore<SumAug<u64, u64>> =
+///     DurableStore::open(dir, StoreConfig::default(), DurabilityConfig::default()).unwrap();
+/// assert_eq!(store.get(&1), Some(10)); // recovered
+/// ```
+pub struct DurableStore<S: AugSpec, B: Balance = WeightBalanced>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    store: Arc<VersionedStore<S, B>>,
+    hook: Arc<WalHook<S>>,
+    config: DurabilityConfig,
+    dir: PathBuf,
+    recovery: RecoveryInfo,
+    stop: Arc<StopSignal>,
+    checkpointer: Option<std::thread::JoinHandle<()>>,
+    /// Declared last: released only after the store above has drained
+    /// its final epochs into the WAL.
+    _lock: DirLock,
+}
+
+impl<S: AugSpec, B: Balance> DurableStore<S, B>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    /// Open (or create) a durable store in `dir`: load the newest valid
+    /// checkpoint, replay newer WAL epochs, and start accepting traffic.
+    /// A torn final WAL record (crash mid-append) is tolerated and
+    /// truncated; see the module docs for the recovery contract.
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        durability: DurabilityConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        // one writer per directory: a second open (double-started
+        // service) must fail fast, not interleave WAL frames
+        let lock = DirLock::acquire(&dir)?;
+        checkpoint::clean_temp_files(&dir)?;
+
+        // 1. checkpoint: bulk-load the newest valid snapshot
+        let (ckpt_epoch, entries) = match checkpoint::load_latest::<S::K, S::V>(&dir)? {
+            Some((epoch, entries)) => (epoch, entries),
+            None => (0, Vec::new()),
+        };
+        let checkpoint_entries = entries.len() as u64;
+        let mut map: AugMap<S, B> = AugMap::from_sorted_distinct(&entries);
+        drop(entries);
+
+        // 2. WAL: replay epochs past the checkpoint through the same
+        //    multi_insert/multi_delete path the committer uses
+        let wal_config = WalConfig {
+            segment_bytes: durability.segment_bytes,
+            sync: durability.sync,
+        };
+        let (wal, records) = Wal::open(&dir, wal_config)?;
+        let mut replayed = 0u64;
+        let mut last_epoch = ckpt_epoch.max(wal.last_epoch());
+        // Gap detection: logged epochs increment by exactly 1 (within a
+        // run and across restarts, via `base`), and WAL truncation only
+        // ever removes a prefix — so the surviving records must be a
+        // contiguous run starting at or before ckpt_epoch + 1. Anything
+        // else means acked epochs are missing (e.g. the newest checkpoint
+        // failed validation *after* its WAL coverage was truncated), and
+        // silently serving that state would lose acknowledged writes.
+        let mut prev_epoch: Option<u64> = None;
+        for rec in &records {
+            let expected_from = match prev_epoch {
+                Some(p) => p + 1,
+                None => {
+                    if rec.epoch > ckpt_epoch + 1 {
+                        return Err(io::Error::new(
+                            io::ErrorKind::InvalidData,
+                            format!(
+                                "WAL gap: checkpoint covers epochs <= {ckpt_epoch} but the \
+                                 log resumes at {} — acked epochs are missing (a newer \
+                                 checkpoint may have failed validation)",
+                                rec.epoch
+                            ),
+                        ));
+                    }
+                    rec.epoch
+                }
+            };
+            if rec.epoch != expected_from {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "WAL gap: epoch {} follows {} — the log is not contiguous",
+                        rec.epoch,
+                        expected_from - 1
+                    ),
+                ));
+            }
+            prev_epoch = Some(rec.epoch);
+        }
+        for rec in records {
+            if rec.epoch <= ckpt_epoch {
+                continue; // already inside the checkpoint (idempotent anyway)
+            }
+            let body = record::decode_epoch_body::<S::K, S::V>(&rec.body)?;
+            if !body.puts.is_empty() {
+                map.multi_insert(body.puts);
+            }
+            if !body.deletes.is_empty() {
+                map.multi_delete(body.deletes);
+            }
+            replayed += 1;
+            last_epoch = last_epoch.max(rec.epoch);
+        }
+
+        // 3. hand the recovered map to a fresh pipeline with the WAL hook
+        let hook = Arc::new(WalHook::<S> {
+            wal: Mutex::new(wal),
+            ckpt_mutex: Mutex::new(()),
+            base: last_epoch,
+            published: AtomicU64::new(last_epoch),
+            counters: DurCounters::default(),
+            last_ckpt_at: Mutex::new(None),
+            _spec: std::marker::PhantomData,
+        });
+        let store = Arc::new(VersionedStore::with_commit_hook(
+            map,
+            config,
+            hook.clone() as Arc<dyn CommitHook<S>>,
+        ));
+
+        // 4. background checkpointer, if configured
+        let stop = Arc::new(StopSignal::default());
+        let checkpointer = if durability.checkpoint_every_bytes.is_some()
+            || durability.checkpoint_interval.is_some()
+        {
+            let (store2, hook2, stop2, dir2, cfg2) = (
+                store.clone(),
+                hook.clone(),
+                stop.clone(),
+                dir.clone(),
+                durability.clone(),
+            );
+            Some(
+                std::thread::Builder::new()
+                    .name("pam-store-checkpointer".into())
+                    .spawn(move || run_checkpointer(&store2, &hook2, &stop2, &dir2, &cfg2))
+                    .expect("spawn checkpointer thread"),
+            )
+        } else {
+            None
+        };
+
+        Ok(DurableStore {
+            store,
+            hook,
+            config: durability,
+            dir,
+            recovery: RecoveryInfo {
+                checkpoint_epoch: ckpt_epoch,
+                checkpoint_entries,
+                replayed_epochs: replayed,
+                last_epoch,
+            },
+            stop,
+            checkpointer,
+            _lock: lock,
+        })
+    }
+
+    /// Write a checkpoint now: pin the head, stream it to disk (writers
+    /// keep committing), then truncate WAL segments the checkpoint
+    /// covers. Returns the WAL epoch the checkpoint claims.
+    pub fn checkpoint(&self) -> io::Result<u64> {
+        do_checkpoint(&self.store, &self.hook, &self.dir, &self.config)
+    }
+
+    /// What recovery found when this store was opened.
+    pub fn recovery(&self) -> &RecoveryInfo {
+        &self.recovery
+    }
+
+    /// Highest WAL epoch that is both durable and published.
+    pub fn wal_epoch(&self) -> u64 {
+        self.hook.published.load(Ordering::Acquire)
+    }
+
+    /// The directory holding the WAL and checkpoints.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// A cloneable, `'static` handle to the underlying versioned store —
+    /// convenient for spawning reader/writer threads. Writes through the
+    /// handle flow through the same logged pipeline and are just as
+    /// durable.
+    pub fn handle(&self) -> Arc<VersionedStore<S, B>> {
+        self.store.clone()
+    }
+
+    /// Store statistics including the durability counters (shadows
+    /// [`VersionedStore::stats`], which reports them as zeros).
+    pub fn stats(&self) -> StoreStats {
+        let mut stats = self.store.stats();
+        stats.durability = self.hook.durability_stats();
+        stats
+    }
+}
+
+/// Shared by `checkpoint()` and the background thread.
+fn do_checkpoint<S: AugSpec, B: Balance>(
+    store: &VersionedStore<S, B>,
+    hook: &WalHook<S>,
+    dir: &Path,
+    config: &DurabilityConfig,
+) -> io::Result<u64>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    // One checkpoint at a time: a manual call racing the background
+    // thread must not interleave into the same temp file.
+    let _serialize = hook
+        .ckpt_mutex
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    // Read the published epoch *before* pinning: every epoch <= `epoch`
+    // is then guaranteed inside the pin (versions publish in epoch
+    // order). The pin may contain later epochs too — harmless, replay is
+    // idempotent.
+    let epoch = hook.published.load(Ordering::Acquire);
+    let pin = store.pin();
+    let map = pin.map();
+    checkpoint::write(
+        dir,
+        epoch,
+        map.len() as u64,
+        |emit| map.for_each(|k, v| emit(k, v)),
+        config.keep_checkpoints,
+    )?;
+    drop(pin); // the snapshot is on disk; release the version
+    hook.lock_wal().truncate_through(epoch)?;
+    hook.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+    hook.counters
+        .last_ckpt_epoch
+        .store(epoch, Ordering::Relaxed);
+    hook.counters.bytes_at_last_ckpt.store(
+        hook.counters.bytes.load(Ordering::Relaxed),
+        Ordering::Relaxed,
+    );
+    *hook
+        .last_ckpt_at
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+    Ok(epoch)
+}
+
+fn run_checkpointer<S: AugSpec, B: Balance>(
+    store: &VersionedStore<S, B>,
+    hook: &WalHook<S>,
+    stop: &StopSignal,
+    dir: &Path,
+    config: &DurabilityConfig,
+) where
+    S::K: Codec,
+    S::V: Codec,
+{
+    let opened_at = Instant::now();
+    let poll = Duration::from_millis(50);
+    let mut g = stop.stop.lock().unwrap_or_else(PoisonError::into_inner);
+    loop {
+        if *g {
+            return;
+        }
+        let (ng, _) = stop
+            .cv
+            .wait_timeout(g, poll)
+            .unwrap_or_else(PoisonError::into_inner);
+        g = ng;
+        if *g {
+            return;
+        }
+
+        let published = hook.published.load(Ordering::Acquire);
+        if published == hook.counters.last_ckpt_epoch.load(Ordering::Relaxed) {
+            continue; // nothing new to checkpoint
+        }
+        let bytes_due = config.checkpoint_every_bytes.is_some_and(|threshold| {
+            hook.counters.bytes.load(Ordering::Relaxed)
+                - hook.counters.bytes_at_last_ckpt.load(Ordering::Relaxed)
+                >= threshold
+        });
+        let time_due = config.checkpoint_interval.is_some_and(|interval| {
+            hook.last_ckpt_at
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .map_or(opened_at.elapsed(), |at| at.elapsed())
+                >= interval
+        });
+        if !(bytes_due || time_due) {
+            continue;
+        }
+        drop(g);
+        if let Err(e) = do_checkpoint(store, hook, dir, config) {
+            // a failed checkpoint is not fatal: the WAL still has
+            // everything; surface the problem and retry next tick
+            eprintln!("pam-store: background checkpoint failed: {e}");
+        }
+        g = stop.stop.lock().unwrap_or_else(PoisonError::into_inner);
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::ops::Deref for DurableStore<S, B>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    type Target = VersionedStore<S, B>;
+    fn deref(&self) -> &Self::Target {
+        &self.store
+    }
+}
+
+impl<S: AugSpec, B: Balance> Drop for DurableStore<S, B>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    fn drop(&mut self) {
+        *self
+            .stop
+            .stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.stop.cv.notify_all();
+        if let Some(h) = self.checkpointer.take() {
+            let _ = h.join();
+        }
+        // `self.store` drops after this, draining (and logging) every
+        // buffered write; the WAL's own Drop then flushes the tail.
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::fmt::Debug for DurableStore<S, B>
+where
+    S::K: Codec,
+    S::V: Codec,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DurableStore({}, v{}, len {}, wal epoch {})",
+            self.dir.display(),
+            self.head_version(),
+            self.len(),
+            self.wal_epoch(),
+        )
+    }
+}

@@ -25,8 +25,13 @@
 //!   [`VersionedStore::aug_range`] pin the current version for the
 //!   duration of the call and never block (or are blocked by) commits.
 //! * **Stats surface** ([`stats`]) — commit latency, batch sizes, CAS
-//!   retries, live versions, and a node-exact memory footprint built on
-//!   `pam::stats`.
+//!   retries, live versions, WAL/checkpoint counters, and a node-exact
+//!   memory footprint built on `pam::stats`.
+//! * **Durability** ([`durable`]) — [`DurableStore`] wraps the store in a
+//!   write-ahead log (one record, one group fsync per epoch — see
+//!   `pam-wal`) plus non-blocking snapshot checkpoints, and recovers from
+//!   crashes by bulk-loading the newest checkpoint and replaying the log,
+//!   tolerating a torn final record.
 //!
 //! ## Quick example
 //!
@@ -61,15 +66,18 @@
 #![warn(missing_docs)]
 
 mod config;
-mod op;
+pub mod durable;
+pub mod op;
 pub mod pipeline;
 pub mod registry;
 pub mod stats;
 mod store;
 
-pub use config::StoreConfig;
-pub use op::WriteOp;
-pub use pipeline::CommitTicket;
+pub use config::{DurabilityConfig, StoreConfig};
+pub use durable::{DurableStore, RecoveryInfo};
+pub use op::{NormalizedBatch, WriteOp};
+pub use pam_wal::{Codec, SyncPolicy};
+pub use pipeline::{CommitHook, CommitTicket};
 pub use registry::{PinnedVersion, VersionId, VersionInfo};
-pub use stats::StoreStats;
+pub use stats::{DurabilityStats, StoreStats};
 pub use store::VersionedStore;

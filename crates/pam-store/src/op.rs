@@ -48,7 +48,13 @@ impl<S: AugSpec> std::fmt::Debug for WriteOp<S> {
 }
 
 /// A normalized epoch: at most one surviving operation per key.
-pub(crate) struct NormalizedBatch<S: AugSpec> {
+///
+/// This is the unit the committer applies to the tree — and, verbatim,
+/// the unit a [`crate::pipeline::CommitHook`] logs: because the batch is
+/// already sorted and last-write-wins resolved, re-applying it is
+/// idempotent, which is what lets crash recovery overlap a checkpoint
+/// with the log records it subsumes.
+pub struct NormalizedBatch<S: AugSpec> {
     /// Last-write-wins upserts, sorted by key, distinct.
     pub puts: Vec<(S::K, S::V)>,
     /// Keys to remove, sorted, distinct, disjoint from `puts`.
@@ -58,7 +64,7 @@ pub(crate) struct NormalizedBatch<S: AugSpec> {
 }
 
 /// Sort + last-write-wins dedup + partition (see module docs).
-pub(crate) fn normalize<S: AugSpec>(mut ops: Vec<(u64, WriteOp<S>)>) -> NormalizedBatch<S> {
+pub fn normalize<S: AugSpec>(mut ops: Vec<(u64, WriteOp<S>)>) -> NormalizedBatch<S> {
     let raw_ops = ops.len();
     // Parallel sort by (key, seq): equal keys end up adjacent with their
     // operations in arrival order.

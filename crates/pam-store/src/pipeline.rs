@@ -21,13 +21,41 @@
 //! contributed, which is the whole point of group commit.
 
 use crate::config::StoreConfig;
-use crate::op::{normalize, WriteOp};
+use crate::op::{normalize, NormalizedBatch, WriteOp};
 use crate::registry::Registry;
 use crate::stats::StatsInner;
 use pam::balance::Balance;
 use pam::{AugSpec, SharedMap};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// The committer's durability extension point (implemented by
+/// `DurableStore`'s WAL writer; see [`crate::VersionedStore::with_commit_hook`]).
+///
+/// Ordering contract, per epoch:
+///
+/// 1. [`CommitHook::log_epoch`] runs after normalization and **before**
+///    the epoch is applied, published, or acknowledged. When it returns
+///    `Ok`, the record must be as durable as the hook's policy promises —
+///    every [`CommitTicket`] of the epoch is still blocked at this point.
+/// 2. [`CommitHook::epoch_published`] runs after the version is visible
+///    in the registry and *before* tickets wake, so anything the hook
+///    records (e.g. the highest published epoch a checkpoint may claim)
+///    is conservative.
+///
+/// If `log_epoch` fails the store is **poisoned**: the committer stops,
+/// buffered writes are dropped, and every in-flight or future
+/// `wait`/`flush`/`submit` panics — fail-stop beats silently acking
+/// writes that never reached the log.
+pub trait CommitHook<S: AugSpec>: Send + Sync {
+    /// Make the normalized epoch durable.
+    fn log_epoch(&self, epoch: u64, batch: &NormalizedBatch<S>) -> std::io::Result<()>;
+
+    /// The epoch's version is now readable in the registry.
+    fn epoch_published(&self, epoch: u64, version: u64) {
+        let _ = (epoch, version);
+    }
+}
 
 /// Epoch numbering starts at 1 so "nothing committed yet" is 0.
 struct PipeState<S: AugSpec> {
@@ -41,6 +69,8 @@ struct PipeState<S: AugSpec> {
     /// Global sequence counter for LWW ordering.
     next_seq: u64,
     shutdown: bool,
+    /// Set when the commit hook failed: the store is fail-stopped.
+    poisoned: bool,
 }
 
 pub(crate) struct Pipeline<S: AugSpec> {
@@ -64,6 +94,7 @@ impl<S: AugSpec> Pipeline<S> {
                 committed_version: 0,
                 next_seq: 0,
                 shutdown: false,
+                poisoned: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
@@ -86,6 +117,7 @@ impl<S: AugSpec> Pipeline<S> {
         ops: impl IntoIterator<Item = WriteOp<S>>,
     ) -> CommitTicket<S> {
         let mut g = self.lock();
+        assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
         assert!(!g.shutdown, "store is shutting down");
         let was_empty = g.buffer.is_empty();
         let mut pushed = false;
@@ -129,6 +161,7 @@ impl<S: AugSpec> Pipeline<S> {
         }
         self.work.notify_one();
         while g.committed_epoch < target {
+            assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
             g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
         g.committed_version
@@ -141,13 +174,14 @@ impl<S: AugSpec> Pipeline<S> {
     }
 
     /// The committer loop. Runs on its own thread until shutdown *and*
-    /// empty buffer.
+    /// empty buffer (or until the commit hook fails — see [`CommitHook`]).
     pub fn run_committer<B: Balance>(
         &self,
         head: &SharedMap<S, B>,
         registry: &Registry<S, B>,
         stats: &StatsInner,
         config: &StoreConfig,
+        hook: Option<&dyn CommitHook<S>>,
     ) {
         let mut g = self.lock();
         loop {
@@ -181,6 +215,22 @@ impl<S: AugSpec> Pipeline<S> {
             let normalized = normalize::<S>(batch);
             let batch_len = normalized.puts.len() + normalized.deletes.len();
             let raw_ops = normalized.raw_ops;
+            // WAL first: the epoch must be durable before it is applied
+            // or acked (tickets are still blocked here). A hook failure
+            // fail-stops the store.
+            if let Some(h) = hook {
+                if let Err(e) = h.log_epoch(epoch, &normalized) {
+                    eprintln!(
+                        "pam-store: commit hook failed for epoch {epoch}: {e}; poisoning store"
+                    );
+                    let mut g = self.lock();
+                    g.poisoned = true;
+                    g.shutdown = true;
+                    g.buffer.clear();
+                    self.done.notify_all();
+                    return;
+                }
+            }
             // Apply on a snapshot outside any lock; publish with the
             // optimistic swap (the write lock is held only for the O(1)
             // pointer exchange). The batch vectors are *moved* into the
@@ -200,6 +250,11 @@ impl<S: AugSpec> Pipeline<S> {
                 .try_swap(ver, m)
                 .unwrap_or_else(|_| unreachable!("pipeline is the sole head writer"));
             registry.publish(version, applied, batch_len);
+            if let Some(h) = hook {
+                // after publish, before tickets wake: the hook's notion of
+                // "published through epoch E" stays conservative
+                h.epoch_published(epoch, version);
+            }
             stats.record_commit(raw_ops, batch_len, 0, t0.elapsed());
 
             g = self.lock();
@@ -220,9 +275,14 @@ pub struct CommitTicket<S: AugSpec> {
 impl<S: AugSpec> CommitTicket<S> {
     /// Block until the write is durable; returns the id of a version that
     /// contains it (the epoch's own version, by construction).
+    ///
+    /// # Panics
+    /// If the store was poisoned by a failed commit hook (the write may
+    /// never become durable).
     pub fn wait(&self) -> u64 {
         let mut g = self.pipe.lock();
         while g.committed_epoch < self.epoch {
+            assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
             g = self
                 .pipe
                 .done

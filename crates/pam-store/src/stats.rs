@@ -58,6 +58,49 @@ pub struct StoreStats {
     pub retired_versions: u64,
     /// Current head version id.
     pub head_version: u64,
+    /// Durability counters (all zero / `None` for a purely in-memory
+    /// store; filled in by `DurableStore::stats`).
+    pub durability: DurabilityStats,
+}
+
+/// WAL and checkpoint activity of a durable store.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityStats {
+    /// Epoch records appended to the write-ahead log.
+    pub wal_records: u64,
+    /// Bytes appended to the write-ahead log (framing included).
+    pub wal_bytes: u64,
+    /// Fsyncs issued by the log (group commit amortizes these: one per
+    /// epoch at most, regardless of writer count).
+    pub wal_fsyncs: u64,
+    /// Live WAL segment files.
+    pub wal_segments: u64,
+    /// Checkpoints written since open.
+    pub checkpoints: u64,
+    /// Highest WAL epoch covered by the newest checkpoint.
+    pub last_checkpoint_epoch: u64,
+    /// Time since the newest checkpoint was written in this process
+    /// (`None`: no checkpoint yet this run).
+    pub last_checkpoint_age: Option<Duration>,
+}
+
+impl std::fmt::Display for DurabilityStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "wal {} records / {} KiB / {} fsyncs / {} segments, {} checkpoints (last: epoch {}, {})",
+            self.wal_records,
+            self.wal_bytes / 1024,
+            self.wal_fsyncs,
+            self.wal_segments,
+            self.checkpoints,
+            self.last_checkpoint_epoch,
+            match self.last_checkpoint_age {
+                Some(age) => format!("{age:.1?} ago"),
+                None => "none this run".to_string(),
+            },
+        )
+    }
 }
 
 impl StoreStats {
@@ -80,6 +123,7 @@ impl StoreStats {
             live_versions,
             retired_versions,
             head_version,
+            durability: DurabilityStats::default(),
         }
     }
 
@@ -105,6 +149,10 @@ impl std::fmt::Display for StoreStats {
             self.max_commit,
             self.live_versions,
             self.retired_versions,
-        )
+        )?;
+        if self.durability.wal_records > 0 || self.durability.checkpoints > 0 {
+            write!(f, " | {}", self.durability)?;
+        }
+        Ok(())
     }
 }

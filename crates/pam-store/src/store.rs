@@ -2,7 +2,7 @@
 
 use crate::config::StoreConfig;
 use crate::op::WriteOp;
-use crate::pipeline::{CommitTicket, Pipeline};
+use crate::pipeline::{CommitHook, CommitTicket, Pipeline};
 use crate::registry::{PinnedVersion, Registry, VersionId, VersionInfo};
 use crate::stats::{StatsInner, StoreStats};
 use pam::balance::Balance;
@@ -15,6 +15,7 @@ struct Inner<S: AugSpec, B: Balance> {
     pipeline: Arc<Pipeline<S>>,
     stats: StatsInner,
     config: StoreConfig,
+    hook: Option<Arc<dyn CommitHook<S>>>,
 }
 
 /// A versioned key-value store over a parallel augmented map.
@@ -44,12 +45,32 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
 
     /// A store whose version 0 is `initial`.
     pub fn from_map(initial: AugMap<S, B>, config: StoreConfig) -> Self {
+        Self::build(initial, config, None)
+    }
+
+    /// A store whose committer calls `hook` around every epoch — the
+    /// extension point durability layers (`DurableStore`) attach to. See
+    /// [`CommitHook`] for the ordering contract.
+    pub fn with_commit_hook(
+        initial: AugMap<S, B>,
+        config: StoreConfig,
+        hook: Arc<dyn CommitHook<S>>,
+    ) -> Self {
+        Self::build(initial, config, Some(hook))
+    }
+
+    fn build(
+        initial: AugMap<S, B>,
+        config: StoreConfig,
+        hook: Option<Arc<dyn CommitHook<S>>>,
+    ) -> Self {
         let inner = Arc::new(Inner {
             head: SharedMap::new(initial.clone()),
             registry: Registry::new(initial, config.keep_versions),
             pipeline: Arc::new(Pipeline::new(config.max_batch)),
             stats: StatsInner::default(),
             config,
+            hook,
         });
         let worker = inner.clone();
         let committer = std::thread::Builder::new()
@@ -60,6 +81,7 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
                     &worker.registry,
                     &worker.stats,
                     &worker.config,
+                    worker.hook.as_deref(),
                 );
             })
             .expect("spawn committer thread");
@@ -112,9 +134,41 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
         self.pin().map().get(key).cloned()
     }
 
+    /// The values at several keys, read from **one** snapshot: the
+    /// results are mutually consistent (no commit can land between the
+    /// lookups), the version is pinned once instead of per key, and the
+    /// probes run in sorted key order so successive lookups share their
+    /// upper tree path in cache. Results come back in input order.
+    pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
+        let pin = self.pin();
+        let map = pin.map();
+        let mut order: Vec<usize> = (0..keys.len()).collect();
+        order.sort_by(|&a, &b| S::compare(&keys[a], &keys[b]));
+        let mut out: Vec<Option<S::V>> = vec![None; keys.len()];
+        for i in order {
+            out[i] = map.get(&keys[i]).cloned();
+        }
+        out
+    }
+
     /// All entries with keys in `[lo, hi]` in the current version.
+    ///
+    /// Allocates one output vector; for large ranges prefer the
+    /// zero-materialization [`Self::range_for_each`].
     pub fn range(&self, lo: &S::K, hi: &S::K) -> Vec<(S::K, S::V)> {
-        self.pin().map().range(lo, hi).to_vec()
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Stream the entries with keys in `[lo, hi]` to `f` in key order,
+    /// without materializing a sub-map or vector. The snapshot is pinned
+    /// for the duration of the call; commits are never blocked.
+    pub fn range_for_each(&self, lo: &S::K, hi: &S::K, mut f: impl FnMut(&S::K, &S::V)) {
+        let pin = self.pin();
+        for (k, v) in pin.map().iter_range(lo, hi) {
+            f(k, v);
+        }
     }
 
     /// Augmented value over keys in `[lo, hi]` in the current version
@@ -307,6 +361,35 @@ mod tests {
         let pinned = store.pin_version(v).expect("fresh version retained");
         assert_eq!(pinned.map().get(&1), None);
         assert_eq!(pinned.map().get(&2), Some(&2));
+    }
+
+    #[test]
+    fn get_many_reads_one_snapshot_in_input_order() {
+        let store = eager();
+        store.put_all((0..100u64).map(|k| (k, k * 2))).wait();
+        // unsorted, with duplicates and misses
+        let keys = vec![42u64, 7, 999, 7, 0, 63];
+        let got = store.get_many(&keys);
+        assert_eq!(
+            got,
+            vec![Some(84), Some(14), None, Some(14), Some(0), Some(126)]
+        );
+        assert_eq!(store.get_many(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn range_for_each_streams_in_key_order() {
+        let store = eager();
+        store.put_all((0..1000u64).map(|k| (k, k))).wait();
+        let mut seen = Vec::new();
+        store.range_for_each(&100, &109, |&k, &v| seen.push((k, v)));
+        assert_eq!(seen, (100..=109).map(|k| (k, k)).collect::<Vec<_>>());
+        // empty range
+        let mut count = 0;
+        store.range_for_each(&5000, &6000, |_, _| count += 1);
+        assert_eq!(count, 0);
+        // agrees with the materializing API
+        assert_eq!(store.range(&100, &109), seen);
     }
 
     #[test]

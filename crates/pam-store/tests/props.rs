@@ -1,0 +1,93 @@
+//! Property tests: the pipeline's parallel normalize (parlay sort +
+//! last-write-wins dedup) must agree with a boring sequential replay.
+
+use pam::{AugMap, SumAug};
+use pam_store::op::normalize;
+use pam_store::{StoreConfig, VersionedStore, WriteOp};
+use proptest::prelude::*;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+type S = SumAug<u64, u64>;
+
+/// Put/Delete over a deliberately small key space so batches collide.
+fn op_strategy() -> impl Strategy<Value = WriteOp<S>> {
+    prop_oneof![
+        (0u64..64, 0u64..1_000_000).prop_map(|(k, v)| WriteOp::Put(k, v)),
+        (0u64..64).prop_map(WriteOp::Delete),
+    ]
+}
+
+fn apply_sequentially(oracle: &mut BTreeMap<u64, u64>, ops: &[WriteOp<S>]) {
+    for op in ops {
+        match op {
+            WriteOp::Put(k, v) => {
+                oracle.insert(*k, *v);
+            }
+            WriteOp::Delete(k) => {
+                oracle.remove(k);
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // One epoch: normalize + one multi_insert/multi_delete must land on
+    // the same state as replaying the raw operations one by one.
+    #[test]
+    fn normalize_matches_sequential_replay(
+        base in collection::vec((0u64..64, 0u64..1_000_000), 0..40),
+        ops in collection::vec(op_strategy(), 0..400),
+    ) {
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        apply_sequentially(
+            &mut oracle,
+            &base.iter().map(|&(k, v)| WriteOp::Put(k, v)).collect::<Vec<_>>(),
+        );
+        apply_sequentially(&mut oracle, &ops);
+
+        let mut map: AugMap<S> = AugMap::build(base);
+        let tagged: Vec<(u64, WriteOp<S>)> =
+            ops.into_iter().enumerate().map(|(i, op)| (i as u64, op)).collect();
+        let batch = normalize::<S>(tagged);
+        // normalized halves are disjoint, so application order is free
+        if !batch.deletes.is_empty() {
+            map.multi_delete(batch.deletes);
+        }
+        if !batch.puts.is_empty() {
+            map.multi_insert(batch.puts);
+        }
+
+        prop_assert_eq!(map.to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    // Many epochs through the real store (arbitrary batch boundaries)
+    // must equal the same sequential replay.
+    #[test]
+    fn store_matches_sequential_replay_across_epochs(
+        ops in collection::vec(op_strategy(), 0..300),
+        cuts in collection::vec(1usize..24, 1..24),
+    ) {
+        let store: VersionedStore<S> = VersionedStore::with_config(StoreConfig {
+            batch_window: Duration::ZERO,
+            ..StoreConfig::default()
+        });
+        let mut oracle: BTreeMap<u64, u64> = BTreeMap::new();
+        apply_sequentially(&mut oracle, &ops);
+
+        let mut rest = ops.as_slice();
+        let mut cut_iter = cuts.iter().cycle();
+        while !rest.is_empty() {
+            let n = (*cut_iter.next().unwrap()).min(rest.len());
+            let (chunk, tail) = rest.split_at(n);
+            store.write_batch(chunk.to_vec());
+            rest = tail;
+        }
+        store.flush();
+
+        let pin = store.pin();
+        prop_assert_eq!(pin.map().to_vec(), oracle.into_iter().collect::<Vec<_>>());
+    }
+}

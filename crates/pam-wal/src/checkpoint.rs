@@ -1,0 +1,350 @@
+//! Snapshot checkpoints: the map, sorted, on disk.
+//!
+//! A checkpoint file is named for the last WAL epoch it is guaranteed to
+//! contain (`ckpt-<epoch>.ckpt`) and holds the whole map in key order:
+//!
+//! ```text
+//! [ magic "PAMCKPT1" ]
+//! [ frame: header  = varint(epoch) ++ varint(entry_count) ]
+//! [ frame: chunk   = varint(n) ++ n * (key ++ value) ]      (repeated)
+//! ```
+//!
+//! Every frame is length+CRC checked ([`crate::frame`]), and the file is
+//! written to a `.tmp` sibling, fsynced, then atomically renamed — a
+//! crash mid-checkpoint leaves at worst a stale temp file, never a
+//! half-visible checkpoint. Because the caller streams a *pinned*
+//! persistent snapshot, checkpointing runs concurrently with live
+//! commits; nothing pauses.
+//!
+//! [`load_latest`] walks checkpoints newest-first and returns the first
+//! one that validates, so a corrupt newest checkpoint degrades to the
+//! previous one (plus a longer WAL replay) instead of an unrecoverable
+//! store.
+
+use crate::codec::{put_varint, Codec, Reader};
+use crate::frame::{self, Frame};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every checkpoint file.
+pub const CHECKPOINT_MAGIC: &[u8; 8] = b"PAMCKPT1";
+
+/// Entries per chunk frame: big enough to amortize framing, small enough
+/// to keep the write buffer and a corrupt-chunk blast radius modest.
+const CHUNK_ENTRIES: usize = 4096;
+
+fn checkpoint_path(dir: &Path, epoch: u64) -> PathBuf {
+    dir.join(format!("ckpt-{epoch:020}.ckpt"))
+}
+
+fn parse_checkpoint_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("ckpt-")?.strip_suffix(".ckpt")?;
+    digits.parse().ok()
+}
+
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+/// Write a checkpoint claiming WAL epochs `..= epoch`, streaming the
+/// `len` pairs that `source` emits (sorted by key, distinct — drive it
+/// with `AugMap::for_each`) to disk one chunk at a time. Afterwards
+/// prunes old checkpoints, keeping the newest `keep`.
+///
+/// Returns the bytes written. Fails (leaving only a temp file behind) if
+/// `source` does not emit exactly `len` pairs.
+///
+/// The visitor shape (instead of an iterator) is deliberate: it lets the
+/// tree side export with a plain in-order recursion and keeps this crate
+/// free of any map dependency.
+pub fn write<K, V>(
+    dir: &Path,
+    epoch: u64,
+    len: u64,
+    source: impl FnOnce(&mut dyn FnMut(&K, &V)),
+    keep: usize,
+) -> io::Result<u64>
+where
+    K: Codec,
+    V: Codec,
+{
+    fs::create_dir_all(dir)?;
+    let final_path = checkpoint_path(dir, epoch);
+    let tmp_path = final_path.with_extension("tmp");
+    let mut file = OpenOptions::new()
+        .create(true)
+        .write(true)
+        .truncate(true)
+        .open(&tmp_path)?;
+
+    // The caller is a map, so the entry count is known up front: the
+    // header goes first and chunks stream straight to the file — memory
+    // use is one chunk, not one checkpoint.
+    let mut bytes = 0u64;
+    let mut out = Vec::new();
+    out.extend_from_slice(CHECKPOINT_MAGIC);
+    let mut header = Vec::new();
+    put_varint(&mut header, epoch);
+    put_varint(&mut header, len);
+    frame::put_frame(&mut out, &header);
+    file.write_all(&out)?;
+    bytes += out.len() as u64;
+
+    fn flush_chunk(file: &mut File, cur: &[u8], in_cur: usize) -> io::Result<u64> {
+        let mut payload = Vec::with_capacity(10 + cur.len());
+        put_varint(&mut payload, in_cur as u64);
+        payload.extend_from_slice(cur);
+        let mut buf = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+        frame::put_frame(&mut buf, &payload);
+        file.write_all(&buf)?;
+        Ok(buf.len() as u64)
+    }
+    let mut cur = Vec::new();
+    let mut in_cur = 0usize;
+    let mut total = 0u64;
+    // io errors inside the visitor are parked here and re-raised after
+    // the source returns (a callback cannot `?` outward)
+    let mut deferred: io::Result<()> = Ok(());
+    source(&mut |k: &K, v: &V| {
+        if deferred.is_err() {
+            return;
+        }
+        k.encode(&mut cur);
+        v.encode(&mut cur);
+        in_cur += 1;
+        total += 1;
+        if in_cur == CHUNK_ENTRIES {
+            match flush_chunk(&mut file, &cur, in_cur) {
+                Ok(n) => bytes += n,
+                Err(e) => deferred = Err(e),
+            }
+            cur.clear();
+            in_cur = 0;
+        }
+    });
+    deferred?;
+    if in_cur > 0 {
+        bytes += flush_chunk(&mut file, &cur, in_cur)?;
+    }
+    if total != len {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("checkpoint stream yielded {total} entries, header claims {len}"),
+        ));
+    }
+    file.sync_all()?;
+    drop(file);
+    fs::rename(&tmp_path, &final_path)?;
+    sync_dir(dir)?;
+
+    prune(dir, keep)?;
+    Ok(bytes)
+}
+
+/// Delete all but the newest `keep` checkpoints.
+fn prune(dir: &Path, keep: usize) -> io::Result<()> {
+    let mut ckpts = list(dir)?;
+    if ckpts.len() <= keep.max(1) {
+        return Ok(());
+    }
+    // newest last after the sort in `list`
+    let stale = ckpts.len() - keep.max(1);
+    let mut removed = false;
+    for (_, path) in ckpts.drain(..stale) {
+        fs::remove_file(path)?;
+        removed = true;
+    }
+    if removed {
+        sync_dir(dir)?;
+    }
+    Ok(())
+}
+
+/// All checkpoint files in `dir`, oldest first.
+fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let mut out: Vec<(u64, PathBuf)> = fs::read_dir(dir)?
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            Some((parse_checkpoint_name(&p)?, p))
+        })
+        .collect();
+    out.sort_by_key(|&(e, _)| e);
+    Ok(out)
+}
+
+/// Decode one checkpoint file. Errors on any framing/codec/count problem.
+fn load_file<K: Codec, V: Codec>(path: &Path) -> io::Result<(u64, Vec<(K, V)>)> {
+    let bad = |msg: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("{msg} in checkpoint {}", path.display()),
+        )
+    };
+    let bytes = fs::read(path)?;
+    if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
+    {
+        return Err(bad("bad magic"));
+    }
+    let mut pos = CHECKPOINT_MAGIC.len();
+    let header = match frame::next_frame(&bytes[pos..]) {
+        Frame::Ok { payload, consumed } => {
+            pos += consumed;
+            payload
+        }
+        _ => return Err(bad("bad header frame")),
+    };
+    let mut hr = Reader::new(header);
+    let epoch = hr.varint().map_err(|_| bad("bad header epoch"))?;
+    let total = hr.varint().map_err(|_| bad("bad header count"))?;
+    if !hr.is_empty() {
+        return Err(bad("trailing header bytes"));
+    }
+
+    let mut entries: Vec<(K, V)> = Vec::with_capacity(total.min(1 << 24) as usize);
+    while pos < bytes.len() {
+        let payload = match frame::next_frame(&bytes[pos..]) {
+            Frame::Ok { payload, consumed } => {
+                pos += consumed;
+                payload
+            }
+            _ => return Err(bad("bad chunk frame")),
+        };
+        let mut r = Reader::new(payload);
+        let n = r.varint().map_err(|_| bad("bad chunk count"))?;
+        for _ in 0..n {
+            let k = K::decode(&mut r).map_err(|_| bad("bad chunk key"))?;
+            let v = V::decode(&mut r).map_err(|_| bad("bad chunk value"))?;
+            entries.push((k, v));
+        }
+        if !r.is_empty() {
+            return Err(bad("trailing chunk bytes"));
+        }
+    }
+    if entries.len() as u64 != total {
+        return Err(bad("entry count mismatch"));
+    }
+    Ok((epoch, entries))
+}
+
+/// A loaded checkpoint: the WAL epoch it claims plus its sorted entries.
+pub type LoadedCheckpoint<K, V> = (u64, Vec<(K, V)>);
+
+/// Load the newest checkpoint that validates, if any: `(epoch,
+/// sorted_entries)`. A corrupt newer checkpoint silently falls back to an
+/// older one (recovery then replays more WAL).
+pub fn load_latest<K: Codec, V: Codec>(dir: &Path) -> io::Result<Option<LoadedCheckpoint<K, V>>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for (_, path) in list(dir)?.into_iter().rev() {
+        match load_file::<K, V>(&path) {
+            Ok(ok) => return Ok(Some(ok)),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
+}
+
+/// Remove leftover `.tmp` files from a checkpoint interrupted by a crash.
+pub fn clean_temp_files(dir: &Path) -> io::Result<()> {
+    if !dir.exists() {
+        return Ok(());
+    }
+    for entry in fs::read_dir(dir)? {
+        let p = entry?.path();
+        if p.extension().is_some_and(|e| e == "tmp") {
+            fs::remove_file(p)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pam-ckpt-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn pairs(n: u64) -> Vec<(u64, u64)> {
+        (0..n).map(|i| (i, i * 3)).collect()
+    }
+
+    #[test]
+    fn write_load_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        let data = pairs(10_000); // spans multiple chunks
+        let bytes = write(
+            &dir,
+            42,
+            data.len() as u64,
+            |emit| data.iter().for_each(|(k, v)| emit(k, v)),
+            2,
+        )
+        .unwrap();
+        assert!(bytes > 0);
+        let (epoch, loaded) = load_latest::<u64, u64>(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 42);
+        assert_eq!(loaded, data);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_map_checkpoint() {
+        let dir = tmp_dir("empty");
+        write::<u64, u64>(&dir, 7, 0, |_emit| {}, 2).unwrap();
+        let (epoch, loaded) = load_latest::<u64, u64>(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 7);
+        assert!(loaded.is_empty());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn keeps_only_newest_and_falls_back_on_corruption() {
+        let dir = tmp_dir("fallback");
+        for e in [10u64, 20, 30] {
+            let data = pairs(e);
+            write(
+                &dir,
+                e,
+                data.len() as u64,
+                |emit| data.iter().for_each(|(k, v)| emit(k, v)),
+                2,
+            )
+            .unwrap();
+        }
+        assert_eq!(list(&dir).unwrap().len(), 2, "pruned to keep=2");
+        // corrupt the newest
+        let newest = checkpoint_path(&dir, 30);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, bytes).unwrap();
+        let (epoch, loaded) = load_latest::<u64, u64>(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 20, "must fall back to the older valid checkpoint");
+        assert_eq!(loaded, pairs(20));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_is_no_checkpoint() {
+        let dir = tmp_dir("missing");
+        assert!(load_latest::<u64, u64>(&dir).unwrap().is_none());
+    }
+
+    #[test]
+    fn temp_files_are_cleaned() {
+        let dir = tmp_dir("tmpclean");
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join("ckpt-00000000000000000001.tmp"), b"junk").unwrap();
+        clean_temp_files(&dir).unwrap();
+        assert_eq!(fs::read_dir(&dir).unwrap().count(), 0);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,100 @@
+//! The epoch record payload: one normalized commit batch.
+//!
+//! The store's committer hands the WAL exactly what it is about to apply
+//! to the tree — the *normalized* epoch (puts sorted by key, deletes
+//! sorted, key sets disjoint, last-write-wins already resolved). Logging
+//! after normalization is what keeps replay trivial: applying an epoch
+//! body to a map is one `multi_insert` plus one `multi_delete`, and
+//! re-applying an epoch that is already reflected in a checkpoint is
+//! idempotent (same keys, same final values), so recovery may safely
+//! overlap checkpoint and log.
+//!
+//! Wire layout (all inside one checksummed frame, see [`crate::frame`]):
+//!
+//! ```text
+//! [ puts_len : varint ][ (key, value) ... ][ dels_len : varint ][ key ... ]
+//! ```
+
+use crate::codec::{put_varint, Codec, CodecError, Reader};
+
+/// A decoded epoch body: the normalized batch that was committed.
+#[derive(Debug, PartialEq, Eq)]
+pub struct EpochBody<K, V> {
+    /// Upserts, sorted by key, distinct.
+    pub puts: Vec<(K, V)>,
+    /// Deleted keys, sorted, distinct, disjoint from `puts`.
+    pub deletes: Vec<K>,
+}
+
+/// Serialize a normalized batch into `out`.
+pub fn encode_epoch_body<K: Codec, V: Codec>(puts: &[(K, V)], deletes: &[K], out: &mut Vec<u8>) {
+    put_varint(out, puts.len() as u64);
+    for (k, v) in puts {
+        k.encode(out);
+        v.encode(out);
+    }
+    put_varint(out, deletes.len() as u64);
+    for k in deletes {
+        k.encode(out);
+    }
+}
+
+/// Deserialize an epoch body; the whole of `body` must be consumed.
+pub fn decode_epoch_body<K: Codec, V: Codec>(body: &[u8]) -> Result<EpochBody<K, V>, CodecError> {
+    let mut r = Reader::new(body);
+    let n_puts = r.varint()?;
+    let mut puts = Vec::with_capacity(n_puts.min(1 << 20) as usize);
+    for _ in 0..n_puts {
+        let k = K::decode(&mut r)?;
+        let v = V::decode(&mut r)?;
+        puts.push((k, v));
+    }
+    let n_dels = r.varint()?;
+    let mut deletes = Vec::with_capacity(n_dels.min(1 << 20) as usize);
+    for _ in 0..n_dels {
+        deletes.push(K::decode(&mut r)?);
+    }
+    if !r.is_empty() {
+        return Err(CodecError::new("trailing bytes after epoch body"));
+    }
+    Ok(EpochBody { puts, deletes })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_body_roundtrip() {
+        let puts = vec![(1u64, 10u64), (5, 50)];
+        let dels = vec![2u64, 3];
+        let mut buf = Vec::new();
+        encode_epoch_body(&puts, &dels, &mut buf);
+        let body: EpochBody<u64, u64> = decode_epoch_body(&buf).unwrap();
+        assert_eq!(body.puts, puts);
+        assert_eq!(body.deletes, dels);
+    }
+
+    #[test]
+    fn string_keys_roundtrip() {
+        let puts = vec![
+            (String::from("alpha"), vec![1u8, 2]),
+            (String::from("beta"), vec![]),
+        ];
+        let dels = vec![String::from("gone")];
+        let mut buf = Vec::new();
+        encode_epoch_body(&puts, &dels, &mut buf);
+        let body: EpochBody<String, Vec<u8>> = decode_epoch_body(&buf).unwrap();
+        assert_eq!(body.puts, puts);
+        assert_eq!(body.deletes, dels);
+    }
+
+    #[test]
+    fn truncated_body_fails() {
+        let mut buf = Vec::new();
+        encode_epoch_body(&[(1u64, 2u64)], &[3u64], &mut buf);
+        for cut in 0..buf.len() {
+            assert!(decode_epoch_body::<u64, u64>(&buf[..cut]).is_err());
+        }
+    }
+}

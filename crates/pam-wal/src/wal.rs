@@ -1,0 +1,507 @@
+//! The segmented append-only write-ahead log.
+//!
+//! A WAL directory holds numbered segment files:
+//!
+//! ```text
+//! wal-00000000000000000001.seg      <- name = first epoch the segment holds
+//! wal-00000000000000004821.seg
+//! wal-00000000000000009644.seg      <- the active tail, appended to
+//! ```
+//!
+//! Each segment starts with an 8-byte magic and then a run of checksummed
+//! frames (see [`crate::frame`]), one per committed epoch, whose payload
+//! is `varint(epoch)` followed by the epoch body ([`crate::record`]).
+//!
+//! *Rotation*: when the active segment outgrows
+//! [`WalConfig::segment_bytes`], it is fsynced, sealed, and a fresh
+//! segment named after the next epoch is started. Sealing makes space
+//! reclamation trivial: after a checkpoint at epoch `E`,
+//! [`Wal::truncate_through`] unlinks every sealed segment whose entire
+//! contents are `<= E` — whole-file deletes, no rewriting.
+//!
+//! *Recovery*: [`Wal::open`] scans the segments in order and returns every
+//! valid epoch record. A torn or corrupt frame at the tail of the **last**
+//! segment is the expected signature of a crash mid-append: the tail is
+//! truncated to the last whole record and appending resumes there.
+//! Corruption anywhere earlier is reported as an error — sealed segments
+//! were fsynced before rotation, so damage there means the disk lied.
+//!
+//! The first invalid frame in the *active* segment ends the scan even if
+//! valid-looking frames follow (RocksDB's "tolerate corrupted tail
+//! records" policy). This is deliberate: page writeback is unordered, so
+//! a crash can persist record N+1's page while losing record N's —
+//! replaying N+1 across the hole would violate the log's prefix
+//! semantics. The cost is that mid-active-segment *bit rot* (as opposed
+//! to crash damage) silently discards the records after it; bit rot in
+//! the much larger sealed portion of the log is still a hard error.
+
+use crate::frame::{self, Frame};
+use std::fs::{self, File, OpenOptions};
+use std::io::{self, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"PAMWAL01";
+
+/// When the WAL issues `fsync` for appended epoch records.
+///
+/// Group commit makes every policy a *group* fsync: one record (and at
+/// most one fsync) covers all writers batched into the epoch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SyncPolicy {
+    /// Never fsync from the append path; the OS flushes at its leisure.
+    /// An acked write survives a process crash, not a power cut.
+    NoSync,
+    /// Fsync after every epoch record: an acked write is on stable
+    /// storage before the ticket holder wakes.
+    SyncEachEpoch,
+    /// Fsync once every N epoch records: bounded loss (at most the last
+    /// N-1 epochs) at a fraction of the fsync count.
+    SyncEveryN(u64),
+}
+
+/// Tuning for a [`Wal`].
+#[derive(Clone, Copy, Debug)]
+pub struct WalConfig {
+    /// Seal the active segment and start a new one once it exceeds this
+    /// many bytes.
+    pub segment_bytes: u64,
+    /// Fsync policy for appends.
+    pub sync: SyncPolicy,
+}
+
+impl Default for WalConfig {
+    fn default() -> Self {
+        WalConfig {
+            segment_bytes: 16 << 20,
+            sync: SyncPolicy::SyncEachEpoch,
+        }
+    }
+}
+
+/// One recovered epoch record: the epoch number and its body bytes
+/// (decode with [`crate::record::decode_epoch_body`]).
+#[derive(Debug)]
+pub struct EpochRecord {
+    /// The epoch this record logged.
+    pub epoch: u64,
+    /// The serialized epoch body.
+    pub body: Vec<u8>,
+}
+
+/// Outcome of one [`Wal::append`].
+#[derive(Debug, Clone, Copy)]
+pub struct AppendInfo {
+    /// Bytes this append added to the log (frame included).
+    pub bytes: u64,
+    /// Whether this append ended with an fsync.
+    pub synced: bool,
+}
+
+struct Segment {
+    first_epoch: u64,
+    path: PathBuf,
+}
+
+/// The segmented write-ahead log. Not internally synchronized — the
+/// store's committer is its only writer (wrap in a mutex to share).
+pub struct Wal {
+    dir: PathBuf,
+    config: WalConfig,
+    /// Sealed (rotation-complete) segments, oldest first.
+    sealed: Vec<Segment>,
+    /// The active tail: file handle, metadata, current byte size.
+    current: Option<(File, Segment, u64)>,
+    last_epoch: u64,
+    epochs_since_sync: u64,
+}
+
+fn segment_path(dir: &Path, first_epoch: u64) -> PathBuf {
+    dir.join(format!("wal-{first_epoch:020}.seg"))
+}
+
+fn parse_segment_name(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    let digits = name.strip_prefix("wal-")?.strip_suffix(".seg")?;
+    digits.parse().ok()
+}
+
+/// Flush directory metadata (file creation/deletion) to disk.
+fn sync_dir(dir: &Path) -> io::Result<()> {
+    File::open(dir)?.sync_all()
+}
+
+fn corrupt(msg: &str, path: &Path) -> io::Error {
+    io::Error::new(
+        io::ErrorKind::InvalidData,
+        format!("{msg} in WAL segment {}", path.display()),
+    )
+}
+
+impl Wal {
+    /// Open (or create) the log in `dir`, returning the WAL positioned
+    /// for appending plus every valid epoch record, in log order.
+    ///
+    /// A torn tail in the final segment is truncated away; see the
+    /// module docs for the recovery contract.
+    pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> io::Result<(Wal, Vec<EpochRecord>)> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+
+        let mut paths: Vec<(u64, PathBuf)> = fs::read_dir(&dir)?
+            .filter_map(|e| {
+                let p = e.ok()?.path();
+                Some((parse_segment_name(&p)?, p))
+            })
+            .collect();
+        paths.sort_by_key(|&(e, _)| e);
+
+        let mut records = Vec::new();
+        let mut sealed = Vec::new();
+        let mut current = None;
+        let mut last_epoch = 0u64;
+
+        for (i, (first_epoch, path)) in paths.iter().enumerate() {
+            let is_last = i + 1 == paths.len();
+            let bytes = fs::read(path)?;
+            if bytes.len() < SEGMENT_MAGIC.len() {
+                if is_last {
+                    // crash between segment creation and the magic write:
+                    // the file holds no records, discard it
+                    fs::remove_file(path)?;
+                    sync_dir(&dir)?;
+                    break;
+                }
+                return Err(corrupt("missing magic", path));
+            }
+            if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+                return Err(corrupt("bad magic", path));
+            }
+            let mut pos = SEGMENT_MAGIC.len();
+            let mut tail_torn = false;
+            while pos < bytes.len() {
+                match frame::next_frame(&bytes[pos..]) {
+                    Frame::Ok { payload, consumed } => {
+                        let mut r = crate::codec::Reader::new(payload);
+                        let epoch = r.varint().map_err(|_| corrupt("bad epoch field", path))?;
+                        records.push(EpochRecord {
+                            epoch,
+                            body: payload[payload.len() - r.remaining()..].to_vec(),
+                        });
+                        last_epoch = last_epoch.max(epoch);
+                        pos += consumed;
+                    }
+                    Frame::Torn | Frame::Corrupt if is_last => {
+                        tail_torn = true;
+                        break;
+                    }
+                    Frame::Torn => return Err(corrupt("torn record mid-log", path)),
+                    Frame::Corrupt => return Err(corrupt("corrupt record mid-log", path)),
+                }
+            }
+            if is_last {
+                let mut file = OpenOptions::new().read(true).write(true).open(path)?;
+                if tail_torn {
+                    file.set_len(pos as u64)?;
+                    file.sync_data()?;
+                }
+                file.seek(SeekFrom::Start(pos as u64))?;
+                current = Some((
+                    file,
+                    Segment {
+                        first_epoch: *first_epoch,
+                        path: path.clone(),
+                    },
+                    pos as u64,
+                ));
+            } else {
+                sealed.push(Segment {
+                    first_epoch: *first_epoch,
+                    path: path.clone(),
+                });
+            }
+        }
+
+        Ok((
+            Wal {
+                dir,
+                config,
+                sealed,
+                current,
+                last_epoch,
+                epochs_since_sync: 0,
+            },
+            records,
+        ))
+    }
+
+    /// Append one epoch record. `epoch` must be greater than every epoch
+    /// appended or recovered so far. Applies the configured
+    /// [`SyncPolicy`] and rotates segments as needed.
+    pub fn append(&mut self, epoch: u64, body: &[u8]) -> io::Result<AppendInfo> {
+        debug_assert!(epoch > self.last_epoch, "epochs must be monotone");
+        // Rotate a full active segment *before* the append so a segment
+        // never splits an epoch.
+        if let Some((file, seg, size)) = self.current.take() {
+            if size >= self.config.segment_bytes {
+                file.sync_data()?; // sealed segments are always durable
+                self.sealed.push(seg);
+            } else {
+                self.current = Some((file, seg, size));
+            }
+        }
+        if self.current.is_none() {
+            let seg = Segment {
+                first_epoch: epoch,
+                path: segment_path(&self.dir, epoch),
+            };
+            let mut file = OpenOptions::new()
+                .create_new(true)
+                .write(true)
+                .open(&seg.path)?;
+            file.write_all(SEGMENT_MAGIC)?;
+            sync_dir(&self.dir)?;
+            self.current = Some((file, seg, SEGMENT_MAGIC.len() as u64));
+        }
+
+        let mut payload = Vec::with_capacity(10 + body.len());
+        crate::codec::put_varint(&mut payload, epoch);
+        payload.extend_from_slice(body);
+        let mut buf = Vec::with_capacity(frame::HEADER_LEN + payload.len());
+        let framed = frame::put_frame(&mut buf, &payload) as u64;
+
+        let (file, _, size) = self.current.as_mut().expect("active segment");
+        file.write_all(&buf)?;
+        *size += framed;
+        self.last_epoch = epoch;
+        self.epochs_since_sync += 1;
+
+        let synced = match self.config.sync {
+            SyncPolicy::NoSync => false,
+            SyncPolicy::SyncEachEpoch => true,
+            SyncPolicy::SyncEveryN(n) => self.epochs_since_sync >= n.max(1),
+        };
+        if synced {
+            file.sync_data()?;
+            self.epochs_since_sync = 0;
+        }
+        Ok(AppendInfo {
+            bytes: framed,
+            synced,
+        })
+    }
+
+    /// Force an fsync of the active segment (no-op when nothing is open).
+    pub fn sync(&mut self) -> io::Result<bool> {
+        if let Some((file, _, _)) = self.current.as_mut() {
+            if self.epochs_since_sync > 0 {
+                file.sync_data()?;
+                self.epochs_since_sync = 0;
+                return Ok(true);
+            }
+        }
+        Ok(false)
+    }
+
+    /// Unlink every sealed segment whose contents are entirely covered by
+    /// a checkpoint at `epoch` (i.e. all its records have epoch `<=
+    /// epoch`). Returns the number of segments removed. The active
+    /// segment is never removed.
+    pub fn truncate_through(&mut self, epoch: u64) -> io::Result<usize> {
+        // A sealed segment's coverage ends where its successor begins, so
+        // `sealed[i]` is wholly <= epoch iff successor.first_epoch <=
+        // epoch + 1.
+        let mut removable = 0;
+        for i in 0..self.sealed.len() {
+            let next_first = self
+                .sealed
+                .get(i + 1)
+                .map(|s| s.first_epoch)
+                .or(self.current.as_ref().map(|(_, s, _)| s.first_epoch));
+            match next_first {
+                Some(f) if f <= epoch + 1 => removable = i + 1,
+                _ => break,
+            }
+        }
+        for seg in self.sealed.drain(..removable) {
+            fs::remove_file(&seg.path)?;
+        }
+        if removable > 0 {
+            sync_dir(&self.dir)?;
+        }
+        Ok(removable)
+    }
+
+    /// Highest epoch ever appended to (or recovered from) this log.
+    pub fn last_epoch(&self) -> u64 {
+        self.last_epoch
+    }
+
+    /// Number of segment files (sealed + active).
+    pub fn segments(&self) -> usize {
+        self.sealed.len() + usize::from(self.current.is_some())
+    }
+
+    /// Bytes in the active segment (sealed segment sizes live on disk).
+    pub fn active_bytes(&self) -> u64 {
+        self.current.as_ref().map_or(0, |&(_, _, size)| size)
+    }
+
+    /// The directory this log lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+}
+
+impl Drop for Wal {
+    /// Best-effort flush so a clean shutdown loses nothing even under
+    /// [`SyncPolicy::NoSync`].
+    fn drop(&mut self) {
+        let _ = self.sync();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("pam-wal-{}-{name}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn body(n: u64) -> Vec<u8> {
+        let mut b = Vec::new();
+        crate::record::encode_epoch_body(&[(n, n * 10)], &[], &mut b);
+        b
+    }
+
+    #[test]
+    fn append_and_replay_roundtrip() {
+        let dir = tmp_dir("roundtrip");
+        {
+            let (mut wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+            assert!(recs.is_empty());
+            for e in 1..=5u64 {
+                let info = wal.append(e, &body(e)).unwrap();
+                assert!(info.synced);
+                assert!(info.bytes > 0);
+            }
+            assert_eq!(wal.last_epoch(), 5);
+        }
+        let (wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recs.len(), 5);
+        assert_eq!(
+            recs.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4, 5]
+        );
+        assert_eq!(recs[2].body, body(3));
+        assert_eq!(wal.last_epoch(), 5);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn rotation_and_truncation() {
+        let dir = tmp_dir("rotate");
+        let cfg = WalConfig {
+            segment_bytes: 64, // force a rotation every couple of epochs
+            sync: SyncPolicy::NoSync,
+        };
+        let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+        for e in 1..=20u64 {
+            wal.append(e, &body(e)).unwrap();
+        }
+        assert!(wal.segments() > 3, "tiny segments must have rotated");
+        let before = wal.segments();
+        let removed = wal.truncate_through(10).unwrap();
+        assert!(removed > 0);
+        assert_eq!(wal.segments(), before - removed);
+        drop(wal);
+        // records > 10 all survive; records <= 10 may survive (segment
+        // granularity) but never beyond the active coverage
+        let (_, recs) = Wal::open(&dir, cfg).unwrap();
+        let epochs: Vec<u64> = recs.iter().map(|r| r.epoch).collect();
+        for e in 11..=20 {
+            assert!(epochs.contains(&e), "epoch {e} lost by truncation");
+        }
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn torn_tail_is_truncated_and_appending_resumes() {
+        let dir = tmp_dir("torn");
+        let cfg = WalConfig::default();
+        {
+            let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+            for e in 1..=3u64 {
+                wal.append(e, &body(e)).unwrap();
+            }
+        }
+        // simulate a crash mid-append: a frame header promising more
+        // bytes than were written
+        let seg = segment_path(&dir, 1);
+        let mut f = OpenOptions::new().append(true).open(&seg).unwrap();
+        f.write_all(&[200, 0, 0, 0, 0xde, 0xad, 0xbe, 0xef, 1, 2, 3])
+            .unwrap();
+        drop(f);
+
+        let (mut wal, recs) = Wal::open(&dir, cfg).unwrap();
+        assert_eq!(recs.len(), 3, "torn tail must not hide whole records");
+        wal.append(4, &body(4)).unwrap();
+        drop(wal);
+        let (_, recs) = Wal::open(&dir, cfg).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            vec![1, 2, 3, 4],
+            "append after tail truncation must produce a clean log"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corruption_in_sealed_segment_is_an_error() {
+        let dir = tmp_dir("sealed-corrupt");
+        let cfg = WalConfig {
+            segment_bytes: 32,
+            sync: SyncPolicy::NoSync,
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+            for e in 1..=10u64 {
+                wal.append(e, &body(e)).unwrap();
+            }
+            assert!(wal.segments() >= 2);
+        }
+        // flip a byte in the first (sealed) segment's first record
+        let seg = segment_path(&dir, 1);
+        let mut bytes = fs::read(&seg).unwrap();
+        let idx = SEGMENT_MAGIC.len() + frame::HEADER_LEN + 1;
+        bytes[idx] ^= 0xff;
+        fs::write(&seg, bytes).unwrap();
+        let err = match Wal::open(&dir, cfg) {
+            Err(e) => e,
+            Ok(_) => panic!("corrupt sealed segment must fail open"),
+        };
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_every_n_counts_fsyncs() {
+        let dir = tmp_dir("every-n");
+        let cfg = WalConfig {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::SyncEveryN(3),
+        };
+        let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+        let synced: Vec<bool> = (1..=7u64)
+            .map(|e| wal.append(e, &body(e)).unwrap().synced)
+            .collect();
+        assert_eq!(synced, vec![false, false, true, false, false, true, false]);
+        assert!(wal.sync().unwrap(), "pending epochs need a final sync");
+        assert!(!wal.sync().unwrap(), "nothing pending after sync");
+        drop(wal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+}

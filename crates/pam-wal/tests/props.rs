@@ -1,0 +1,113 @@
+//! Property tests: codec round-trips and frame-scan invariants.
+
+use pam_wal::codec::put_varint;
+use pam_wal::record::{decode_epoch_body, encode_epoch_body};
+use pam_wal::{frame, Codec, Reader};
+use proptest::prelude::*;
+
+fn roundtrip<T: Codec + PartialEq + std::fmt::Debug>(v: &T) -> T {
+    let mut buf = Vec::new();
+    v.encode(&mut buf);
+    let mut r = Reader::new(&buf);
+    let back = T::decode(&mut r).expect("decode what encode produced");
+    assert!(r.is_empty(), "decode must consume the exact encoding");
+    back
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn varints_roundtrip(v in 0u64..u64::MAX) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn signed_ints_roundtrip(v in i64::MIN..i64::MAX) {
+        prop_assert_eq!(roundtrip(&v), v);
+        let small = (v % (1 << 30)) as i32;
+        prop_assert_eq!(roundtrip(&small), small);
+    }
+
+    #[test]
+    fn byte_vecs_roundtrip(v in collection::vec((0u16..256).prop_map(|b| b as u8), 0..200)) {
+        prop_assert_eq!(roundtrip(&v), v);
+    }
+
+    #[test]
+    fn strings_roundtrip(chars in collection::vec(0u32..0x024F, 0..64)) {
+        // includes multi-byte code points (Latin Extended)
+        let s: String = chars
+            .into_iter()
+            .filter_map(char::from_u32)
+            .collect();
+        prop_assert_eq!(roundtrip(&s), s);
+    }
+
+    #[test]
+    fn tuples_concatenate(k in 0u64..1_000_000, n in 0u8..255) {
+        let pair = (k, vec![n; (n % 17) as usize]);
+        prop_assert_eq!(roundtrip(&pair), pair);
+        // concatenation: two values encoded back-to-back decode in order
+        let mut buf = Vec::new();
+        k.encode(&mut buf);
+        n.encode(&mut buf);
+        let mut r = Reader::new(&buf);
+        prop_assert_eq!(u64::decode(&mut r).unwrap(), k);
+        prop_assert_eq!(u8::decode(&mut r).unwrap(), n);
+        prop_assert!(r.is_empty());
+    }
+
+    #[test]
+    fn epoch_bodies_roundtrip(
+        puts in collection::vec((0u64..1000, 0u64..1_000_000), 0..50),
+        dels in collection::vec(0u64..1000, 0..50),
+    ) {
+        let mut buf = Vec::new();
+        encode_epoch_body(&puts, &dels, &mut buf);
+        let body = decode_epoch_body::<u64, u64>(&buf).unwrap();
+        prop_assert_eq!(body.puts, puts);
+        prop_assert_eq!(body.deletes, dels);
+    }
+
+    #[test]
+    fn framed_payloads_survive_and_prefixes_never_lie(
+        payload in collection::vec((0u16..256).prop_map(|b| b as u8), 0..300),
+    ) {
+        let mut buf = Vec::new();
+        frame::put_frame(&mut buf, &payload);
+        match frame::next_frame(&buf) {
+            frame::Frame::Ok { payload: got, consumed } => {
+                assert_eq!(got, &payload[..]);
+                assert_eq!(consumed, buf.len());
+            }
+            other => panic!("whole frame must scan Ok, got {other:?}"),
+        }
+        // no strict prefix may scan as a valid frame (torn-tail safety)
+        for cut in 0..buf.len() {
+            match frame::next_frame(&buf[..cut]) {
+                frame::Frame::Ok { .. } => panic!("prefix {cut} scanned as whole frame"),
+                frame::Frame::Torn | frame::Frame::Corrupt => {}
+            }
+        }
+    }
+
+    #[test]
+    fn random_garbage_never_panics_the_decoder(bytes in collection::vec((0u16..256).prop_map(|b| b as u8), 0..120)) {
+        // any of these may fail, none may panic or over-read
+        let _ = decode_epoch_body::<u64, u64>(&bytes);
+        let _ = decode_epoch_body::<String, Vec<u8>>(&bytes);
+        let _ = frame::next_frame(&bytes);
+        let mut r = Reader::new(&bytes);
+        let _ = String::decode(&mut r);
+    }
+}
+
+#[test]
+fn varint_encoding_is_minimal_for_smalls() {
+    for v in 0u64..128 {
+        let mut buf = Vec::new();
+        put_varint(&mut buf, v);
+        assert_eq!(buf.len(), 1, "one byte for {v}");
+    }
+}

@@ -398,6 +398,22 @@ impl<S: AugSpec, B: Balance> AugMap<S, B> {
         crate::iter::RangeIter::new(&self.root, lo, hi)
     }
 
+    /// Visit every entry in key order, sequentially — the streaming
+    /// export path (checkpoint writers, serializers): no intermediate
+    /// allocation, unlike [`AugMap::to_vec`], and no per-step iterator
+    /// bookkeeping, unlike [`AugMap::iter`].
+    ///
+    /// ```
+    /// use pam::{AugMap, SumAug};
+    /// let m: AugMap<SumAug<u32, u32>> = AugMap::build(vec![(2, 20), (1, 10)]);
+    /// let mut flat = Vec::new();
+    /// m.for_each(|&k, &v| flat.push((k, v)));
+    /// assert_eq!(flat, vec![(1, 10), (2, 20)]);
+    /// ```
+    pub fn for_each(&self, mut f: impl FnMut(&S::K, &S::V)) {
+        ops::for_each(&self.root, &mut f);
+    }
+
     /// Apply `map` to every entry and reduce with the associative
     /// `reduce` (identity `id`), in parallel.
     pub fn map_reduce<T: Send>(

@@ -48,6 +48,23 @@ where
     })
 }
 
+/// Visit every entry in key order, sequentially. This is the streaming
+/// export primitive (checkpoint writers, serializers): no intermediate
+/// vector, no iterator stack churn — one in-order recursion whose depth
+/// is the tree height.
+pub fn for_each<'a, S, B, F>(t: &'a Tree<S, B>, f: &mut F)
+where
+    S: AugSpec,
+    B: Balance,
+    F: FnMut(&'a S::K, &'a S::V),
+{
+    if let Some(n) = t.as_deref() {
+        for_each(&n.left, f);
+        f(&n.key, &n.val);
+        for_each(&n.right, f);
+    }
+}
+
 /// Rebuild the map with values transformed by `f`, preserving the tree
 /// *shape* (and therefore the balance metadata) while recomputing the
 /// augmented values under the target spec `S2`. The key type and order

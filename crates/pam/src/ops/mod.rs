@@ -24,7 +24,7 @@ pub use basic::{contains, find, first, last, next, previous, rank, select};
 pub use build::{build, from_sorted_distinct, multi_delete, multi_insert};
 pub use filter::filter;
 pub use insert::{delete, insert, update};
-pub use mapreduce::{filter_map_values, keys, map_reduce, map_values, to_vec, values};
+pub use mapreduce::{filter_map_values, for_each, keys, map_reduce, map_values, to_vec, values};
 pub use range::{down_to, range, up_to};
 pub use setops::{difference, intersect, union};
 pub use split::{join2, split, split_first, split_last, split_rank};
