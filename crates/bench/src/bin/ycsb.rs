@@ -17,21 +17,71 @@
 //! `multi_insert`s, higher write throughput — at the cost of commit
 //! latency. Keys are drawn uniformly; `PAM_SCALE` scales the sizes.
 //!
-//! With `--durability {off,wal,wal-fsync}` the driver instead measures
-//! what the write-ahead log costs: workload A against an in-memory
-//! store, a WAL'd store (`NoSync`), and/or a per-epoch-fsync store
-//! (`SyncEachEpoch`), reporting the commit-latency deltas. (`all` runs
-//! the full comparison.)
+//! With `--durability {off,wal,wal-fsync,wal-bytes}` the driver instead
+//! measures what the write-ahead log costs: workload A against an
+//! in-memory store, a WAL'd store (`NoSync`), a per-epoch-fsync store
+//! (`SyncEachEpoch`), and/or a byte-threshold store
+//! (`SyncEveryBytes(256 KiB)`), reporting the commit-latency deltas.
+//! (`all` runs the full comparison.)
+//!
+//! With `--shards N[,M,...]` the driver sweeps workload A across sharded
+//! stores (`ShardedStore`, N independent group-commit pipelines), making
+//! the 1-committer-vs-N-committers delta measurable. Add `--json <path>`
+//! to also emit the rows as machine-readable JSON (the CI bench-smoke
+//! artifact).
 
 use pam::SumAug;
 use pam_bench::*;
-use pam_store::{DurabilityConfig, DurableStore, StoreConfig, SyncPolicy, VersionedStore};
+use pam_store::{
+    DurabilityConfig, DurableStore, ShardedConfig, ShardedStore, StoreConfig, StoreStats,
+    SyncPolicy, VersionedStore,
+};
+use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 use workloads::hash64;
 
 type Store = VersionedStore<SumAug<u64, u64>>;
 type Durable = DurableStore<SumAug<u64, u64>>;
+type Sharded = ShardedStore<SumAug<u64, u64>>;
+
+/// The operations the mixed-workload driver needs, implemented by both
+/// the single store and the sharded store so one `drive` loop measures
+/// either.
+trait KvTarget: Send + Sync + 'static {
+    fn kv_get(&self, k: &u64) -> Option<u64>;
+    fn kv_put(&self, k: u64, v: u64);
+    fn kv_scan_count(&self, lo: u64, hi: u64) -> usize;
+    fn kv_sum(&self, lo: u64, hi: u64) -> u64;
+    fn kv_flush(&self);
+}
+
+/// Both store types expose identically named inherent methods; one macro
+/// body keeps the drive loop's op mapping from diverging between them.
+macro_rules! impl_kv_target {
+    ($($t:ty),*) => {$(
+        impl KvTarget for $t {
+            fn kv_get(&self, k: &u64) -> Option<u64> {
+                self.get(k)
+            }
+            fn kv_put(&self, k: u64, v: u64) {
+                self.put(k, v);
+            }
+            fn kv_scan_count(&self, lo: u64, hi: u64) -> usize {
+                let mut n = 0;
+                self.range_for_each(&lo, &hi, |_, _| n += 1);
+                n
+            }
+            fn kv_sum(&self, lo: u64, hi: u64) -> u64 {
+                self.aug_range(&lo, &hi)
+            }
+            fn kv_flush(&self) {
+                self.flush();
+            }
+        }
+    )*};
+}
+impl_kv_target!(Store, Sharded);
 
 struct Mix {
     name: &'static str,
@@ -75,8 +125,8 @@ const MIXES: &[Mix] = &[
 
 /// Drive `threads × ops_per_thread` mixed operations against a store
 /// handle; returns the wall-clock seconds (including the final flush).
-fn drive(
-    store: &Arc<Store>,
+fn drive<T: KvTarget>(
+    store: &Arc<T>,
     mix: &Mix,
     threads: usize,
     ops_per_thread: usize,
@@ -94,13 +144,13 @@ fn drive(
                         let k = hash64(r) % key_space;
                         let dice = (r % 100) as u32;
                         if dice < read_pct {
-                            acc = acc.wrapping_add(s.get(&k).unwrap_or(0));
+                            acc = acc.wrapping_add(s.kv_get(&k).unwrap_or(0));
                         } else if dice < read_pct + scan_pct {
-                            acc = acc.wrapping_add(s.range(&k, &(k + 1000)).len() as u64);
+                            acc = acc.wrapping_add(s.kv_scan_count(k, k + 1000) as u64);
                         } else if dice < read_pct + scan_pct + sum_pct {
-                            acc = acc.wrapping_add(s.aug_range(&k, &(k + 100_000)));
+                            acc = acc.wrapping_add(s.kv_sum(k, k + 100_000));
                         } else {
-                            s.put(k, i as u64);
+                            s.kv_put(k, i as u64);
                         }
                     }
                     std::hint::black_box(acc)
@@ -110,7 +160,7 @@ fn drive(
         for h in handles {
             h.join().unwrap();
         }
-        store.flush();
+        store.kv_flush();
     });
     secs
 }
@@ -149,7 +199,7 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
         ..StoreConfig::default()
     };
     let modes: Vec<&str> = match mode {
-        "all" => vec!["off", "wal", "wal-fsync"],
+        "all" => vec!["off", "wal", "wal-fsync", "wal-bytes"],
         "off" => vec!["off"],
         m => vec!["off", m], // always include the baseline for the delta
     };
@@ -171,11 +221,11 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
         let _ = std::fs::remove_dir_all(&dir);
         let (durable, store): (Option<Durable>, Arc<Store>) = match m {
             "off" => (None, Arc::new(Store::with_config(store_config.clone()))),
-            "wal" | "wal-fsync" => {
-                let sync = if m == "wal" {
-                    SyncPolicy::NoSync
-                } else {
-                    SyncPolicy::SyncEachEpoch
+            "wal" | "wal-fsync" | "wal-bytes" => {
+                let sync = match m {
+                    "wal" => SyncPolicy::NoSync,
+                    "wal-bytes" => SyncPolicy::SyncEveryBytes(256 << 10),
+                    _ => SyncPolicy::SyncEachEpoch,
                 };
                 let d = Durable::open(
                     &dir,
@@ -191,7 +241,9 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
                 (Some(d), handle)
             }
             other => {
-                eprintln!("unknown --durability mode {other:?} (want off|wal|wal-fsync|all)");
+                eprintln!(
+                    "unknown --durability mode {other:?} (want off|wal|wal-fsync|wal-bytes|all)"
+                );
                 std::process::exit(2);
             }
         };
@@ -233,6 +285,119 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
     );
 }
 
+/// One row of the `--shards` sweep (also what `--json` serializes).
+struct ShardRow {
+    shards: usize,
+    mops: f64,
+    secs: f64,
+    stats: StoreStats,
+}
+
+/// The `--shards` comparison: workload A against hash-sharded stores,
+/// one row per shard count — N independent committers vs. one.
+fn run_shards(
+    counts: &[usize],
+    threads: usize,
+    preload: usize,
+    ops_per_thread: usize,
+) -> Vec<ShardRow> {
+    let key_space = (preload as u64) * 4;
+    let window = Duration::from_micros(200);
+    let mix = &MIXES[0]; // A: 50r/50w — the committer-bound stressor
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "shards",
+        "Mops/s",
+        "commits",
+        "mean batch",
+        "mean commit",
+        "max commit",
+        "Δ Mops/s",
+    ]);
+    let mut baseline: Option<f64> = None;
+    for &n in counts {
+        let store = Arc::new(Sharded::with_config(ShardedConfig {
+            shards: n,
+            store: StoreConfig {
+                batch_window: window,
+                ..StoreConfig::default()
+            },
+        }));
+        store
+            .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
+            .wait();
+        let secs = drive(&store, mix, threads, ops_per_thread, key_space);
+        let stats = store.stats();
+        let mops = (threads * ops_per_thread) as f64 / secs / 1e6;
+        let delta = match baseline {
+            None => {
+                baseline = Some(mops);
+                "baseline".to_string()
+            }
+            Some(base) => format!("{:+.2}", mops - base),
+        };
+        table.row(vec![
+            n.to_string(),
+            format!("{mops:.2}"),
+            stats.commits.to_string(),
+            format!("{:.1}", stats.mean_batch()),
+            format!("{:?}", stats.mean_commit),
+            format!("{:?}", stats.max_commit),
+            delta,
+        ]);
+        rows.push(ShardRow {
+            shards: n,
+            mops,
+            secs,
+            stats,
+        });
+    }
+    table.print();
+    println!(
+        "\n(each shard runs its own group-commit pipeline: N shards batch, \
+         normalize, and apply N epochs concurrently — the delta needs \
+         multiple hardware threads to show)"
+    );
+    rows
+}
+
+/// Write the shard-sweep rows as JSON (the CI bench-smoke artifact).
+/// Hand-rolled: the workspace is offline, so no serde.
+fn write_json(path: &str, rows: &[ShardRow], threads: usize, preload: usize, ops: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ycsb-shards\",\n");
+    out.push_str(&format!("  \"pam_scale\": {},\n", scale()));
+    out.push_str(&format!("  \"threads\": {threads},\n"));
+    out.push_str(&format!("  \"preload\": {preload},\n"));
+    out.push_str(&format!("  \"ops_per_thread\": {ops},\n"));
+    out.push_str("  \"workload\": \"A (50r/50w)\",\n");
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"mops\": {:.4}, \"secs\": {:.6}, \"commits\": {}, \
+             \"mean_batch\": {:.2}, \"mean_commit_us\": {:.2}, \"max_commit_us\": {:.2}}}{}\n",
+            r.shards,
+            r.mops,
+            r.secs,
+            r.stats.commits,
+            r.stats.mean_batch(),
+            r.stats.mean_commit.as_secs_f64() * 1e6,
+            r.stats.max_commit.as_secs_f64() * 1e6,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create json output dir");
+        }
+    }
+    let mut f = std::fs::File::create(path).expect("create json output file");
+    f.write_all(out.as_bytes()).expect("write json output");
+    println!("\nwrote {path}");
+}
+
 fn main() {
     banner(
         "YCSB-style mixed workloads on pam-store",
@@ -243,9 +408,49 @@ fn main() {
     let ops_per_thread = scaled(50_000);
     let key_space = (preload as u64) * 4;
 
-    // `--durability {off,wal,wal-fsync,all}`: measure the WAL instead of
-    // sweeping the group-commit window.
     let args: Vec<String> = std::env::args().collect();
+
+    // `--shards N[,M,...]`: sweep shard counts on workload A instead of
+    // sweeping the group-commit window; `--json <path>` also dumps the
+    // rows machine-readably.
+    if let Some(i) = args.iter().position(|a| a == "--shards") {
+        let spec = args.get(i + 1).map(String::as_str).unwrap_or("1,4");
+        let counts: Vec<usize> = spec
+            .split(',')
+            .map(|s| match s.trim().parse() {
+                Ok(n) if n >= 1 => n,
+                // 0 would be silently clamped to 1 shard by the store,
+                // mislabeling the table row and the JSON artifact
+                _ => {
+                    eprintln!("bad --shards value {s:?} (want positive counts, e.g. 1,4)");
+                    std::process::exit(2);
+                }
+            })
+            .collect();
+        println!(
+            "{} threads, {preload} preloaded keys, {ops_per_thread} ops/thread, workload A\n",
+            threads
+        );
+        let rows = run_shards(&counts, threads, preload, ops_per_thread);
+        if let Some(j) = args.iter().position(|a| a == "--json") {
+            let path = args.get(j + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--json needs a path");
+                std::process::exit(2);
+            });
+            write_json(path, &rows, threads, preload, ops_per_thread);
+        }
+        return;
+    }
+
+    // only the --shards path serializes results; silently dropping the
+    // flag elsewhere would leave a CI artifact step with no file
+    if args.iter().any(|a| a == "--json") {
+        eprintln!("--json is only supported with --shards");
+        std::process::exit(2);
+    }
+
+    // `--durability {off,wal,wal-fsync,wal-bytes,all}`: measure the WAL
+    // instead of sweeping the group-commit window.
     if let Some(i) = args.iter().position(|a| a == "--durability") {
         let mode = args.get(i + 1).map(String::as_str).unwrap_or("all");
         println!(

@@ -31,6 +31,32 @@ impl Default for StoreConfig {
     }
 }
 
+/// Configuration for a [`crate::ShardedStore`]: how many independent
+/// roots the key space is hash-partitioned into, plus the per-shard
+/// store tuning.
+///
+/// The shard count is the write-parallelism knob: each shard runs its own
+/// group-commit pipeline (its own committer thread, and — when durable —
+/// its own WAL + checkpointer), so N shards can normalize, log, and apply
+/// N epochs concurrently. For a durable store the count is pinned on disk
+/// by a manifest; reopening with a different count is refused.
+#[derive(Clone, Debug)]
+pub struct ShardedConfig {
+    /// Number of hash shards (independent `VersionedStore` roots).
+    pub shards: usize,
+    /// Per-shard store configuration (every shard gets the same tuning).
+    pub store: StoreConfig,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 4,
+            store: StoreConfig::default(),
+        }
+    }
+}
+
 /// Durability tuning for a [`crate::DurableStore`].
 ///
 /// The write-amplification story is unusually good here: group commit

@@ -23,14 +23,15 @@
 //! the signature of a crash mid-append — is truncated away by
 //! [`pam_wal::Wal::open`].
 
-use crate::config::{DurabilityConfig, StoreConfig};
+use crate::config::{DurabilityConfig, ShardedConfig, StoreConfig};
 use crate::op::NormalizedBatch;
 use crate::pipeline::CommitHook;
+use crate::shard::{ShardKey, ShardedStore};
 use crate::stats::{DurabilityStats, StoreStats};
 use crate::store::VersionedStore;
 use pam::balance::Balance;
 use pam::{AugMap, AugSpec, WeightBalanced};
-use pam_wal::{checkpoint, record, Codec, DirLock, Wal, WalConfig};
+use pam_wal::{checkpoint, manifest, record, Codec, DirLock, Wal, WalConfig};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -198,14 +199,24 @@ where
         let lock = DirLock::acquire(&dir)?;
         checkpoint::clean_temp_files(&dir)?;
 
-        // 1. checkpoint: bulk-load the newest valid snapshot
-        let (ckpt_epoch, entries) = match checkpoint::load_latest::<S::K, S::V>(&dir)? {
-            Some((epoch, entries)) => (epoch, entries),
-            None => (0, Vec::new()),
+        // 1. checkpoint: stream the newest valid snapshot into the map
+        //    chunk by chunk — each chunk bulk-loads with the O(chunk)
+        //    `from_sorted_distinct` and unions onto the accumulated map's
+        //    right edge (chunks ascend globally), so peak memory is one
+        //    chunk, never the whole checkpoint vector.
+        let loaded = checkpoint::load_latest_with::<S::K, S::V, AugMap<S, B>>(
+            &dir,
+            AugMap::new,
+            |m, chunk| {
+                let right = AugMap::from_sorted_distinct(&chunk);
+                let left = std::mem::replace(m, AugMap::new());
+                *m = left.union(right);
+            },
+        )?;
+        let (ckpt_epoch, checkpoint_entries, mut map) = match loaded {
+            Some((epoch, entries, map)) => (epoch, entries, map),
+            None => (0, 0, AugMap::new()),
         };
-        let checkpoint_entries = entries.len() as u64;
-        let mut map: AugMap<S, B> = AugMap::from_sorted_distinct(&entries);
-        drop(entries);
 
         // 2. WAL: replay epochs past the checkpoint through the same
         //    multi_insert/multi_delete path the committer uses
@@ -510,6 +521,210 @@ where
             self.head_version(),
             self.len(),
             self.wal_epoch(),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sharded durability
+// ---------------------------------------------------------------------------
+
+/// Does `dir` contain any `shard-<i>` subdirectory?
+fn has_shard_dirs(dir: &Path) -> io::Result<bool> {
+    for entry in std::fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if name
+            .strip_prefix("shard-")
+            .is_some_and(|d| !d.is_empty() && d.bytes().all(|b| b.is_ascii_digit()))
+            && entry.file_type()?.is_dir()
+        {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// A [`ShardedStore`] whose shards each carry their own WAL and
+/// checkpointer — N independent durability pipelines under one directory:
+///
+/// ```text
+/// <dir>/MANIFEST            shard count, pinned at creation
+/// <dir>/LOCK.pid            one writer per sharded directory
+/// <dir>/shard-0/            a full DurableStore dir: wal-*.seg, ckpt-*,
+/// <dir>/shard-1/            LOCK.pid — recovered independently
+/// ...
+/// ```
+///
+/// Because the shard assignment is a pure function of the key and the
+/// shard count ([`ShardKey`]), the count is part of the on-disk format:
+/// [`DurableShardedStore::open`] refuses a directory whose manifest
+/// disagrees with the requested count rather than silently routing keys
+/// to WALs that never held them.
+///
+/// Recovery is per shard (checkpoint bulk-load + WAL replay, torn tails
+/// tolerated), and shards recover independently — a torn tail in one
+/// shard's log cannot disturb another's. Derefs to [`ShardedStore`] for
+/// the whole read/write/snapshot API.
+pub struct DurableShardedStore<S: AugSpec, B: Balance = WeightBalanced>
+where
+    S::K: Codec + ShardKey,
+    S::V: Codec,
+{
+    /// Declared first: drops its shard handles before the `DurableStore`s
+    /// below join their checkpointers and drain their pipelines.
+    sharded: Arc<ShardedStore<S, B>>,
+    shards: Vec<DurableStore<S, B>>,
+    recovery: Vec<RecoveryInfo>,
+    dir: PathBuf,
+    /// Declared last: the directory stays locked until every shard has
+    /// shut down.
+    _lock: DirLock,
+}
+
+impl<S: AugSpec, B: Balance> DurableShardedStore<S, B>
+where
+    S::K: Codec + ShardKey,
+    S::V: Codec,
+{
+    /// Open (or create) a sharded durable store in `dir`: verify (or
+    /// write) the shard-count manifest, then recover every shard —
+    /// checkpoint bulk-load plus WAL replay, reusing the single-store
+    /// path per shard. Fails with `InvalidInput` on a shard-count
+    /// mismatch and `InvalidData` if shard directories exist without a
+    /// manifest (guessing a layout could route keys into the wrong WAL).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        config: ShardedConfig,
+        durability: DurabilityConfig,
+    ) -> io::Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir)?;
+        let lock = DirLock::acquire(&dir)?;
+        manifest::clean_temp_file(&dir)?;
+        let want = config.shards.max(1) as u64;
+        match manifest::load(&dir)? {
+            Some(m) if m.shards == want => {}
+            Some(m) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidInput,
+                    format!(
+                        "shard-count mismatch: {} holds {} shards, open asked for {want} \
+                         (the hash routing is pinned at creation — resharding needs a \
+                         rewrite, not a reopen)",
+                        dir.display(),
+                        m.shards
+                    ),
+                ));
+            }
+            // any surviving shard-<i> subdir (not just shard-0 — partial
+            // restores can lose arbitrary shards along with the manifest)
+            // means there is a layout we would be guessing at
+            None if has_shard_dirs(&dir)? => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!(
+                        "{} has shard directories but no manifest — refusing to guess \
+                         the layout",
+                        dir.display()
+                    ),
+                ));
+            }
+            None => manifest::write(&dir, want)?,
+        }
+
+        let mut shards = Vec::with_capacity(want as usize);
+        for i in 0..want as usize {
+            shards.push(DurableStore::open(
+                manifest::shard_dir(&dir, i),
+                config.store.clone(),
+                durability.clone(),
+            )?);
+        }
+        let recovery = shards.iter().map(|s| s.recovery().clone()).collect();
+        let sharded = Arc::new(ShardedStore::from_stores(
+            shards.iter().map(|s| s.handle()).collect(),
+        ));
+        Ok(DurableShardedStore {
+            sharded,
+            shards,
+            recovery,
+            dir,
+            _lock: lock,
+        })
+    }
+
+    /// Checkpoint every shard (each pins its own head and streams it
+    /// concurrently with writers); returns the per-shard WAL epochs the
+    /// checkpoints claim.
+    pub fn checkpoint(&self) -> io::Result<Vec<u64>> {
+        self.shards.iter().map(|s| s.checkpoint()).collect()
+    }
+
+    /// What recovery found per shard when this store was opened.
+    pub fn recovery(&self) -> &[RecoveryInfo] {
+        &self.recovery
+    }
+
+    /// Highest durable-and-published WAL epoch per shard.
+    pub fn wal_epochs(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.wal_epoch()).collect()
+    }
+
+    /// The directory holding the manifest and shard subdirectories.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Number of shards (as pinned by the manifest).
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// A cloneable, `'static` handle to the sharded store — for spawning
+    /// reader/writer threads. Writes through the handle flow through the
+    /// same per-shard logged pipelines.
+    pub fn handle(&self) -> Arc<ShardedStore<S, B>> {
+        self.sharded.clone()
+    }
+
+    /// Store-wide statistics with durability counters aggregated across
+    /// shards (see [`StoreStats::aggregate`] for the folding rules).
+    pub fn stats(&self) -> StoreStats {
+        let per = self.stats_per_shard();
+        StoreStats::aggregate(per.iter())
+    }
+
+    /// Per-shard statistics including each shard's durability counters.
+    pub fn stats_per_shard(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::ops::Deref for DurableShardedStore<S, B>
+where
+    S::K: Codec + ShardKey,
+    S::V: Codec,
+{
+    type Target = ShardedStore<S, B>;
+    fn deref(&self) -> &Self::Target {
+        &self.sharded
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::fmt::Debug for DurableShardedStore<S, B>
+where
+    S::K: Codec + ShardKey,
+    S::V: Codec,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "DurableShardedStore({}, {} shards, len {})",
+            self.dir.display(),
+            self.num_shards(),
+            self.sharded.len(),
         )
     }
 }

@@ -32,6 +32,12 @@
 //!   `pam-wal`) plus non-blocking snapshot checkpoints, and recovers from
 //!   crashes by bulk-loading the newest checkpoint and replaying the log,
 //!   tolerating a torn final record.
+//! * **Sharding** ([`shard`]) — [`ShardedStore`] hash-partitions the key
+//!   space across N independent roots, each with its own group-commit
+//!   pipeline (and, in [`DurableShardedStore`], its own WAL directory and
+//!   checkpointer): write parallelism beyond one committer, with
+//!   scatter-gather reads, k-way merged range scans, and consistent
+//!   cross-shard snapshots via a brief all-shard epoch barrier.
 //!
 //! ## Quick example
 //!
@@ -70,14 +76,16 @@ pub mod durable;
 pub mod op;
 pub mod pipeline;
 pub mod registry;
+pub mod shard;
 pub mod stats;
 mod store;
 
-pub use config::{DurabilityConfig, StoreConfig};
-pub use durable::{DurableStore, RecoveryInfo};
+pub use config::{DurabilityConfig, ShardedConfig, StoreConfig};
+pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo};
 pub use op::{NormalizedBatch, WriteOp};
 pub use pam_wal::{Codec, SyncPolicy};
 pub use pipeline::{CommitHook, CommitTicket};
 pub use registry::{PinnedVersion, VersionId, VersionInfo};
+pub use shard::{ShardKey, ShardedSnapshot, ShardedStore, ShardedTicket};
 pub use stats::{DurabilityStats, StoreStats};
 pub use store::VersionedStore;

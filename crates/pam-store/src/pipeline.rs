@@ -71,6 +71,9 @@ struct PipeState<S: AugSpec> {
     shutdown: bool,
     /// Set when the commit hook failed: the store is fail-stopped.
     poisoned: bool,
+    /// While true, `submit` blocks (the committer keeps draining): the
+    /// quiesce point sharded snapshots use as their epoch barrier.
+    barrier: bool,
 }
 
 pub(crate) struct Pipeline<S: AugSpec> {
@@ -79,6 +82,8 @@ pub(crate) struct Pipeline<S: AugSpec> {
     work: Condvar,
     /// Wakes ticket holders (an epoch committed).
     done: Condvar,
+    /// Wakes submitters blocked on a barrier (see [`Pipeline::begin_barrier`]).
+    gate: Condvar,
     /// Crossing this buffered-op count cuts the group-commit window short.
     max_batch: usize,
 }
@@ -95,9 +100,11 @@ impl<S: AugSpec> Pipeline<S> {
                 next_seq: 0,
                 shutdown: false,
                 poisoned: false,
+                barrier: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
+            gate: Condvar::new(),
         }
     }
 
@@ -117,6 +124,12 @@ impl<S: AugSpec> Pipeline<S> {
         ops: impl IntoIterator<Item = WriteOp<S>>,
     ) -> CommitTicket<S> {
         let mut g = self.lock();
+        // A barrier (sharded snapshot in progress) parks submitters until
+        // it lifts; the committer keeps draining, so the wait is one
+        // flush, not a stall.
+        while g.barrier {
+            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
         assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
         assert!(!g.shutdown, "store is shutting down");
         let was_empty = g.buffer.is_empty();
@@ -171,6 +184,25 @@ impl<S: AugSpec> Pipeline<S> {
     pub fn begin_shutdown(&self) {
         self.lock().shutdown = true;
         self.work.notify_one();
+    }
+
+    /// Raise the submit barrier: operations already buffered keep
+    /// committing, but new `submit` calls block until
+    /// [`Pipeline::end_barrier`]. Barriers on one pipeline are serialized
+    /// against each other. This is the per-shard half of a consistent
+    /// cross-shard snapshot: barrier every shard, flush, pin, release.
+    pub fn begin_barrier(&self) {
+        let mut g = self.lock();
+        while g.barrier {
+            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        g.barrier = true;
+    }
+
+    /// Lower the submit barrier and wake parked submitters.
+    pub fn end_barrier(&self) {
+        self.lock().barrier = false;
+        self.gate.notify_all();
     }
 
     /// The committer loop. Runs on its own thread until shutdown *and*

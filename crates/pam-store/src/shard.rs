@@ -1,0 +1,801 @@
+//! [`ShardedStore`]: write parallelism across multiple store roots.
+//!
+//! A single [`VersionedStore`] funnels every write through one
+//! group-commit pipeline — one committer thread normalizes, (optionally)
+//! logs, and applies each epoch, so write throughput caps out at one core
+//! no matter how many writers enqueue. But PAM maps *compose*: a map
+//! hash-partitioned into N independent maps supports `multi_insert`,
+//! WAL append, and root swap on each partition concurrently, which is the
+//! same observation the paper exploits inside one `multi_insert` (split
+//! the batch, recurse in parallel, `join`) lifted to the serving layer.
+//!
+//! `ShardedStore` is that lift: N fully independent [`VersionedStore`]
+//! roots, keys routed by a *stable* hash ([`ShardKey`] — stable because
+//! for a durable store the assignment is part of the on-disk format), and
+//! the read API reassembled on top:
+//!
+//! * point reads route to one shard; [`ShardedStore::get_many`] scatters
+//!   to the owning shards and gathers results back in input order;
+//! * ordered scans ([`ShardedStore::range_for_each`]) k-way merge the
+//!   per-shard streaming ranges — hash partitioning interleaves the key
+//!   space, so every shard contributes to every range;
+//! * augmented queries combine the per-shard monoid values. Because the
+//!   hash interleaves keys, the per-shard values arrive out of key order:
+//!   **aug queries on a sharded store require a commutative `combine`**
+//!   (all built-in specs — sum, max, min — are commutative).
+//!
+//! ## Consistency
+//!
+//! Each shard keeps the single-store guarantees (atomic epochs, snapshot
+//! reads, read-your-writes). *Cross*-shard operations are coordinated
+//! only where documented:
+//!
+//! * a [`ShardedStore::write_batch`] is split per shard and is atomic
+//!   *within* each shard, not across shards;
+//! * plain cross-shard reads (`get_many`, `range_for_each`, `len`, aug
+//!   queries) pin each shard's head independently — a concurrent commit
+//!   may land between two pins;
+//! * [`ShardedStore::snapshot`] closes that gap: it raises a brief
+//!   *submit barrier* on every shard (new writes park, in-flight epochs
+//!   drain), pins every head, and releases — yielding a
+//!   [`ShardedSnapshot`] whose pinned version vector is a consistent cut:
+//!   it contains every write acknowledged before the barrier and none
+//!   submitted after it.
+
+use crate::config::ShardedConfig;
+use crate::pipeline::CommitTicket;
+use crate::registry::{PinnedVersion, VersionId};
+use crate::stats::StoreStats;
+use crate::store::VersionedStore;
+use crate::WriteOp;
+use pam::balance::Balance;
+use pam::{AugSpec, WeightBalanced};
+use std::sync::{Arc, Mutex, PoisonError};
+
+// ---------------------------------------------------------------------------
+// Stable shard routing
+// ---------------------------------------------------------------------------
+
+/// A key that can be routed to a shard.
+///
+/// The hash must be **stable across processes and runs**: a durable
+/// sharded store persists each shard's data under its own WAL directory,
+/// so the key→shard assignment is part of the on-disk format. (This is
+/// why `std::hash::Hash` is not used — `DefaultHasher` makes no
+/// cross-version stability promise.) Implementations must also spread
+/// adjacent keys: range scans already pay a k-way merge, and a hash that
+/// clumps consecutive keys onto one shard re-serializes the write load.
+pub trait ShardKey {
+    /// A well-mixed, stable 64-bit hash of the key.
+    fn shard_hash(&self) -> u64;
+}
+
+/// SplitMix64 finalizer: cheap, stable, and passes avalanche tests —
+/// every input bit flips every output bit with probability ~1/2, so
+/// `hash % shards` stays uniform even for sequential integer keys.
+#[inline]
+pub(crate) fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// FNV-1a over a byte string, finalized with [`mix64`] (FNV alone has
+/// weak high bits; the finalizer fixes the distribution for `% shards`).
+#[inline]
+fn hash_bytes(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    mix64(h)
+}
+
+macro_rules! impl_shardkey_uint {
+    ($($t:ty),*) => {$(
+        impl ShardKey for $t {
+            #[inline]
+            fn shard_hash(&self) -> u64 {
+                mix64(*self as u64)
+            }
+        }
+    )*};
+}
+impl_shardkey_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_shardkey_int {
+    ($($t:ty => $u:ty),*) => {$(
+        impl ShardKey for $t {
+            #[inline]
+            fn shard_hash(&self) -> u64 {
+                mix64(*self as $u as u64)
+            }
+        }
+    )*};
+}
+impl_shardkey_int!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl ShardKey for u128 {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        mix64((*self as u64) ^ mix64((*self >> 64) as u64))
+    }
+}
+
+impl ShardKey for i128 {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        (*self as u128).shard_hash()
+    }
+}
+
+impl ShardKey for String {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        hash_bytes(self.as_bytes())
+    }
+}
+
+impl ShardKey for str {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        hash_bytes(self.as_bytes())
+    }
+}
+
+impl ShardKey for Vec<u8> {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        hash_bytes(self)
+    }
+}
+
+impl ShardKey for [u8] {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        hash_bytes(self)
+    }
+}
+
+impl<A: ShardKey, B: ShardKey> ShardKey for (A, B) {
+    #[inline]
+    fn shard_hash(&self) -> u64 {
+        mix64(self.0.shard_hash() ^ self.1.shard_hash().rotate_left(32))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sharded store
+// ---------------------------------------------------------------------------
+
+/// A key-value store hash-partitioned across N independent
+/// [`VersionedStore`] roots, each with its own group-commit pipeline.
+///
+/// Writes to different shards batch, normalize, and apply concurrently —
+/// N committer threads instead of one — while every read API of the
+/// single store is reassembled on top (see the module docs for the exact
+/// consistency contract).
+///
+/// ```
+/// use pam_store::{ShardedConfig, ShardedStore};
+/// use pam::SumAug;
+/// use std::time::Duration;
+///
+/// let store: ShardedStore<SumAug<u64, u64>> =
+///     ShardedStore::with_config(ShardedConfig {
+///         shards: 4,
+///         ..ShardedConfig::default()
+///     });
+/// store.put_all((0..1000u64).map(|k| (k, 1))).wait();
+/// assert_eq!(store.get(&17), Some(1));
+/// assert_eq!(store.aug_range(&0, &999), 1000); // merged across shards
+///
+/// let snap = store.snapshot(); // consistent cross-shard cut
+/// store.delete(17).wait();
+/// assert_eq!(snap.get(&17), Some(1));
+/// assert_eq!(store.get(&17), None);
+/// ```
+pub struct ShardedStore<S: AugSpec, B: Balance = WeightBalanced> {
+    shards: Vec<Arc<VersionedStore<S, B>>>,
+    /// Serializes [`ShardedStore::snapshot`] barriers (one at a time).
+    snapshot_gate: Mutex<()>,
+}
+
+/// Ends the raised barriers even if a flush panics mid-snapshot (a
+/// poisoned shard must not leave every other shard's writers parked).
+struct BarrierGuard<'a, S: AugSpec, B: Balance> {
+    shards: &'a [Arc<VersionedStore<S, B>>],
+    raised: usize,
+}
+
+impl<S: AugSpec, B: Balance> Drop for BarrierGuard<'_, S, B> {
+    fn drop(&mut self) {
+        for s in &self.shards[..self.raised] {
+            s.pipeline().end_barrier();
+        }
+    }
+}
+
+impl<S: AugSpec, B: Balance> ShardedStore<S, B>
+where
+    S::K: ShardKey,
+{
+    /// An empty store with `shards` roots and default per-shard tuning.
+    pub fn new(shards: usize) -> Self {
+        Self::with_config(ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        })
+    }
+
+    /// An empty store with the given configuration.
+    pub fn with_config(config: ShardedConfig) -> Self {
+        Self::from_stores(
+            (0..config.shards.max(1))
+                .map(|_| Arc::new(VersionedStore::with_config(config.store.clone())))
+                .collect(),
+        )
+    }
+
+    /// Assemble a sharded store from pre-built roots (the durable layer
+    /// uses this to wrap recovered [`crate::DurableStore`] handles).
+    /// Shard `i` must hold exactly the keys with `shard_hash() % n == i`
+    /// — feeding arbitrary maps in breaks routing.
+    pub fn from_stores(shards: Vec<Arc<VersionedStore<S, B>>>) -> Self {
+        assert!(!shards.is_empty(), "a sharded store needs >= 1 shard");
+        ShardedStore {
+            shards,
+            snapshot_gate: Mutex::new(()),
+        }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard index `key` routes to.
+    pub fn shard_of(&self, key: &S::K) -> usize {
+        (key.shard_hash() % self.shards.len() as u64) as usize
+    }
+
+    /// Direct handle to one shard's store (diagnostics, per-shard stats).
+    pub fn shard(&self, i: usize) -> &Arc<VersionedStore<S, B>> {
+        &self.shards[i]
+    }
+
+    // -- writes -----------------------------------------------------------
+
+    /// Insert or overwrite `key` on its owning shard. The ticket resolves
+    /// when that shard's epoch commits.
+    pub fn put(&self, key: S::K, value: S::V) -> CommitTicket<S> {
+        let shard = self.shard_of(&key);
+        self.shards[shard].put(key, value)
+    }
+
+    /// Remove `key` (no-op if absent).
+    pub fn delete(&self, key: S::K) -> CommitTicket<S> {
+        let shard = self.shard_of(&key);
+        self.shards[shard].delete(key)
+    }
+
+    /// Enqueue several operations. Operations targeting the same shard
+    /// share an epoch (atomic within the shard); **atomicity does not
+    /// span shards** — a concurrent reader may observe one shard's slice
+    /// of the batch before another's.
+    pub fn write_batch(&self, ops: impl IntoIterator<Item = WriteOp<S>>) -> ShardedTicket<S> {
+        let mut per_shard: Vec<Vec<WriteOp<S>>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for op in ops {
+            per_shard[self.shard_of(op.key())].push(op);
+        }
+        ShardedTicket {
+            tickets: per_shard
+                .into_iter()
+                .enumerate()
+                .filter(|(_, ops)| !ops.is_empty())
+                .map(|(i, ops)| self.shards[i].write_batch(ops))
+                .collect(),
+        }
+    }
+
+    /// Upsert many pairs (convenience over [`Self::write_batch`]).
+    pub fn put_all(&self, pairs: impl IntoIterator<Item = (S::K, S::V)>) -> ShardedTicket<S> {
+        self.write_batch(pairs.into_iter().map(|(k, v)| WriteOp::Put(k, v)))
+    }
+
+    /// Block until every previously enqueued operation on every shard is
+    /// committed; returns the per-shard versions containing them.
+    pub fn flush(&self) -> Vec<VersionId> {
+        self.shards.iter().map(|s| s.flush()).collect()
+    }
+
+    // -- reads ------------------------------------------------------------
+
+    /// The value at `key` in its shard's current version.
+    pub fn get(&self, key: &S::K) -> Option<S::V> {
+        self.shards[self.shard_of(key)].get(key)
+    }
+
+    /// The values at several keys, scattered to their owning shards and
+    /// gathered back in input order. Each shard is read from one pinned
+    /// snapshot (per-shard consistent); for a cut that is consistent
+    /// *across* shards, use [`Self::snapshot`] + [`ShardedSnapshot::get_many`].
+    pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
+        let n = self.shards.len();
+        let mut index_of: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+        for (i, k) in keys.iter().enumerate() {
+            index_of[self.shard_of(k)].push(i);
+        }
+        let mut out: Vec<Option<S::V>> = vec![None; keys.len()];
+        for (shard, idxs) in index_of.iter_mut().enumerate() {
+            if idxs.is_empty() {
+                continue;
+            }
+            // pin once and probe by reference (no key clones), in sorted
+            // key order so successive lookups share their upper tree path
+            // — the same discipline as `VersionedStore::get_many`
+            let pin = self.shards[shard].pin();
+            let map = pin.map();
+            idxs.sort_by(|&a, &b| S::compare(&keys[a], &keys[b]));
+            for &i in idxs.iter() {
+                out[i] = map.get(&keys[i]).cloned();
+            }
+        }
+        out
+    }
+
+    /// All entries with keys in `[lo, hi]`, merged across shards in key
+    /// order. Prefer [`Self::range_for_each`] for large ranges.
+    pub fn range(&self, lo: &S::K, hi: &S::K) -> Vec<(S::K, S::V)> {
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Stream the entries with keys in `[lo, hi]` to `f` in global key
+    /// order: a k-way merge over every shard's streaming range (hash
+    /// partitioning interleaves the key space, so all shards
+    /// participate). Each shard's head is pinned for the duration.
+    pub fn range_for_each(&self, lo: &S::K, hi: &S::K, f: impl FnMut(&S::K, &S::V)) {
+        let pins: Vec<_> = self.shards.iter().map(|s| s.pin()).collect();
+        merged_range_for_each(&pins, lo, hi, f);
+    }
+
+    /// Augmented value over keys in `[lo, hi]`: the combine of the
+    /// per-shard `aug_range` results (O(shards × log n)). Requires a
+    /// **commutative** combine — see the module docs.
+    pub fn aug_range(&self, lo: &S::K, hi: &S::K) -> S::A {
+        self.shards.iter().fold(S::identity(), |acc, s| {
+            S::combine(&acc, &s.aug_range(lo, hi))
+        })
+    }
+
+    /// Augmented value of the whole store (O(shards)). Requires a
+    /// commutative combine.
+    pub fn aug_val(&self) -> S::A {
+        self.shards
+            .iter()
+            .fold(S::identity(), |acc, s| S::combine(&acc, &s.aug_val()))
+    }
+
+    /// Total entries across shards (each shard's head read independently).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.len()).sum()
+    }
+
+    /// Is every shard empty?
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.is_empty())
+    }
+
+    // -- snapshots ---------------------------------------------------------
+
+    /// Take a **consistent cross-shard snapshot**: raise a submit barrier
+    /// on every shard (new writes park; epochs already buffered drain),
+    /// pin every shard's head, release the barriers. The result contains
+    /// every write acknowledged before the call and none submitted after
+    /// the barrier was up — a consistent cut of the version vector.
+    ///
+    /// The barrier is brief (one flush per shard) but does park writers;
+    /// for read paths that tolerate per-shard consistency, the plain read
+    /// API avoids it entirely.
+    pub fn snapshot(&self) -> ShardedSnapshot<S, B> {
+        let _serialize = self
+            .snapshot_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut guard = BarrierGuard {
+            shards: &self.shards,
+            raised: 0,
+        };
+        for s in &self.shards {
+            s.pipeline().begin_barrier();
+            guard.raised += 1;
+        }
+        let pins = self
+            .shards
+            .iter()
+            .map(|s| {
+                s.flush();
+                s.pin()
+            })
+            .collect();
+        drop(guard); // lowers every barrier
+        ShardedSnapshot { pins }
+    }
+
+    // -- observability -----------------------------------------------------
+
+    /// Store-wide statistics: the per-shard stats folded with
+    /// [`StoreStats::aggregate`].
+    pub fn stats(&self) -> StoreStats {
+        let per: Vec<StoreStats> = self.stats_per_shard();
+        StoreStats::aggregate(per.iter())
+    }
+
+    /// Per-shard statistics, shard order (spot imbalanced partitions).
+    pub fn stats_per_shard(&self) -> Vec<StoreStats> {
+        self.shards.iter().map(|s| s.stats()).collect()
+    }
+
+    /// Exact heap bytes reachable from all live versions of all shards
+    /// (shards share no nodes, so the per-shard numbers sum).
+    pub fn memory_bytes(&self) -> usize {
+        self.shards.iter().map(|s| s.memory_bytes()).sum()
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::fmt::Debug for ShardedStore<S, B>
+where
+    S::K: ShardKey,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedStore({} shards, len {})",
+            self.num_shards(),
+            self.len()
+        )
+    }
+}
+
+/// A receipt for a cross-shard batch: one sub-ticket per shard that
+/// received operations.
+pub struct ShardedTicket<S: AugSpec> {
+    tickets: Vec<CommitTicket<S>>,
+}
+
+impl<S: AugSpec> ShardedTicket<S> {
+    /// Block until every shard's slice of the batch is committed;
+    /// returns the per-slice version ids (shard order, shards that
+    /// received no operations omitted).
+    pub fn wait(&self) -> Vec<u64> {
+        self.tickets.iter().map(|t| t.wait()).collect()
+    }
+
+    /// Have all slices committed (non-blocking)?
+    pub fn is_done(&self) -> bool {
+        self.tickets.iter().all(|t| t.is_done())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Consistent snapshots
+// ---------------------------------------------------------------------------
+
+/// A consistent cross-shard snapshot: one pinned version per shard, taken
+/// under an all-shard submit barrier (see [`ShardedStore::snapshot`]).
+/// Holding it keeps every pinned version readable; reads never block and
+/// never change.
+pub struct ShardedSnapshot<S: AugSpec, B: Balance = WeightBalanced> {
+    pins: Vec<PinnedVersion<S, B>>,
+}
+
+impl<S: AugSpec, B: Balance> ShardedSnapshot<S, B>
+where
+    S::K: ShardKey,
+{
+    /// The pinned per-shard version ids — the snapshot's coordinate.
+    pub fn version_vector(&self) -> Vec<VersionId> {
+        self.pins.iter().map(|p| p.id()).collect()
+    }
+
+    /// The pinned version of one shard.
+    pub fn shard(&self, i: usize) -> &PinnedVersion<S, B> {
+        &self.pins[i]
+    }
+
+    /// The value at `key` in the snapshot.
+    pub fn get(&self, key: &S::K) -> Option<S::V> {
+        let shard = (key.shard_hash() % self.pins.len() as u64) as usize;
+        self.pins[shard].map().get(key).cloned()
+    }
+
+    /// The values at several keys (input order) — all from this one
+    /// consistent cut.
+    pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
+        keys.iter().map(|k| self.get(k)).collect()
+    }
+
+    /// Total entries in the snapshot.
+    pub fn len(&self) -> usize {
+        self.pins.iter().map(|p| p.map().len()).sum()
+    }
+
+    /// Is the snapshot empty?
+    pub fn is_empty(&self) -> bool {
+        self.pins.iter().all(|p| p.map().is_empty())
+    }
+
+    /// All entries with keys in `[lo, hi]`, merged in key order.
+    pub fn range(&self, lo: &S::K, hi: &S::K) -> Vec<(S::K, S::V)> {
+        let mut out = Vec::new();
+        self.range_for_each(lo, hi, |k, v| out.push((k.clone(), v.clone())));
+        out
+    }
+
+    /// Stream the entries with keys in `[lo, hi]` in global key order
+    /// (k-way merge over the pinned shards).
+    pub fn range_for_each(&self, lo: &S::K, hi: &S::K, f: impl FnMut(&S::K, &S::V)) {
+        merged_range_for_each(&self.pins, lo, hi, f);
+    }
+
+    /// Augmented value over `[lo, hi]` (commutative combine required).
+    pub fn aug_range(&self, lo: &S::K, hi: &S::K) -> S::A {
+        self.pins.iter().fold(S::identity(), |acc, p| {
+            S::combine(&acc, &p.map().aug_range(lo, hi))
+        })
+    }
+
+    /// Augmented value of the whole snapshot (commutative combine
+    /// required).
+    pub fn aug_val(&self) -> S::A {
+        self.pins
+            .iter()
+            .fold(S::identity(), |acc, p| S::combine(&acc, &p.map().aug_val()))
+    }
+}
+
+impl<S: AugSpec, B: Balance> Clone for ShardedSnapshot<S, B> {
+    fn clone(&self) -> Self {
+        ShardedSnapshot {
+            pins: self.pins.clone(),
+        }
+    }
+}
+
+impl<S: AugSpec, B: Balance> std::fmt::Debug for ShardedSnapshot<S, B> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "ShardedSnapshot(v{:?})",
+            self.pins.iter().map(|p| p.id()).collect::<Vec<_>>()
+        )
+    }
+}
+
+/// K-way merge of the pinned shards' streaming ranges: shards partition
+/// the key space disjointly, so repeatedly emitting the smallest head is
+/// a strict global key order. O(total × shards) comparisons — shard
+/// counts are small (≤ cores), so a linear head scan beats a heap.
+fn merged_range_for_each<S: AugSpec, B: Balance>(
+    pins: &[PinnedVersion<S, B>],
+    lo: &S::K,
+    hi: &S::K,
+    mut f: impl FnMut(&S::K, &S::V),
+) {
+    let mut iters: Vec<_> = pins.iter().map(|p| p.map().iter_range(lo, hi)).collect();
+    let mut heads: Vec<Option<(&S::K, &S::V)>> = iters.iter_mut().map(|it| it.next()).collect();
+    loop {
+        let mut best: Option<usize> = None;
+        for (i, head) in heads.iter().enumerate() {
+            let Some((k, _)) = head else { continue };
+            best = match best {
+                Some(j) => {
+                    let (bk, _) = heads[j].as_ref().expect("best head present");
+                    if S::compare(k, bk).is_lt() {
+                        Some(i)
+                    } else {
+                        Some(j)
+                    }
+                }
+                None => Some(i),
+            };
+        }
+        let Some(i) = best else { break };
+        let (k, v) = heads[i].take().expect("chosen head present");
+        f(k, v);
+        heads[i] = iters[i].next();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::StoreConfig;
+    use pam::SumAug;
+    use std::collections::BTreeMap;
+    use std::time::Duration;
+
+    type Sharded = ShardedStore<SumAug<u64, u64>>;
+
+    fn eager(shards: usize) -> Sharded {
+        Sharded::with_config(ShardedConfig {
+            shards,
+            store: StoreConfig {
+                batch_window: Duration::ZERO,
+                ..StoreConfig::default()
+            },
+        })
+    }
+
+    #[test]
+    fn mix64_spreads_sequential_keys() {
+        let shards = 4u64;
+        let mut counts = [0usize; 4];
+        for k in 0..10_000u64 {
+            counts[(k.shard_hash() % shards) as usize] += 1;
+        }
+        for &c in &counts {
+            assert!(
+                (2000..=3000).contains(&c),
+                "sequential keys must spread evenly, got {counts:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn string_and_tuple_hashes_are_stable() {
+        // Pinned values: the hash is part of the durable format — if one
+        // of these changes, existing sharded directories break.
+        assert_eq!(42u64.shard_hash(), mix64(42));
+        assert_eq!(
+            "user:alice".shard_hash(),
+            String::from("user:alice").shard_hash()
+        );
+        assert_eq!(vec![1u8, 2, 3].shard_hash(), [1u8, 2, 3][..].shard_hash());
+        assert_ne!((1u64, 2u64).shard_hash(), (2u64, 1u64).shard_hash());
+    }
+
+    #[test]
+    fn routing_partitions_every_key_once() {
+        let store = eager(5);
+        store.put_all((0..500u64).map(|k| (k, k))).wait();
+        let total: usize = (0..5).map(|i| store.shard(i).len()).sum();
+        assert_eq!(total, 500);
+        for i in 0..5 {
+            let pin = store.shard(i).pin();
+            pin.map().for_each(|k, _| assert_eq!(store.shard_of(k), i));
+            assert!(!pin.map().is_empty(), "shard {i} got no keys");
+        }
+    }
+
+    #[test]
+    fn point_reads_and_scatter_gather() {
+        let store = eager(4);
+        store.put_all((0..200u64).map(|k| (k, k * 2))).wait();
+        assert_eq!(store.get(&77), Some(154));
+        assert_eq!(store.get(&999), None);
+        let keys = vec![5u64, 500, 17, 5, 0];
+        assert_eq!(
+            store.get_many(&keys),
+            vec![Some(10), None, Some(34), Some(10), Some(0)]
+        );
+        assert_eq!(store.get_many(&[]), Vec::<Option<u64>>::new());
+    }
+
+    #[test]
+    fn merged_range_is_globally_ordered() {
+        let store = eager(4);
+        store.put_all((0..1000u64).map(|k| (k, k))).wait();
+        let got = store.range(&100, &199);
+        assert_eq!(got, (100..=199).map(|k| (k, k)).collect::<Vec<_>>());
+        // empty range
+        let mut n = 0;
+        store.range_for_each(&5000, &6000, |_, _| n += 1);
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn aug_queries_combine_across_shards() {
+        let store = eager(3);
+        store.put_all((1..=100u64).map(|k| (k, k))).wait();
+        assert_eq!(store.aug_val(), 5050);
+        assert_eq!(store.aug_range(&10, &19), (10..=19).sum::<u64>());
+        assert_eq!(store.len(), 100);
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn write_batch_is_atomic_per_shard() {
+        let store = eager(2);
+        let t = store.write_batch(
+            (0..100u64)
+                .map(|k| WriteOp::Put(k, k))
+                .chain(std::iter::once(WriteOp::Delete(50))),
+        );
+        let versions = t.wait();
+        assert!(t.is_done());
+        assert_eq!(versions.len(), 2, "both shards received ops");
+        assert_eq!(store.len(), 99);
+        assert_eq!(store.get(&50), None);
+    }
+
+    #[test]
+    fn snapshot_is_a_frozen_consistent_cut() {
+        let store = eager(4);
+        store.put_all((0..100u64).map(|k| (k, 1))).wait();
+        let snap = store.snapshot();
+        assert_eq!(snap.version_vector().len(), 4);
+        store.put_all((0..100u64).map(|k| (k, 2))).wait();
+        store.put(1000, 1).wait();
+        // the snapshot still sees the old world
+        assert_eq!(snap.len(), 100);
+        assert_eq!(snap.get(&7), Some(1));
+        assert_eq!(snap.get(&1000), None);
+        assert_eq!(snap.aug_val(), 100);
+        assert_eq!(
+            snap.range(&0, &10),
+            (0..=10).map(|k| (k, 1)).collect::<Vec<_>>()
+        );
+        // while the live store moved on
+        assert_eq!(store.get(&7), Some(2));
+        assert_eq!(store.get(&1000), Some(1));
+        // snapshots clone cheaply and agree
+        let snap2 = snap.clone();
+        assert_eq!(snap2.version_vector(), snap.version_vector());
+        assert_eq!(snap2.get_many(&[7, 1000]), vec![Some(1), None]);
+    }
+
+    #[test]
+    fn sharded_matches_btree_oracle() {
+        let store = eager(7);
+        let mut oracle = BTreeMap::new();
+        for i in 0..2000u64 {
+            let k = workloads::hash64(i) % 300;
+            if i % 5 == 0 {
+                store.delete(k);
+                oracle.remove(&k);
+            } else {
+                store.put(k, i);
+                oracle.insert(k, i);
+            }
+            // interleave occasional batches
+            if i % 97 == 0 {
+                store.write_batch(vec![WriteOp::Put(i, i), WriteOp::Delete(i / 2)]);
+                oracle.insert(i, i);
+                oracle.remove(&(i / 2));
+            }
+        }
+        store.flush();
+        let all = store.range(&0, &u64::MAX);
+        assert_eq!(all, oracle.into_iter().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_aggregate_across_shards() {
+        let store = eager(4);
+        store.put_all((0..1000u64).map(|k| (k, 1))).wait();
+        let s = store.stats();
+        assert_eq!(s.raw_ops, 1000);
+        assert_eq!(s.applied_ops, 1000);
+        assert!(s.commits >= 4, "each shard committed at least once");
+        let per = store.stats_per_shard();
+        assert_eq!(per.len(), 4);
+        assert_eq!(per.iter().map(|p| p.raw_ops).sum::<u64>(), 1000);
+        assert!(store.memory_bytes() > 1000 * 8);
+    }
+
+    #[test]
+    fn one_shard_degenerates_to_single_store() {
+        let store = eager(1);
+        store.put_all((0..100u64).map(|k| (k, k))).wait();
+        assert_eq!(store.num_shards(), 1);
+        assert_eq!(store.len(), 100);
+        assert_eq!(store.range(&0, &99).len(), 100);
+        assert_eq!(store.snapshot().len(), 100);
+    }
+}

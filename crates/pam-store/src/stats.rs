@@ -132,6 +132,56 @@ impl StoreStats {
     pub fn mean_batch(&self) -> f64 {
         self.raw_ops as f64 / self.commits.max(1) as f64
     }
+
+    /// Fold per-shard statistics into one store-wide summary (used by
+    /// `ShardedStore::stats`). Counters sum; commit latencies are the
+    /// commit-weighted mean and the global max; `head_version` is the
+    /// highest per-shard head (shard version ids are independent — use
+    /// `ShardedSnapshot::version_vector` for the real coordinate).
+    /// Durability counters sum, except `last_checkpoint_epoch` and
+    /// `last_checkpoint_age`, which report the *least-advanced* shard —
+    /// the conservative answer to "how stale could a checkpoint be".
+    pub fn aggregate<'a>(shards: impl IntoIterator<Item = &'a StoreStats>) -> StoreStats {
+        let mut out = StoreStats::default();
+        let mut total_commit_nanos = 0u128;
+        let mut first = true;
+        for s in shards {
+            out.commits += s.commits;
+            out.raw_ops += s.raw_ops;
+            out.applied_ops += s.applied_ops;
+            out.cas_retries += s.cas_retries;
+            out.max_batch = out.max_batch.max(s.max_batch);
+            total_commit_nanos += s.mean_commit.as_nanos() * s.commits as u128;
+            out.max_commit = out.max_commit.max(s.max_commit);
+            out.live_versions += s.live_versions;
+            out.retired_versions += s.retired_versions;
+            out.head_version = out.head_version.max(s.head_version);
+            let d = &s.durability;
+            out.durability.wal_records += d.wal_records;
+            out.durability.wal_bytes += d.wal_bytes;
+            out.durability.wal_fsyncs += d.wal_fsyncs;
+            out.durability.wal_segments += d.wal_segments;
+            out.durability.checkpoints += d.checkpoints;
+            out.durability.last_checkpoint_epoch = if first {
+                d.last_checkpoint_epoch
+            } else {
+                out.durability
+                    .last_checkpoint_epoch
+                    .min(d.last_checkpoint_epoch)
+            };
+            out.durability.last_checkpoint_age =
+                match (out.durability.last_checkpoint_age, d.last_checkpoint_age) {
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                    _ if first => d.last_checkpoint_age,
+                    // one shard has no checkpoint yet: unboundedly stale
+                    _ => None,
+                };
+            first = false;
+        }
+        out.mean_commit =
+            Duration::from_nanos((total_commit_nanos / out.commits.max(1) as u128) as u64);
+        out
+    }
 }
 
 impl std::fmt::Display for StoreStats {

@@ -194,6 +194,12 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
 
     // -- versions ----------------------------------------------------------
 
+    /// The group-commit pipeline (the sharded layer raises submit
+    /// barriers on it for consistent cross-shard snapshots).
+    pub(crate) fn pipeline(&self) -> &Pipeline<S> {
+        &self.inner.pipeline
+    }
+
     /// Pin the current head version (O(1)); the pin keeps it readable
     /// while later commits advance the head.
     pub fn pin(&self) -> PinnedVersion<S, B> {

@@ -22,9 +22,9 @@
 //! store.
 
 use crate::codec::{put_varint, Codec, Reader};
-use crate::frame::{self, Frame};
+use crate::frame;
 use std::fs::{self, File, OpenOptions};
-use std::io::{self, Write};
+use std::io::{self, BufReader, Read, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening every checkpoint file.
@@ -174,58 +174,98 @@ fn list(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
     Ok(out)
 }
 
-/// Decode one checkpoint file. Errors on any framing/codec/count problem.
-fn load_file<K: Codec, V: Codec>(path: &Path) -> io::Result<(u64, Vec<(K, V)>)> {
+/// Stream-decode one checkpoint file: chunks are handed to `sink` as they
+/// are read, so peak memory is one chunk, not the whole checkpoint.
+/// Errors on any framing/codec/count problem (possibly after `sink` has
+/// already consumed earlier chunks — callers discard partial state).
+fn load_file_with<K: Codec, V: Codec>(
+    path: &Path,
+    sink: &mut impl FnMut(Vec<(K, V)>),
+) -> io::Result<(u64, u64)> {
     let bad = |msg: &str| {
         io::Error::new(
             io::ErrorKind::InvalidData,
             format!("{msg} in checkpoint {}", path.display()),
         )
     };
-    let bytes = fs::read(path)?;
-    if bytes.len() < CHECKPOINT_MAGIC.len() || &bytes[..CHECKPOINT_MAGIC.len()] != CHECKPOINT_MAGIC
-    {
+    let mut file = BufReader::new(File::open(path)?);
+    let mut magic = [0u8; CHECKPOINT_MAGIC.len()];
+    match file.read_exact(&mut magic) {
+        Ok(()) => {}
+        Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Err(bad("bad magic")),
+        Err(e) => return Err(e),
+    }
+    if &magic != CHECKPOINT_MAGIC {
         return Err(bad("bad magic"));
     }
-    let mut pos = CHECKPOINT_MAGIC.len();
-    let header = match frame::next_frame(&bytes[pos..]) {
-        Frame::Ok { payload, consumed } => {
-            pos += consumed;
-            payload
-        }
-        _ => return Err(bad("bad header frame")),
+    let header = match frame::read_frame(&mut file) {
+        Ok(Some(p)) => p,
+        Ok(None) => return Err(bad("bad header frame")),
+        Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(bad("bad header frame")),
+        Err(e) => return Err(e),
     };
-    let mut hr = Reader::new(header);
+    let mut hr = Reader::new(&header);
     let epoch = hr.varint().map_err(|_| bad("bad header epoch"))?;
     let total = hr.varint().map_err(|_| bad("bad header count"))?;
     if !hr.is_empty() {
         return Err(bad("trailing header bytes"));
     }
 
-    let mut entries: Vec<(K, V)> = Vec::with_capacity(total.min(1 << 24) as usize);
-    while pos < bytes.len() {
-        let payload = match frame::next_frame(&bytes[pos..]) {
-            Frame::Ok { payload, consumed } => {
-                pos += consumed;
-                payload
-            }
-            _ => return Err(bad("bad chunk frame")),
+    let mut seen = 0u64;
+    loop {
+        let payload = match frame::read_frame(&mut file) {
+            Ok(Some(p)) => p,
+            Ok(None) => break,
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(bad("bad chunk frame")),
+            Err(e) => return Err(e),
         };
-        let mut r = Reader::new(payload);
+        let mut r = Reader::new(&payload);
         let n = r.varint().map_err(|_| bad("bad chunk count"))?;
+        let mut chunk: Vec<(K, V)> = Vec::with_capacity(n.min(1 << 20) as usize);
         for _ in 0..n {
             let k = K::decode(&mut r).map_err(|_| bad("bad chunk key"))?;
             let v = V::decode(&mut r).map_err(|_| bad("bad chunk value"))?;
-            entries.push((k, v));
+            chunk.push((k, v));
         }
         if !r.is_empty() {
             return Err(bad("trailing chunk bytes"));
         }
+        seen += chunk.len() as u64;
+        sink(chunk);
     }
-    if entries.len() as u64 != total {
+    if seen != total {
         return Err(bad("entry count mismatch"));
     }
-    Ok((epoch, entries))
+    Ok((epoch, total))
+}
+
+/// Load the newest checkpoint that validates, streaming its chunks into an
+/// accumulator instead of materializing one giant vector: `fresh` builds
+/// an empty accumulator, `absorb` folds one decoded chunk (sorted by key,
+/// globally ascending across chunks) into it. Returns `(epoch, entries,
+/// accumulator)`.
+///
+/// The accumulator is per-candidate-file: a checkpoint that turns out
+/// corrupt mid-stream is abandoned (its partial accumulator dropped) and
+/// the next-older one is tried — the same fallback contract as
+/// [`load_latest`], which is this function specialized to `Vec`.
+pub fn load_latest_with<K: Codec, V: Codec, M>(
+    dir: &Path,
+    mut fresh: impl FnMut() -> M,
+    mut absorb: impl FnMut(&mut M, Vec<(K, V)>),
+) -> io::Result<Option<(u64, u64, M)>> {
+    if !dir.exists() {
+        return Ok(None);
+    }
+    for (_, path) in list(dir)?.into_iter().rev() {
+        let mut acc = fresh();
+        match load_file_with::<K, V>(&path, &mut |chunk| absorb(&mut acc, chunk)) {
+            Ok((epoch, total)) => return Ok(Some((epoch, total, acc))),
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(None)
 }
 
 /// A loaded checkpoint: the WAL epoch it claims plus its sorted entries.
@@ -233,19 +273,15 @@ pub type LoadedCheckpoint<K, V> = (u64, Vec<(K, V)>);
 
 /// Load the newest checkpoint that validates, if any: `(epoch,
 /// sorted_entries)`. A corrupt newer checkpoint silently falls back to an
-/// older one (recovery then replays more WAL).
+/// older one (recovery then replays more WAL). Materializes the whole
+/// entry vector — prefer [`load_latest_with`] for large maps.
 pub fn load_latest<K: Codec, V: Codec>(dir: &Path) -> io::Result<Option<LoadedCheckpoint<K, V>>> {
-    if !dir.exists() {
-        return Ok(None);
-    }
-    for (_, path) in list(dir)?.into_iter().rev() {
-        match load_file::<K, V>(&path) {
-            Ok(ok) => return Ok(Some(ok)),
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    Ok(None)
+    Ok(
+        load_latest_with::<K, V, Vec<(K, V)>>(dir, Vec::new, |acc, mut chunk| {
+            acc.append(&mut chunk)
+        })?
+        .map(|(epoch, _, entries)| (epoch, entries)),
+    )
 }
 
 /// Remove leftover `.tmp` files from a checkpoint interrupted by a crash.
@@ -329,6 +365,81 @@ mod tests {
         let (epoch, loaded) = load_latest::<u64, u64>(&dir).unwrap().unwrap();
         assert_eq!(epoch, 20, "must fall back to the older valid checkpoint");
         assert_eq!(loaded, pairs(20));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn streaming_load_sees_sorted_chunks_and_falls_back() {
+        let dir = tmp_dir("streaming");
+        for e in [5u64, 9] {
+            let data = pairs(10_000); // several chunks
+            write(
+                &dir,
+                e,
+                data.len() as u64,
+                |emit| data.iter().for_each(|(k, v)| emit(k, v)),
+                2,
+            )
+            .unwrap();
+        }
+        let mut chunks = 0usize;
+        let (epoch, total, flat) =
+            load_latest_with::<u64, u64, Vec<(u64, u64)>>(&dir, Vec::new, |acc, chunk| {
+                chunks += 1;
+                assert!(chunk.windows(2).all(|w| w[0].0 < w[1].0), "chunk sorted");
+                if let (Some(last), Some(first)) = (acc.last(), chunk.first()) {
+                    assert!(last.0 < first.0, "chunks ascend globally");
+                }
+                acc.extend(chunk);
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(epoch, 9);
+        assert_eq!(total, 10_000);
+        assert!(chunks > 1, "10k entries must span multiple chunks");
+        assert_eq!(flat, pairs(10_000));
+
+        // corrupt the newest: partial accumulators must be discarded and
+        // the older checkpoint streamed instead
+        let newest = checkpoint_path(&dir, 9);
+        let mut bytes = fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        fs::write(&newest, bytes).unwrap();
+        let (epoch, _, flat) =
+            load_latest_with::<u64, u64, Vec<(u64, u64)>>(&dir, Vec::new, |acc, chunk| {
+                acc.extend(chunk)
+            })
+            .unwrap()
+            .unwrap();
+        assert_eq!(epoch, 5, "fell back past the corrupt newest");
+        assert_eq!(flat.len(), 10_000, "no partial chunks leaked in");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn trailing_garbage_invalidates_a_checkpoint() {
+        let dir = tmp_dir("trailing");
+        for e in [3u64, 8] {
+            let data = pairs(100);
+            write(
+                &dir,
+                e,
+                data.len() as u64,
+                |emit| data.iter().for_each(|(k, v)| emit(k, v)),
+                2,
+            )
+            .unwrap();
+        }
+        // a torn partial frame header after the last complete chunk (all
+        // entries present, so only the tail scan can catch it)
+        let newest = checkpoint_path(&dir, 8);
+        let mut bytes = fs::read(&newest).unwrap();
+        bytes.extend_from_slice(&[0x10, 0, 0]);
+        fs::write(&newest, bytes).unwrap();
+        let (epoch, loaded) = load_latest::<u64, u64>(&dir).unwrap().unwrap();
+        assert_eq!(epoch, 3, "garbage-tailed checkpoint must not validate");
+        assert_eq!(loaded, pairs(100));
         fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -14,6 +14,8 @@
 //! polynomial), implemented here table-driven because the workspace is
 //! offline and vendors no checksum crate.
 
+use std::io;
+
 /// Frame header size: `u32` length + `u32` CRC.
 pub const HEADER_LEN: usize = 8;
 
@@ -102,6 +104,52 @@ pub fn next_frame(buf: &[u8]) -> Frame<'_> {
         payload,
         consumed: HEADER_LEN + len,
     }
+}
+
+/// Fill `buf` from `r`, returning how many bytes were available. Unlike
+/// `read_exact`, a short read is reported as a count — the caller can
+/// tell a clean end-of-file (0 bytes) from a torn tail (some bytes) —
+/// and genuine I/O errors pass through untouched.
+fn read_up_to(r: &mut impl io::Read, buf: &mut [u8]) -> io::Result<usize> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(filled)
+}
+
+/// Stream one frame out of `r` (the incremental sibling of
+/// [`next_frame`], same `[len | crc | payload]` validation). `Ok(None)`
+/// at a clean end-of-input; torn or corrupt frames are `InvalidData`.
+/// Real I/O errors (e.g. `EIO`) keep their kind — they mean a failing
+/// device, not a corrupt file, and callers with fallback-on-corruption
+/// logic (checkpoint loading) must be able to tell the two apart.
+pub fn read_frame(r: &mut impl io::Read) -> io::Result<Option<Vec<u8>>> {
+    let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg);
+    let mut header = [0u8; HEADER_LEN];
+    match read_up_to(r, &mut header)? {
+        0 => return Ok(None),
+        n if n < header.len() => return Err(bad("torn frame header")),
+        _ => {}
+    }
+    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(bad("frame length over MAX_PAYLOAD"));
+    }
+    let want = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let mut payload = vec![0u8; len];
+    if read_up_to(r, &mut payload)? < len {
+        return Err(bad("torn frame"));
+    }
+    if crc32(&payload) != want {
+        return Err(bad("bad frame crc"));
+    }
+    Ok(Some(payload))
 }
 
 #[cfg(test)]

@@ -34,10 +34,12 @@ pub mod checkpoint;
 pub mod codec;
 pub mod frame;
 pub mod lock;
+pub mod manifest;
 pub mod record;
 pub mod wal;
 
 pub use codec::{Codec, CodecError, Reader};
 pub use lock::DirLock;
+pub use manifest::Manifest;
 pub use record::EpochBody;
 pub use wal::{EpochRecord, SyncPolicy, Wal, WalConfig};

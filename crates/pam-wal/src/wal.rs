@@ -58,6 +58,11 @@ pub enum SyncPolicy {
     /// Fsync once every N epoch records: bounded loss (at most the last
     /// N-1 epochs) at a fraction of the fsync count.
     SyncEveryN(u64),
+    /// Fsync once at least N bytes have been appended since the last
+    /// sync: bounds loss by *data volume* instead of epoch count, which
+    /// is the useful knob when epoch sizes vary wildly (a burst of tiny
+    /// epochs syncs rarely; one huge epoch syncs immediately).
+    SyncEveryBytes(u64),
 }
 
 /// Tuning for a [`Wal`].
@@ -114,6 +119,7 @@ pub struct Wal {
     current: Option<(File, Segment, u64)>,
     last_epoch: u64,
     epochs_since_sync: u64,
+    bytes_since_sync: u64,
 }
 
 fn segment_path(dir: &Path, first_epoch: u64) -> PathBuf {
@@ -230,6 +236,7 @@ impl Wal {
                 current,
                 last_epoch,
                 epochs_since_sync: 0,
+                bytes_since_sync: 0,
             },
             records,
         ))
@@ -245,6 +252,8 @@ impl Wal {
         if let Some((file, seg, size)) = self.current.take() {
             if size >= self.config.segment_bytes {
                 file.sync_data()?; // sealed segments are always durable
+                self.epochs_since_sync = 0;
+                self.bytes_since_sync = 0;
                 self.sealed.push(seg);
             } else {
                 self.current = Some((file, seg, size));
@@ -275,15 +284,18 @@ impl Wal {
         *size += framed;
         self.last_epoch = epoch;
         self.epochs_since_sync += 1;
+        self.bytes_since_sync += framed;
 
         let synced = match self.config.sync {
             SyncPolicy::NoSync => false,
             SyncPolicy::SyncEachEpoch => true,
             SyncPolicy::SyncEveryN(n) => self.epochs_since_sync >= n.max(1),
+            SyncPolicy::SyncEveryBytes(n) => self.bytes_since_sync >= n.max(1),
         };
         if synced {
             file.sync_data()?;
             self.epochs_since_sync = 0;
+            self.bytes_since_sync = 0;
         }
         Ok(AppendInfo {
             bytes: framed,
@@ -297,6 +309,7 @@ impl Wal {
             if self.epochs_since_sync > 0 {
                 file.sync_data()?;
                 self.epochs_since_sync = 0;
+                self.bytes_since_sync = 0;
                 return Ok(true);
             }
         }
@@ -484,6 +497,35 @@ mod tests {
             Ok(_) => panic!("corrupt sealed segment must fail open"),
         };
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sync_every_bytes_counts_fsyncs() {
+        let dir = tmp_dir("every-bytes");
+        let one_record = {
+            let mut payload = Vec::new();
+            crate::codec::put_varint(&mut payload, 1);
+            payload.extend_from_slice(&body(1));
+            (frame::HEADER_LEN + payload.len()) as u64
+        };
+        // threshold = two records: every second append syncs
+        let cfg = WalConfig {
+            segment_bytes: 1 << 20,
+            sync: SyncPolicy::SyncEveryBytes(2 * one_record),
+        };
+        let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
+        let synced: Vec<bool> = (1..=6u64)
+            .map(|e| wal.append(e, &body(e)).unwrap().synced)
+            .collect();
+        assert_eq!(synced, vec![false, true, false, true, false, true]);
+        assert!(
+            !wal.sync().unwrap(),
+            "nothing pending after a synced append"
+        );
+        wal.append(7, &body(7)).unwrap();
+        assert!(wal.sync().unwrap(), "pending bytes need a final sync");
+        drop(wal);
         fs::remove_dir_all(&dir).unwrap();
     }
 
