@@ -28,7 +28,9 @@
 //! stores (`ShardedStore`, N independent group-commit pipelines), making
 //! the 1-committer-vs-N-committers delta measurable. Add `--json <path>`
 //! to also emit the rows as machine-readable JSON (the CI bench-smoke
-//! artifact).
+//! artifact). `--threads N` pins the client-thread count (default:
+//! hardware parallelism) — `--threads 1` vs the default is the scaling
+//! comparison for the parallel drivers and sharded pipelines.
 
 use pam::SumAug;
 use pam_bench::*;
@@ -403,12 +405,25 @@ fn main() {
         "YCSB-style mixed workloads on pam-store",
         "the serving-layer extension of §4 (group commit + snapshot reads)",
     );
-    let threads = max_threads();
     let preload = scaled(200_000);
     let ops_per_thread = scaled(50_000);
     let key_space = (preload as u64) * 4;
 
     let args: Vec<String> = std::env::args().collect();
+
+    // `--threads N`: client-thread count (default: hardware parallelism).
+    // Running `--threads 1` vs the default is the scaling comparison the
+    // parallel iterator drivers / sharded pipelines are measured by.
+    let threads = match args.iter().position(|a| a == "--threads") {
+        Some(i) => match args.get(i + 1).and_then(|s| s.parse::<usize>().ok()) {
+            Some(n) if n >= 1 => n,
+            _ => {
+                eprintln!("bad --threads value (want a positive integer)");
+                std::process::exit(2);
+            }
+        },
+        None => max_threads(),
+    };
 
     // `--shards N[,M,...]`: sweep shard counts on workload A instead of
     // sweeping the group-commit window; `--json <path>` also dumps the

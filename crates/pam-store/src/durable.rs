@@ -265,19 +265,33 @@ where
             }
             prev_epoch = Some(rec.epoch);
         }
-        for rec in records {
-            if rec.epoch <= ckpt_epoch {
-                continue; // already inside the checkpoint (idempotent anyway)
+        // Decode epoch bodies in parallel (CPU-bound varint parsing),
+        // then apply them in epoch order — application must stay
+        // sequential because later epochs overwrite earlier ones. Decode
+        // in bounded windows so peak memory is the raw records plus one
+        // window of decoded bodies, not a second full copy of the log.
+        use rayon::prelude::*;
+        const DECODE_WINDOW: usize = 64;
+        let to_replay: Vec<&pam_wal::EpochRecord> = records
+            .iter()
+            .filter(|r| r.epoch > ckpt_epoch) // inside the checkpoint already (idempotent anyway)
+            .collect();
+        for window in to_replay.chunks(DECODE_WINDOW) {
+            let bodies: Vec<Result<_, _>> = window
+                .par_iter()
+                .map(|rec| record::decode_epoch_body::<S::K, S::V>(&rec.body))
+                .collect();
+            for (rec, body) in window.iter().zip(bodies) {
+                let body = body?;
+                if !body.puts.is_empty() {
+                    map.multi_insert(body.puts);
+                }
+                if !body.deletes.is_empty() {
+                    map.multi_delete(body.deletes);
+                }
+                replayed += 1;
+                last_epoch = last_epoch.max(rec.epoch);
             }
-            let body = record::decode_epoch_body::<S::K, S::V>(&rec.body)?;
-            if !body.puts.is_empty() {
-                map.multi_insert(body.puts);
-            }
-            if !body.deletes.is_empty() {
-                map.multi_delete(body.deletes);
-            }
-            replayed += 1;
-            last_epoch = last_epoch.max(rec.epoch);
         }
 
         // 3. hand the recovered map to a fresh pipeline with the WAL hook
@@ -589,9 +603,9 @@ where
     S::V: Codec,
 {
     /// Open (or create) a sharded durable store in `dir`: verify (or
-    /// write) the shard-count manifest, then recover every shard —
-    /// checkpoint bulk-load plus WAL replay, reusing the single-store
-    /// path per shard. Fails with `InvalidInput` on a shard-count
+    /// write) the shard-count manifest, then recover every shard **in
+    /// parallel** — checkpoint bulk-load plus WAL replay, reusing the
+    /// single-store path per shard. Fails with `InvalidInput` on a shard-count
     /// mismatch and `InvalidData` if shard directories exist without a
     /// manifest (guessing a layout could route keys into the wrong WAL).
     pub fn open(
@@ -634,14 +648,25 @@ where
             None => manifest::write(&dir, want)?,
         }
 
-        let mut shards = Vec::with_capacity(want as usize);
-        for i in 0..want as usize {
-            shards.push(DurableStore::open(
-                manifest::shard_dir(&dir, i),
-                config.store.clone(),
-                durability.clone(),
-            )?);
-        }
+        // Recover every shard concurrently: each open is an independent
+        // checkpoint bulk-load + WAL replay in its own `shard-<i>/`
+        // directory (its own DirLock), so shard recovery time is the max
+        // over shards instead of the sum. The parallel driver keeps the
+        // results in shard order; the first error wins (already-opened
+        // shards shut down cleanly when dropped).
+        use rayon::prelude::*;
+        let shards = (0..want as usize)
+            .into_par_iter()
+            .map(|i| {
+                DurableStore::open(
+                    manifest::shard_dir(&dir, i),
+                    config.store.clone(),
+                    durability.clone(),
+                )
+            })
+            .collect::<Vec<io::Result<DurableStore<S, B>>>>()
+            .into_iter()
+            .collect::<io::Result<Vec<_>>>()?;
         let recovery = shards.iter().map(|s| s.recovery().clone()).collect();
         let sharded = Arc::new(ShardedStore::from_stores(
             shards.iter().map(|s| s.handle()).collect(),

@@ -226,8 +226,10 @@ impl<S: AugSpec> Pipeline<S> {
             }
             // Group-commit window: linger once so concurrent writers can
             // join this epoch (skipped when already over the batch cap,
-            // when draining for shutdown, or with a zero window).
-            if !config.batch_window.is_zero() && g.buffer.len() < config.max_batch && !g.shutdown {
+            // when draining for shutdown, or with a zero window). Gate on
+            // the *clamped* cap so submit and committer agree even for a
+            // `max_batch: 0` config (clamped to 1 in `Pipeline::new`).
+            if !config.batch_window.is_zero() && g.buffer.len() < self.max_batch && !g.shutdown {
                 let (ng, _timeout) = self
                     .work
                     .wait_timeout(g, config.batch_window)

@@ -450,6 +450,30 @@ mod tests {
     }
 
     #[test]
+    fn max_batch_zero_behaves_as_one() {
+        // Regression: the committer's window gate used to compare against
+        // the *raw* config.max_batch while submit used the clamped copy,
+        // so the two halves of the pipeline disagreed on the cap. With
+        // max_batch: 0 (clamped to 1) a single op is already at the cap:
+        // it must commit immediately, never lingering for the window.
+        let store = Store::with_config(StoreConfig {
+            batch_window: Duration::from_secs(10),
+            max_batch: 0,
+            ..StoreConfig::default()
+        });
+        let t0 = std::time::Instant::now();
+        store.put(1, 11).wait();
+        store.put(2, 22).wait();
+        assert!(
+            t0.elapsed() < Duration::from_secs(2),
+            "max_batch == 0 must clamp to 1 and skip the 10s window (took {:?})",
+            t0.elapsed()
+        );
+        assert_eq!(store.get(&1), Some(11));
+        assert_eq!(store.get(&2), Some(22));
+    }
+
+    #[test]
     fn crossing_max_batch_cuts_the_window_short() {
         let store = Store::with_config(StoreConfig {
             batch_window: Duration::from_secs(2),

@@ -144,13 +144,69 @@ fn corrupt(msg: &str, path: &Path) -> io::Error {
     )
 }
 
+/// One decoded segment: its records, the byte offset of the first
+/// invalid frame (= file length when every frame was valid), and whether
+/// the scan stopped at a torn/corrupt tail frame.
+struct SegmentScan {
+    records: Vec<EpochRecord>,
+    pos: usize,
+    tail_torn: bool,
+}
+
+/// Scan one segment's frames. With `tolerate_torn_tail` (the active
+/// segment) the first invalid frame ends the scan and is reported via
+/// `tail_torn`; without it (sealed segments, fsynced before rotation)
+/// any invalid frame is a hard error — damage there means the disk lied.
+fn scan_segment(path: &Path, tolerate_torn_tail: bool) -> io::Result<SegmentScan> {
+    let bytes = fs::read(path)?;
+    if bytes.len() < SEGMENT_MAGIC.len() {
+        return Err(corrupt("missing magic", path));
+    }
+    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        return Err(corrupt("bad magic", path));
+    }
+    let mut records = Vec::new();
+    let mut pos = SEGMENT_MAGIC.len();
+    let mut tail_torn = false;
+    while pos < bytes.len() {
+        match frame::next_frame(&bytes[pos..]) {
+            Frame::Ok { payload, consumed } => {
+                let mut r = crate::codec::Reader::new(payload);
+                let epoch = r.varint().map_err(|_| corrupt("bad epoch field", path))?;
+                records.push(EpochRecord {
+                    epoch,
+                    body: payload[payload.len() - r.remaining()..].to_vec(),
+                });
+                pos += consumed;
+            }
+            Frame::Torn | Frame::Corrupt if tolerate_torn_tail => {
+                tail_torn = true;
+                break;
+            }
+            Frame::Torn => return Err(corrupt("torn record mid-log", path)),
+            Frame::Corrupt => return Err(corrupt("corrupt record mid-log", path)),
+        }
+    }
+    Ok(SegmentScan {
+        records,
+        pos,
+        tail_torn,
+    })
+}
+
 impl Wal {
     /// Open (or create) the log in `dir`, returning the WAL positioned
     /// for appending plus every valid epoch record, in log order.
     ///
-    /// A torn tail in the final segment is truncated away; see the
-    /// module docs for the recovery contract.
+    /// Sealed segments are read and frame-decoded **in parallel** (they
+    /// are independent files with independent checksums; order is
+    /// restored when the per-segment record lists are concatenated).
+    /// Only the active tail — which may legitimately end in a torn
+    /// record — is scanned sequentially and truncated to its last whole
+    /// record; see the module docs for the recovery contract.
     pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> io::Result<(Wal, Vec<EpochRecord>)> {
+        use rayon::prelude::*;
+
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
 
@@ -162,72 +218,52 @@ impl Wal {
             .collect();
         paths.sort_by_key(|&(e, _)| e);
 
+        // Every segment but the last is sealed: decode them concurrently.
+        let sealed_count = paths.len().saturating_sub(1);
+        let scans: Vec<io::Result<SegmentScan>> = paths[..sealed_count]
+            .par_iter()
+            .map(|(_, path)| scan_segment(path, false))
+            .collect();
         let mut records = Vec::new();
         let mut sealed = Vec::new();
-        let mut current = None;
-        let mut last_epoch = 0u64;
+        for (scan, (first_epoch, path)) in scans.into_iter().zip(&paths[..sealed_count]) {
+            records.extend(scan?.records);
+            sealed.push(Segment {
+                first_epoch: *first_epoch,
+                path: path.clone(),
+            });
+        }
 
-        for (i, (first_epoch, path)) in paths.iter().enumerate() {
-            let is_last = i + 1 == paths.len();
-            let bytes = fs::read(path)?;
-            if bytes.len() < SEGMENT_MAGIC.len() {
-                if is_last {
-                    // crash between segment creation and the magic write:
-                    // the file holds no records, discard it
-                    fs::remove_file(path)?;
-                    sync_dir(&dir)?;
-                    break;
-                }
-                return Err(corrupt("missing magic", path));
-            }
-            if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-                return Err(corrupt("bad magic", path));
-            }
-            let mut pos = SEGMENT_MAGIC.len();
-            let mut tail_torn = false;
-            while pos < bytes.len() {
-                match frame::next_frame(&bytes[pos..]) {
-                    Frame::Ok { payload, consumed } => {
-                        let mut r = crate::codec::Reader::new(payload);
-                        let epoch = r.varint().map_err(|_| corrupt("bad epoch field", path))?;
-                        records.push(EpochRecord {
-                            epoch,
-                            body: payload[payload.len() - r.remaining()..].to_vec(),
-                        });
-                        last_epoch = last_epoch.max(epoch);
-                        pos += consumed;
-                    }
-                    Frame::Torn | Frame::Corrupt if is_last => {
-                        tail_torn = true;
-                        break;
-                    }
-                    Frame::Torn => return Err(corrupt("torn record mid-log", path)),
-                    Frame::Corrupt => return Err(corrupt("corrupt record mid-log", path)),
-                }
-            }
-            if is_last {
+        // The active tail: scan sequentially, tolerating (and truncating)
+        // a torn final record.
+        let mut current = None;
+        if let Some((first_epoch, path)) = paths.last() {
+            if fs::metadata(path)?.len() < SEGMENT_MAGIC.len() as u64 {
+                // crash between segment creation and the magic write:
+                // the file holds no records, discard it
+                fs::remove_file(path)?;
+                sync_dir(&dir)?;
+            } else {
+                let scan = scan_segment(path, true)?;
+                records.extend(scan.records);
                 let mut file = OpenOptions::new().read(true).write(true).open(path)?;
-                if tail_torn {
-                    file.set_len(pos as u64)?;
+                if scan.tail_torn {
+                    file.set_len(scan.pos as u64)?;
                     file.sync_data()?;
                 }
-                file.seek(SeekFrom::Start(pos as u64))?;
+                file.seek(SeekFrom::Start(scan.pos as u64))?;
                 current = Some((
                     file,
                     Segment {
                         first_epoch: *first_epoch,
                         path: path.clone(),
                     },
-                    pos as u64,
+                    scan.pos as u64,
                 ));
-            } else {
-                sealed.push(Segment {
-                    first_epoch: *first_epoch,
-                    path: path.clone(),
-                });
             }
         }
 
+        let last_epoch = records.iter().map(|r| r.epoch).max().unwrap_or(0);
         Ok((
             Wal {
                 dir,

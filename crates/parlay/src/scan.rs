@@ -105,10 +105,9 @@ pub fn pack_index(flags: &[bool]) -> Vec<usize> {
 /// (PBBS `pack`).
 pub fn pack<T: Clone + Send + Sync>(v: &[T], flags: &[bool]) -> Vec<T> {
     assert_eq!(v.len(), flags.len());
+    // the parallel driver chunks (and degrades to a sequential loop on
+    // small inputs / one thread) on its own — no explicit fallback needed
     let idx = pack_index(flags);
-    if idx.len() <= granularity() {
-        return idx.iter().map(|&i| v[i].clone()).collect();
-    }
     idx.par_iter().map(|&i| v[i].clone()).collect()
 }
 

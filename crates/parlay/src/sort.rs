@@ -50,8 +50,9 @@ where
     par_merge_sort_by(v, cmp);
 }
 
-/// Rayon's parallel unstable sort (pdqsort), exposed for the sort ablation
-/// benchmark and for callers that do not need stability.
+/// Rayon's parallel unstable sort (chunked pdqsort runs + parallel move
+/// merge in the shim), exposed for the sort ablation benchmark and for
+/// callers that do not need stability.
 pub fn par_sort_unstable_by<T, F>(v: &mut [T], cmp: F)
 where
     T: Send,

@@ -9,9 +9,17 @@
 //! below the permit cap and thread-creation overhead is hidden behind the
 //! actual parallel work.
 //!
-//! The parallel *iterator* adapters execute sequentially; PAM's
-//! parallelism flows through `join`, so the tree operations that the paper
-//! measures still scale.
+//! The parallel *iterator* layer drives real chunked parallelism through
+//! the same machinery: `ParIter` wraps an index-splittable producer
+//! (slices, vectors, integer ranges, chunk/window views, and the adapter
+//! stack over them), and every driver (`for_each`, `collect`, `sum`,
+//! `fold`/`reduce`, ...) recursively halves the producer down to a
+//! `len / (4 · current_num_threads())` chunk threshold, forks the halves
+//! via `join`, and merges per-chunk results in order — sequential
+//! results, parallel execution. `par_sort_unstable{,_by}` is a parallel
+//! merge sort (std pdqsort leaves + a divide-and-conquer move merge).
+//! Under `ThreadPool::install(1)` everything degenerates to the plain
+//! sequential schedule.
 
 mod iter;
 mod pool;
@@ -23,6 +31,8 @@ pub use pool::{
 
 /// The traits and types imported by `use rayon::prelude::*`.
 pub mod prelude {
-    pub use crate::iter::{IntoParallelIterator, IntoParallelRefIterator, ParIter};
+    pub use crate::iter::{
+        IndexedProducer, IntoParallelIterator, IntoParallelRefIterator, ParIter, Producer,
+    };
     pub use crate::slice::{ParallelSlice, ParallelSliceMut};
 }

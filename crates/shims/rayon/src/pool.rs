@@ -170,12 +170,18 @@ pub struct ThreadPool {
 }
 
 impl ThreadPool {
-    /// Run `f` "inside" the pool.
+    /// Run `f` "inside" the pool. The previous pool size is restored even
+    /// if `f` unwinds (a leaked override would permanently mis-size every
+    /// later fork on this thread).
     pub fn install<R: Send>(&self, f: impl FnOnce() -> R + Send) -> R {
-        let prev = POOL_THREADS.with(|p| p.replace(Some(self.threads)));
-        let r = f();
-        POOL_THREADS.with(|p| p.set(prev));
-        r
+        struct Restore(Option<usize>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                POOL_THREADS.with(|p| p.set(self.0));
+            }
+        }
+        let _restore = Restore(POOL_THREADS.with(|p| p.replace(Some(self.threads))));
+        f()
     }
 
     /// The pool size.
@@ -238,6 +244,67 @@ mod tests {
             }
         });
         assert_eq!(parts.iter().sum::<u64>(), 36);
+    }
+
+    #[test]
+    fn install_restores_pool_size_after_panic() {
+        // Regression: a panic inside install() used to leak the override,
+        // permanently mis-sizing this thread's pool.
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.install(|| -> () { panic!("boom") })
+        }));
+        assert!(caught.is_err());
+        assert_eq!(
+            current_num_threads(),
+            hardware_threads(),
+            "pool override must be dropped when install() unwinds"
+        );
+        // nested installs restore the *outer* override, not the default
+        let outer = ThreadPoolBuilder::new().num_threads(5).build().unwrap();
+        outer.install(|| {
+            let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                pool.install(|| -> () { panic!("inner") })
+            }));
+            assert!(caught.is_err());
+            assert_eq!(current_num_threads(), 5);
+        });
+    }
+
+    #[test]
+    fn nested_joins_survive_permit_exhaustion() {
+        // A join tree far wider than the permit budget: excess forks must
+        // run inline, results must merge correctly, and every permit must
+        // be returned.
+        fn sum(lo: u64, hi: u64) -> u64 {
+            if hi - lo <= 4 {
+                (lo..hi).sum()
+            } else {
+                let mid = lo + (hi - lo) / 2;
+                let (a, b) = join(|| sum(lo, mid), || sum(mid, hi));
+                a + b
+            }
+        }
+        let before = ACTIVE_FORKS.load(Ordering::SeqCst);
+        // pretend the pool is huge so every level *tries* to fork
+        let pool = ThreadPoolBuilder::new().num_threads(64).build().unwrap();
+        let got = pool.install(|| sum(0, 1 << 16));
+        assert_eq!(got, (0..1u64 << 16).sum());
+        // ACTIVE_FORKS is process-global, so concurrently running tests
+        // may hold permits of their own for a while (the CI par-stress
+        // leg runs the suite with test threads unpinned); give them a
+        // generous window to drain before calling it a leak.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(30);
+        let drained = loop {
+            if ACTIVE_FORKS.load(Ordering::SeqCst) <= before {
+                break true;
+            }
+            if std::time::Instant::now() > deadline {
+                break false;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        };
+        assert!(drained, "permits leaked by the nested join storm");
     }
 
     #[test]

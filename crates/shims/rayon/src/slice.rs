@@ -1,49 +1,337 @@
 //! Parallel-slice traits (`par_chunks`, `par_sort_unstable`, ...).
+//!
+//! The chunk/window views are index-splittable [`Producer`]s (splitting
+//! happens on chunk boundaries, so a leaf never sees a partial chunk),
+//! and `par_sort_unstable{,_by}` is a real parallel merge sort: leaf runs
+//! are sorted with std's pdqsort, then merged pairwise with a
+//! divide-and-conquer *move* merge (split the larger run at its midpoint,
+//! binary-search the split key in the smaller — the same scheme as
+//! `parlay::merge`, but moving elements through a `MaybeUninit` scratch
+//! buffer instead of cloning, so only `T: Send` is required).
 
-use crate::iter::ParIter;
+use crate::iter::{IndexedProducer, ParIter, Producer};
 use std::cmp::Ordering;
+use std::mem::MaybeUninit;
+
+/// Producer of `&[T]` chunks (`par_chunks`).
+pub struct Chunks<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for Chunks<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Chunks<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at(at);
+        (
+            Chunks {
+                slice: a,
+                size: self.size,
+            },
+            Chunks {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks(self.size)
+    }
+}
+
+impl<'a, T: Sync> IndexedProducer for Chunks<'a, T> {}
+
+/// Producer of `&mut [T]` chunks (`par_chunks_mut`).
+pub struct ChunksMut<'a, T> {
+    slice: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> Producer for ChunksMut<'a, T> {
+    type Item = &'a mut [T];
+    type IntoIter = std::slice::ChunksMut<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().div_ceil(self.size)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let at = (index * self.size).min(self.slice.len());
+        let (a, b) = self.slice.split_at_mut(at);
+        (
+            ChunksMut {
+                slice: a,
+                size: self.size,
+            },
+            ChunksMut {
+                slice: b,
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.chunks_mut(self.size)
+    }
+}
+
+impl<'a, T: Send> IndexedProducer for ChunksMut<'a, T> {}
+
+/// Producer of overlapping `&[T]` windows (`par_windows`).
+pub struct Windows<'a, T> {
+    slice: &'a [T],
+    size: usize,
+}
+
+impl<'a, T: Sync> Producer for Windows<'a, T> {
+    type Item = &'a [T];
+    type IntoIter = std::slice::Windows<'a, T>;
+    fn len(&self) -> usize {
+        self.slice.len().saturating_sub(self.size - 1)
+    }
+    fn split_at(self, index: usize) -> (Self, Self) {
+        // window i covers slice[i..i + size]; the left half keeps windows
+        // 0..index, which need slice[..index + size - 1]
+        let left_end = (index + self.size - 1).min(self.slice.len());
+        (
+            Windows {
+                slice: &self.slice[..left_end],
+                size: self.size,
+            },
+            Windows {
+                slice: &self.slice[index..],
+                size: self.size,
+            },
+        )
+    }
+    fn into_iter(self) -> Self::IntoIter {
+        self.slice.windows(self.size)
+    }
+}
+
+impl<'a, T: Sync> IndexedProducer for Windows<'a, T> {}
 
 /// Shared-slice operations.
 pub trait ParallelSlice<T: Sync> {
-    /// Chunks of at most `size` elements.
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>>;
-    /// Overlapping windows of `size` elements.
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>>;
+    /// Chunks of at most `size` elements (`size > 0`).
+    fn par_chunks(&self, size: usize) -> ParIter<Chunks<'_, T>>;
+    /// Overlapping windows of `size` elements (`size > 0`).
+    fn par_windows(&self, size: usize) -> ParIter<Windows<'_, T>>;
 }
 
 impl<T: Sync> ParallelSlice<T> for [T] {
-    fn par_chunks(&self, size: usize) -> ParIter<std::slice::Chunks<'_, T>> {
-        ParIter(self.chunks(size))
+    fn par_chunks(&self, size: usize) -> ParIter<Chunks<'_, T>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter(Chunks { slice: self, size })
     }
-    fn par_windows(&self, size: usize) -> ParIter<std::slice::Windows<'_, T>> {
-        ParIter(self.windows(size))
+    fn par_windows(&self, size: usize) -> ParIter<Windows<'_, T>> {
+        assert!(size > 0, "window size must be non-zero");
+        ParIter(Windows { slice: self, size })
     }
 }
 
 /// Mutable-slice operations.
 pub trait ParallelSliceMut<T: Send> {
-    /// Mutable chunks of at most `size` elements.
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>>;
-    /// Unstable sort (sequential pdqsort under this shim).
+    /// Mutable chunks of at most `size` elements (`size > 0`).
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMut<'_, T>>;
+    /// Parallel unstable sort.
     fn par_sort_unstable(&mut self)
     where
         T: Ord;
-    /// Unstable sort by comparator.
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F);
+    /// Parallel unstable sort by comparator.
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, cmp: F);
 }
 
 impl<T: Send> ParallelSliceMut<T> for [T] {
-    fn par_chunks_mut(&mut self, size: usize) -> ParIter<std::slice::ChunksMut<'_, T>> {
-        ParIter(self.chunks_mut(size))
+    fn par_chunks_mut(&mut self, size: usize) -> ParIter<ChunksMut<'_, T>> {
+        assert!(size > 0, "chunk size must be non-zero");
+        ParIter(ChunksMut { slice: self, size })
     }
     fn par_sort_unstable(&mut self)
     where
         T: Ord,
     {
-        self.sort_unstable();
+        par_sort_impl(self, &T::cmp);
     }
-    fn par_sort_unstable_by<F: FnMut(&T, &T) -> Ordering>(&mut self, cmp: F) {
-        self.sort_unstable_by(cmp);
+    fn par_sort_unstable_by<F: Fn(&T, &T) -> Ordering + Sync>(&mut self, cmp: F) {
+        par_sort_impl(self, &cmp);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel merge sort
+// ---------------------------------------------------------------------------
+
+/// Below this length the parallel machinery costs more than it saves.
+const MIN_PAR_SORT: usize = 4096;
+/// Smallest leaf run handed to std's pdqsort.
+const MIN_SORTED_RUN: usize = 1024;
+
+fn par_sort_impl<T: Send, F: Fn(&T, &T) -> Ordering + Sync>(v: &mut [T], cmp: &F) {
+    let n = v.len();
+    let threads = crate::pool::current_num_threads();
+    if threads <= 1 || n <= MIN_PAR_SORT {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let chunk = n.div_ceil(4 * threads).max(MIN_SORTED_RUN);
+    let mut scratch: Vec<MaybeUninit<T>> = Vec::with_capacity(n);
+    // SAFETY: MaybeUninit slots need no initialization, and the Vec is
+    // never read as `T` (it is a move-through buffer; its Drop drops
+    // nothing).
+    unsafe { scratch.set_len(n) };
+    sort_rec(v, &mut scratch, chunk, cmp);
+}
+
+fn sort_rec<T: Send, F: Fn(&T, &T) -> Ordering + Sync>(
+    v: &mut [T],
+    scratch: &mut [MaybeUninit<T>],
+    chunk: usize,
+    cmp: &F,
+) {
+    let n = v.len();
+    if n <= chunk {
+        v.sort_unstable_by(|a, b| cmp(a, b));
+        return;
+    }
+    let mid = n / 2;
+    {
+        let (vl, vr) = v.split_at_mut(mid);
+        let (sl, sr) = scratch.split_at_mut(mid);
+        crate::pool::join(
+            || sort_rec(vl, sl, chunk, cmp),
+            || sort_rec(vr, sr, chunk, cmp),
+        );
+    }
+    // SAFETY: the two sorted halves are moved bitwise into `scratch`,
+    // after which `v`'s slots are logically uninitialized; `merge_move`
+    // re-initializes every one of them with each source element exactly
+    // once — on success *and* on unwind — so `v` is always a valid
+    // permutation of its original elements when this frame exits.
+    unsafe {
+        std::ptr::copy_nonoverlapping(v.as_ptr(), scratch.as_mut_ptr().cast::<T>(), n);
+        let (sa, sb) = scratch.split_at_mut(mid);
+        let dst = std::slice::from_raw_parts_mut(v.as_mut_ptr().cast::<MaybeUninit<T>>(), n);
+        merge_move(sa, sb, dst, chunk, cmp);
+    }
+}
+
+/// First index of `s` whose element fails `pred` (all-`pred` prefix
+/// length). `s` must be fully initialized.
+unsafe fn partition_point<T>(s: &[MaybeUninit<T>], pred: impl Fn(&T) -> bool) -> usize {
+    let mut lo = 0;
+    let mut hi = s.len();
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if pred(s[mid].assume_init_ref()) {
+            lo = mid + 1;
+        } else {
+            hi = mid;
+        }
+    }
+    lo
+}
+
+/// Bitwise-move the remaining `a[i..]` then `b[j..]` into `dst[k..]` —
+/// the shared tail path of a finished merge and the backfill path of a
+/// panicking one (order no longer matters, only exactly-once ownership).
+unsafe fn backfill<T>(
+    a: &[MaybeUninit<T>],
+    b: &[MaybeUninit<T>],
+    dst: &mut [MaybeUninit<T>],
+    i: usize,
+    j: usize,
+    k: usize,
+) {
+    let a_rem = a.len() - i;
+    let b_rem = b.len() - j;
+    debug_assert_eq!(a_rem + b_rem, dst.len() - k);
+    std::ptr::copy_nonoverlapping(a.as_ptr().add(i), dst.as_mut_ptr().add(k), a_rem);
+    std::ptr::copy_nonoverlapping(b.as_ptr().add(j), dst.as_mut_ptr().add(k + a_rem), b_rem);
+}
+
+/// Move-merge two sorted initialized runs into `dst`
+/// (`dst.len() == a.len() + b.len()`), in parallel. Ties take from `a`
+/// first.
+///
+/// # Safety
+///
+/// Ownership of every element of `a` and `b` transfers into `dst`: on
+/// return **and on unwind** (a panicking comparator) every `dst` slot
+/// holds exactly one source element, so the caller can treat `dst` as
+/// initialized and `a`/`b` as moved-out either way.
+unsafe fn merge_move<T: Send, F: Fn(&T, &T) -> Ordering + Sync>(
+    a: &mut [MaybeUninit<T>],
+    b: &mut [MaybeUninit<T>],
+    dst: &mut [MaybeUninit<T>],
+    chunk: usize,
+    cmp: &F,
+) {
+    debug_assert_eq!(a.len() + b.len(), dst.len());
+    if dst.len() <= chunk.max(1) {
+        return merge_move_seq(a, b, dst, cmp);
+    }
+    // Split the larger run at its midpoint and binary-search the split
+    // key in the smaller (ties routed so `a`-before-`b` order holds).
+    // The searches run the user comparator, so catch an unwind and
+    // backfill `dst` before rethrowing.
+    let split = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        if a.len() >= b.len() {
+            let am = a.len() / 2;
+            let key = a[am].assume_init_ref();
+            (am, partition_point(b, |x| cmp(x, key) == Ordering::Less))
+        } else {
+            let bm = b.len() / 2;
+            let key = b[bm].assume_init_ref();
+            (partition_point(a, |x| cmp(x, key) != Ordering::Greater), bm)
+        }
+    }));
+    let (am, bm) = match split {
+        Ok(x) => x,
+        Err(payload) => {
+            backfill(a, b, dst, 0, 0, 0);
+            std::panic::resume_unwind(payload);
+        }
+    };
+    let (al, ar) = a.split_at_mut(am);
+    let (bl, br) = b.split_at_mut(bm);
+    let (dl, dr) = dst.split_at_mut(am + bm);
+    crate::pool::join(
+        // SAFETY: disjoint source/destination sub-ranges; each recursive
+        // call upholds the exactly-once contract for its own range.
+        || unsafe { merge_move(al, bl, dl, chunk, cmp) },
+        || unsafe { merge_move(ar, br, dr, chunk, cmp) },
+    );
+}
+
+/// Sequential leaf of [`merge_move`]; same safety contract.
+unsafe fn merge_move_seq<T, F: Fn(&T, &T) -> Ordering>(
+    a: &mut [MaybeUninit<T>],
+    b: &mut [MaybeUninit<T>],
+    dst: &mut [MaybeUninit<T>],
+    cmp: &F,
+) {
+    let (mut i, mut j, mut k) = (0, 0, 0);
+    // Only `cmp` can panic, and it runs *before* the move + increments of
+    // an iteration, so (i, j, k) always name exactly the elements still
+    // owned by the sources — what `backfill` relocates on either exit.
+    let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        while i < a.len() && j < b.len() {
+            if cmp(b[j].assume_init_ref(), a[i].assume_init_ref()) == Ordering::Less {
+                dst[k].write(b[j].assume_init_read());
+                j += 1;
+            } else {
+                dst[k].write(a[i].assume_init_read());
+                i += 1;
+            }
+            k += 1;
+        }
+    }));
+    backfill(a, b, dst, i, j, k);
+    if let Err(payload) = run {
+        std::panic::resume_unwind(payload);
     }
 }
 
@@ -63,5 +351,89 @@ mod tests {
         let mut v = vec![3u8, 1, 2];
         v.par_sort_unstable_by(|a, b| b.cmp(a));
         assert_eq!(v, vec![3, 2, 1]);
+    }
+
+    #[test]
+    fn par_sort_matches_std_at_scale() {
+        let mut v: Vec<u64> = (0..200_000u64)
+            .map(|i| i.wrapping_mul(0x9e3779b97f4a7c15) >> 7)
+            .collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn par_sort_non_copy_keys() {
+        let mut v: Vec<String> = (0..50_000).map(|i| format!("k{:06}", 99_999 - i)).collect();
+        let mut expect = v.clone();
+        expect.sort_unstable();
+        v.par_sort_unstable();
+        assert_eq!(v, expect);
+    }
+
+    #[test]
+    fn windows_split_keeps_overlap() {
+        let v: Vec<u32> = (0..10_000).collect();
+        let sums: Vec<u32> = v.par_windows(2).map(|w| w[0] + w[1]).collect();
+        assert_eq!(sums.len(), 9999);
+        assert!(sums.iter().enumerate().all(|(i, &s)| s == 2 * i as u32 + 1));
+    }
+
+    #[test]
+    fn chunks_mut_writes_disjoint() {
+        let mut v = vec![0u64; 10_000];
+        v.par_chunks_mut(64).enumerate().for_each(|(ci, c)| {
+            for x in c.iter_mut() {
+                *x = ci as u64;
+            }
+        });
+        assert!(v.iter().enumerate().all(|(i, &x)| x == (i / 64) as u64));
+    }
+
+    #[test]
+    fn panicking_comparator_drops_each_element_exactly_once() {
+        use std::sync::atomic::{AtomicUsize, Ordering as AOrd};
+        static DROPS: AtomicUsize = AtomicUsize::new(0);
+        struct D(u64);
+        impl Drop for D {
+            fn drop(&mut self) {
+                DROPS.fetch_add(1, AOrd::SeqCst);
+            }
+        }
+        let n = 50_000;
+        // install(8) forces the split/merge path even on a 1-core host
+        let pool = crate::pool::ThreadPoolBuilder::new()
+            .num_threads(8)
+            .build()
+            .unwrap();
+        for panic_at in [0usize, 1_000, 400_000, 600_000, 700_000] {
+            let v: Vec<D> = (0..n as u64).rev().map(D).collect();
+            DROPS.store(0, AOrd::SeqCst);
+            let calls = AtomicUsize::new(0);
+            let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                let mut v = v;
+                pool.install(|| {
+                    v.par_sort_unstable_by(|a, b| {
+                        // early values panic in leaf sorts, late ones in
+                        // the move-merge phase
+                        if calls.fetch_add(1, AOrd::SeqCst) == panic_at {
+                            panic!("boom");
+                        }
+                        a.0.cmp(&b.0)
+                    })
+                });
+                v
+            }));
+            if let Ok(v) = res {
+                drop(v); // comparator ran fewer than panic_at times
+            } // on Err the vector was dropped during unwind
+            assert_eq!(
+                DROPS.load(AOrd::SeqCst),
+                n,
+                "every element must be dropped exactly once (panic_at {panic_at})"
+            );
+        }
     }
 }
