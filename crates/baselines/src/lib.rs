@@ -10,7 +10,7 @@
 //! | STL sorted `vector` union   | [`sorted_seq::SortedVecMap`]  |
 //! | MCSTL parallel multi-insert | [`par_merge::par_union`]      |
 //! | concurrent skiplist         | [`skiplist::SkipList`]        |
-//! | OpenBw / B+-tree [63,65]    | [`bplustree::BPlusTree`]      |
+//! | OpenBw / B+-tree \[63,65\]  | [`bplustree::BPlusTree`]      |
 //! | TBB `concurrent_hash_map`   | [`sharded_map::ShardedMap`]   |
 //! | CGAL range tree             | [`static_rangetree::StaticRangeTree`] |
 //! | Python `intervaltree`       | [`interval_list::IntervalList`] |

@@ -31,6 +31,12 @@
 //! artifact). `--threads N` pins the client-thread count (default:
 //! hardware parallelism) — `--threads 1` vs the default is the scaling
 //! comparison for the parallel drivers and sharded pipelines.
+//!
+//! With `--xbatch` (optionally `--shards N[,M,...]`) the driver instead
+//! measures the **cross-shard atomic batch** path: acked single-key put
+//! latency vs. acked 16-key `write_batch` latency (global epoch stamp +
+//! per-shard sealed epochs + all-slice ack) and the epoch-fenced
+//! `snapshot()` cost, per shard count.
 
 use pam::SumAug;
 use pam_bench::*;
@@ -287,6 +293,139 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
     );
 }
 
+/// One row of the `--xbatch` sweep (also what `--json` serializes).
+struct XbatchRow {
+    shards: usize,
+    put_us: f64,
+    put_max_us: f64,
+    xbatch_us: f64,
+    xbatch_max_us: f64,
+    snapshot_us: f64,
+    stamped: u64,
+}
+
+/// The `--xbatch` comparison: acked single-key put latency vs. acked
+/// cross-shard `write_batch` latency (the cost of the global epoch
+/// stamp + per-shard sealed epochs + waiting on every slice), plus the
+/// epoch-fenced `snapshot()` cost, per shard count. Zero group-commit
+/// window: this measures the coordination path, not batching.
+fn run_xbatch(counts: &[usize], preload: usize, ops: usize) -> Vec<XbatchRow> {
+    const BATCH_KEYS: u64 = 16;
+    let key_space = (preload as u64) * 4;
+    let batches = (ops / BATCH_KEYS as usize).max(1);
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "shards",
+        "put µs (mean/max)",
+        "xbatch-16 µs (mean/max)",
+        "per key µs",
+        "snapshot µs",
+        "global epochs",
+    ]);
+    for &n in counts {
+        let store = Arc::new(Sharded::with_config(ShardedConfig {
+            shards: n,
+            store: StoreConfig {
+                batch_window: Duration::ZERO,
+                ..StoreConfig::default()
+            },
+        }));
+        store
+            .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
+            .wait();
+
+        let timed = |iters: u64, f: &mut dyn FnMut(u64)| {
+            let (mut sum, mut max) = (0.0f64, 0.0f64);
+            for i in 0..iters {
+                let t0 = std::time::Instant::now();
+                f(i);
+                let us = t0.elapsed().as_secs_f64() * 1e6;
+                sum += us;
+                max = max.max(us);
+            }
+            (sum / iters as f64, max)
+        };
+        let s = store.clone();
+        let (put_us, put_max_us) = timed(ops as u64, &mut |i| {
+            s.put(hash64(i) % key_space, i).wait();
+        });
+        let stamped_before = store.global_epoch();
+        let (xbatch_us, xbatch_max_us) = timed(batches as u64, &mut |b| {
+            s.put_all((0..BATCH_KEYS).map(|j| (hash64(b * BATCH_KEYS + j) % key_space, b)))
+                .wait();
+        });
+        let stamped = store.global_epoch() - stamped_before;
+
+        let snaps = (ops / 10).max(1);
+        let t0 = std::time::Instant::now();
+        for _ in 0..snaps {
+            let _snap = store.snapshot();
+        }
+        let snapshot_us = t0.elapsed().as_secs_f64() * 1e6 / snaps as f64;
+
+        table.row(vec![
+            n.to_string(),
+            format!("{put_us:.1} / {put_max_us:.1}"),
+            format!("{xbatch_us:.1} / {xbatch_max_us:.1}"),
+            format!("{:.2}", xbatch_us / BATCH_KEYS as f64),
+            format!("{snapshot_us:.1}"),
+            stamped.to_string(),
+        ]);
+        rows.push(XbatchRow {
+            shards: n,
+            put_us,
+            put_max_us,
+            xbatch_us,
+            xbatch_max_us,
+            snapshot_us,
+            stamped,
+        });
+    }
+    table.print();
+    println!(
+        "\n(a cross-shard batch mints a global epoch, submits one sealed \
+         epoch per shard under the fence, and acks when every slice \
+         commits; single-shard batches skip all of it — \"global \
+         epochs\" counts the batches that actually spanned shards)"
+    );
+    rows
+}
+
+/// Write the xbatch rows as JSON (hand-rolled: offline workspace).
+fn write_xbatch_json(path: &str, rows: &[XbatchRow], preload: usize, ops: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ycsb-xbatch\",\n");
+    out.push_str(&format!("  \"pam_scale\": {},\n", scale()));
+    out.push_str(&format!("  \"preload\": {preload},\n"));
+    out.push_str(&format!("  \"acked_ops\": {ops},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"put_us\": {:.3}, \"put_max_us\": {:.3}, \
+             \"xbatch_us\": {:.3}, \"xbatch_max_us\": {:.3}, \"snapshot_us\": {:.3}, \
+             \"global_epochs\": {}}}{}\n",
+            r.shards,
+            r.put_us,
+            r.put_max_us,
+            r.xbatch_us,
+            r.xbatch_max_us,
+            r.snapshot_us,
+            r.stamped,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create json output dir");
+        }
+    }
+    let mut f = std::fs::File::create(path).expect("create json output file");
+    f.write_all(out.as_bytes()).expect("write json output");
+    println!("\nwrote {path}");
+}
+
 /// One row of the `--shards` sweep (also what `--json` serializes).
 struct ShardRow {
     shards: usize,
@@ -425,13 +564,15 @@ fn main() {
         None => max_threads(),
     };
 
-    // `--shards N[,M,...]`: sweep shard counts on workload A instead of
-    // sweeping the group-commit window; `--json <path>` also dumps the
-    // rows machine-readably.
-    if let Some(i) = args.iter().position(|a| a == "--shards") {
-        let spec = args.get(i + 1).map(String::as_str).unwrap_or("1,4");
-        let counts: Vec<usize> = spec
-            .split(',')
+    // `--shards N[,M,...]` names the shard counts both the `--shards`
+    // sweep and the `--xbatch` latency comparison run over.
+    let shard_counts = |args: &[String]| -> Vec<usize> {
+        let spec = args
+            .iter()
+            .position(|a| a == "--shards")
+            .and_then(|i| args.get(i + 1).map(String::as_str))
+            .unwrap_or("1,4");
+        spec.split(',')
             .map(|s| match s.trim().parse() {
                 Ok(n) if n >= 1 => n,
                 // 0 would be silently clamped to 1 shard by the store,
@@ -441,26 +582,54 @@ fn main() {
                     std::process::exit(2);
                 }
             })
-            .collect();
+            .collect()
+    };
+    fn json_path(args: &[String]) -> Option<&str> {
+        args.iter().position(|a| a == "--json").map(|j| {
+            args.get(j + 1).map(String::as_str).unwrap_or_else(|| {
+                eprintln!("--json needs a path");
+                std::process::exit(2);
+            })
+        })
+    }
+
+    // `--xbatch`: acked single-put vs. cross-shard-batch latency — the
+    // measured cost of the global epoch clock + fence (EXPERIMENTS §6).
+    if args.iter().any(|a| a == "--xbatch") {
+        let counts = shard_counts(&args);
+        let acked_ops = scaled(20_000);
+        println!(
+            "{preload} preloaded keys, {acked_ops} acked ops per mode, \
+             zero group-commit window\n"
+        );
+        let rows = run_xbatch(&counts, preload, acked_ops);
+        if let Some(path) = json_path(&args) {
+            write_xbatch_json(path, &rows, preload, acked_ops);
+        }
+        return;
+    }
+
+    // `--shards N[,M,...]`: sweep shard counts on workload A instead of
+    // sweeping the group-commit window; `--json <path>` also dumps the
+    // rows machine-readably.
+    if args.iter().any(|a| a == "--shards") {
+        let counts = shard_counts(&args);
         println!(
             "{} threads, {preload} preloaded keys, {ops_per_thread} ops/thread, workload A\n",
             threads
         );
         let rows = run_shards(&counts, threads, preload, ops_per_thread);
-        if let Some(j) = args.iter().position(|a| a == "--json") {
-            let path = args.get(j + 1).map(String::as_str).unwrap_or_else(|| {
-                eprintln!("--json needs a path");
-                std::process::exit(2);
-            });
+        if let Some(path) = json_path(&args) {
             write_json(path, &rows, threads, preload, ops_per_thread);
         }
         return;
     }
 
-    // only the --shards path serializes results; silently dropping the
-    // flag elsewhere would leave a CI artifact step with no file
+    // only the --shards / --xbatch paths serialize results; silently
+    // dropping the flag elsewhere would leave a CI artifact step with no
+    // file
     if args.iter().any(|a| a == "--json") {
-        eprintln!("--json is only supported with --shards");
+        eprintln!("--json is only supported with --shards / --xbatch");
         std::process::exit(2);
     }
 

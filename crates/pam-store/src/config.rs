@@ -67,6 +67,13 @@ impl Default for ShardedConfig {
 pub struct DurabilityConfig {
     /// When the WAL fsyncs (see [`SyncPolicy`]). Default:
     /// [`SyncPolicy::SyncEachEpoch`] — an acked write is on disk.
+    ///
+    /// In a sharded durable store, **cross-shard batch slices are
+    /// force-synced regardless of this policy**: recovery's atomicity
+    /// vote treats "logged on all participants" as durable, so a relaxed
+    /// policy may not leave a slice in page cache after its batch's
+    /// decision is recorded. Single-shard epochs honor the policy as
+    /// configured.
     pub sync: SyncPolicy,
     /// WAL segment rotation threshold in bytes. Smaller segments mean
     /// finer-grained space reclamation after checkpoints.

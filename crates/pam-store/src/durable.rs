@@ -26,12 +26,13 @@
 use crate::config::{DurabilityConfig, ShardedConfig, StoreConfig};
 use crate::op::NormalizedBatch;
 use crate::pipeline::CommitHook;
-use crate::shard::{ShardKey, ShardedStore};
+use crate::shard::{GlobalClock, ShardKey, ShardedStore};
 use crate::stats::{DurabilityStats, StoreStats};
 use crate::store::VersionedStore;
 use pam::balance::Balance;
 use pam::{AugMap, AugSpec, WeightBalanced};
-use pam_wal::{checkpoint, manifest, record, Codec, DirLock, Wal, WalConfig};
+use pam_wal::{checkpoint, manifest, record, Codec, DirLock, GlobalStamp, Wal, WalConfig};
+use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -49,6 +50,157 @@ pub struct RecoveryInfo {
     pub replayed_epochs: u64,
     /// Highest durable WAL epoch after recovery.
     pub last_epoch: u64,
+    /// WAL records skipped because their cross-shard batch was voted
+    /// torn (logged on some-but-not-all participants) — sharded recovery
+    /// only; always 0 for a standalone [`DurableStore`].
+    pub discarded_epochs: u64,
+}
+
+// ---------------------------------------------------------------------------
+// The global commit tracker (2PC bookkeeping for the epoch clock)
+// ---------------------------------------------------------------------------
+
+/// How long a checkpoint will wait for in-flight cross-shard batches to
+/// finish logging on their sibling shards before giving up. Decisions
+/// normally land in microseconds (each sibling's committer appends one
+/// record); the timeout only fires if a sibling is wedged or poisoned —
+/// and a failed checkpoint is non-fatal (the WAL still has everything).
+const DECISION_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Shared 2PC bookkeeping for a [`DurableShardedStore`]'s global epoch
+/// clock.
+///
+/// * **Stamping** — the sharded store mints global epochs through
+///   [`GlobalTracker::stamp`], which records the batch as *outstanding*
+///   until every participant shard's WAL hook reports its slice logged.
+/// * **Watermark** — `watermark()` is the largest `W` such that every
+///   global epoch `<= W` is *decided* (fully logged). It advances in
+///   stamp order, which is what makes "`g <= W`" a sound persisted
+///   predicate.
+/// * **Persistence** — `persist()` rewrites the shared `MANIFEST` with
+///   the current watermark (and the recovery-time discard list). Every
+///   shard's checkpoint calls it **before** truncating WAL records, so a
+///   record stamped `g` can only be reclaimed once the manifest pins
+///   `g`'s decision — the invariant recovery's presence vote relies on:
+///   for any `g` above the manifest watermark, every participant's
+///   record is still in some WAL.
+pub(crate) struct GlobalTracker {
+    /// The sharded store's root directory (where `MANIFEST` lives).
+    dir: PathBuf,
+    shards: u64,
+    state: Mutex<TrackerState>,
+    /// Serializes manifest rewrites *without* holding `state`: the
+    /// commit path (stamp/logged) must never wait on a sibling shard's
+    /// checkpoint fsyncing the manifest.
+    persist_mutex: Mutex<()>,
+}
+
+struct TrackerState {
+    /// Next global epoch to mint (watermark + 1 at open).
+    next_stamp: u64,
+    /// Stamped-but-not-fully-logged batches: global epoch → number of
+    /// participant shards that have not logged their slice yet.
+    outstanding: BTreeMap<u64, u32>,
+    /// Recovery-time discard decisions (all `<=` the open-time
+    /// watermark), persisted with every manifest rewrite.
+    discarded: Vec<u64>,
+    /// Watermark value last written to the manifest.
+    persisted: u64,
+}
+
+/// The single definition of the watermark: the largest `W` such that
+/// every global epoch `<= W` is decided (fully logged). Both checkpoint
+/// gating ([`GlobalTracker::watermark`]) and manifest persistence
+/// ([`GlobalTracker::persist`]) must agree on this.
+fn watermark_of(s: &TrackerState) -> u64 {
+    match s.outstanding.keys().next() {
+        Some(&oldest_undecided) => oldest_undecided - 1,
+        None => s.next_stamp - 1,
+    }
+}
+
+impl GlobalTracker {
+    fn new(dir: PathBuf, shards: u64, watermark: u64, discarded: Vec<u64>) -> Self {
+        GlobalTracker {
+            dir,
+            shards,
+            state: Mutex::new(TrackerState {
+                next_stamp: watermark + 1,
+                outstanding: BTreeMap::new(),
+                discarded,
+                persisted: watermark,
+            }),
+            persist_mutex: Mutex::new(()),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, TrackerState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Mint the next global epoch and record it as outstanding. The
+    /// stamp and the outstanding entry are created atomically — a
+    /// watermark read can never observe the stamp as "decided" before
+    /// its slices are logged.
+    pub(crate) fn stamp(&self, participants: u32) -> GlobalStamp {
+        let mut s = self.lock();
+        let epoch = s.next_stamp;
+        crate::shard::check_clock_epoch(epoch);
+        s.next_stamp += 1;
+        s.outstanding.insert(epoch, participants);
+        GlobalStamp {
+            epoch,
+            participants,
+        }
+    }
+
+    /// The most recently minted global epoch.
+    pub(crate) fn last_stamped(&self) -> u64 {
+        self.lock().next_stamp - 1
+    }
+
+    /// One participant's slice of batch `g` is durable in its WAL.
+    fn logged(&self, g: u64) {
+        let mut s = self.lock();
+        if let Some(remaining) = s.outstanding.get_mut(&g) {
+            *remaining -= 1;
+            if *remaining == 0 {
+                s.outstanding.remove(&g);
+            }
+        }
+    }
+
+    /// Largest `W` with every global epoch `<= W` fully logged.
+    fn watermark(&self) -> u64 {
+        watermark_of(&self.lock())
+    }
+
+    /// Rewrite the manifest with the current watermark (no-op when it
+    /// has not advanced since the last persist). Called by every shard's
+    /// checkpoint *before* WAL truncation.
+    fn persist(&self) -> io::Result<()> {
+        // Serialize writers on a dedicated mutex and read the state
+        // under its own (briefly held) lock: the watermark is monotone
+        // and each writer reads it *after* acquiring the persist mutex,
+        // so the on-disk value stays monotone — while stamp()/logged()
+        // on the commit path never wait behind a manifest fsync.
+        let _serialize = self
+            .persist_mutex
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let (w, discarded) = {
+            let s = self.lock();
+            let w = watermark_of(&s);
+            if w == s.persisted {
+                return Ok(());
+            }
+            (w, s.discarded.clone())
+        };
+        manifest::write(&self.dir, self.shards, w, &discarded)?;
+        let mut s = self.lock();
+        s.persisted = s.persisted.max(w);
+        Ok(())
+    }
 }
 
 /// Durability counters shared between the commit hook (writer side) and
@@ -80,6 +232,15 @@ where
     /// Highest WAL epoch whose version is published — the most a
     /// checkpoint may claim to contain.
     published: AtomicU64,
+    /// The sharded store's 2PC bookkeeping (None for standalone stores).
+    tracker: Option<Arc<GlobalTracker>>,
+    /// Stamped slices this shard has logged whose batch is (possibly)
+    /// still undecided: WAL epoch → global epoch. Pruned against the
+    /// tracker watermark at checkpoint time; what remains gates how far
+    /// a checkpoint may bake — an undecided batch must never be folded
+    /// into a checkpoint, because recovery can only discard it at WAL
+    /// record granularity.
+    pending: Mutex<BTreeMap<u64, u64>>,
     counters: DurCounters,
     last_ckpt_at: Mutex<Option<Instant>>,
     _spec: std::marker::PhantomData<fn(S)>,
@@ -117,14 +278,48 @@ where
     S::K: Codec,
     S::V: Codec,
 {
-    fn log_epoch(&self, epoch: u64, batch: &NormalizedBatch<S>) -> io::Result<()> {
-        let mut body = Vec::with_capacity(16 * (batch.puts.len() + batch.deletes.len()) + 16);
+    fn log_epoch(
+        &self,
+        epoch: u64,
+        global: Option<GlobalStamp>,
+        batch: &NormalizedBatch<S>,
+    ) -> io::Result<()> {
+        let mut body = Vec::with_capacity(16 * batch.len() + 16);
         record::encode_epoch_body(&batch.puts, &batch.deletes, &mut body);
-        let info = self.lock_wal().append(self.base + epoch, &body)?;
-        self.counters.records.fetch_add(1, Ordering::Relaxed);
-        self.counters.bytes.fetch_add(info.bytes, Ordering::Relaxed);
-        if info.synced {
+        let wal_epoch = self.base + epoch;
+        let synced = {
+            let mut wal = self.lock_wal();
+            let info = wal.append(wal_epoch, global, &body)?;
+            self.counters.records.fetch_add(1, Ordering::Relaxed);
+            self.counters.bytes.fetch_add(info.bytes, Ordering::Relaxed);
+            let mut synced = info.synced;
+            // A cross-shard slice is force-synced regardless of the
+            // configured policy: `tracker.logged()` below advances the
+            // 2PC watermark, whose meaning is "durable on all
+            // participants" — under a relaxed policy (NoSync/SyncEveryN/
+            // SyncEveryBytes) an unsynced slice could vanish in a power
+            // cut *after* the watermark passed it, and recovery would
+            // then trust a decision whose evidence is gone (a sibling
+            // may already have baked its slice into a checkpoint).
+            // Single-shard epochs keep the relaxed policy untouched.
+            if self.tracker.is_some() && global.is_some() && !synced {
+                wal.sync()?;
+                synced = true;
+            }
+            synced
+        };
+        if synced {
             self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
+        }
+        if let (Some(tracker), Some(stamp)) = (&self.tracker, global) {
+            // Record the slice as pending *before* reporting it logged:
+            // a checkpoint that races us must either see the pending
+            // entry or see the batch already decided.
+            self.pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(wal_epoch, stamp.epoch);
+            tracker.logged(stamp.epoch);
         }
         Ok(())
     }
@@ -147,19 +342,23 @@ struct StopSignal {
 /// API is available unchanged; writes flow through the same group-commit
 /// pipeline, now logged by a [`CommitHook`] before they are acknowledged.
 ///
-/// ```no_run
+/// ```
 /// use pam::SumAug;
 /// use pam_store::{DurabilityConfig, DurableStore, StoreConfig};
 ///
-/// let dir = "/var/lib/myapp/store";
-/// let store: DurableStore<SumAug<u64, u64>> =
-///     DurableStore::open(dir, StoreConfig::default(), DurabilityConfig::default()).unwrap();
-/// store.put(1, 10).wait(); // on disk when wait() returns
-/// drop(store);
+/// let dir = std::env::temp_dir().join(format!("pam-doc-{}", std::process::id()));
+/// let open = || -> DurableStore<SumAug<u64, u64>> {
+///     DurableStore::open(&dir, StoreConfig::default(), DurabilityConfig::default()).unwrap()
+/// };
 ///
-/// let store: DurableStore<SumAug<u64, u64>> =
-///     DurableStore::open(dir, StoreConfig::default(), DurabilityConfig::default()).unwrap();
+/// let store = open();
+/// store.put(1, 10).wait(); // on disk when wait() returns
+/// drop(store); // releases the directory lock
+///
+/// let store = open();
 /// assert_eq!(store.get(&1), Some(10)); // recovered
+/// # drop(store);
+/// # std::fs::remove_dir_all(&dir).unwrap();
 /// ```
 pub struct DurableStore<S: AugSpec, B: Balance = WeightBalanced>
 where
@@ -187,10 +386,32 @@ where
     /// checkpoint, replay newer WAL epochs, and start accepting traffic.
     /// A torn final WAL record (crash mid-append) is tolerated and
     /// truncated; see the module docs for the recovery contract.
+    ///
+    /// # Errors
+    ///
+    /// * `WouldBlock` — another live process holds the directory lock;
+    /// * `InvalidData` — corruption outside the tolerated torn tail, or
+    ///   a WAL gap (acknowledged epochs missing from the log);
+    /// * other kinds pass through from the filesystem.
     pub fn open(
         dir: impl AsRef<Path>,
         config: StoreConfig,
         durability: DurabilityConfig,
+    ) -> io::Result<Self> {
+        Self::open_with(dir, config, durability, None, &BTreeSet::new())
+    }
+
+    /// [`Self::open`] with the sharded layer's recovery inputs: the
+    /// shared 2PC `tracker` (wired into the WAL hook so logged slices
+    /// report in and checkpoints gate/persist), and the `discard` set —
+    /// global epochs whose batches the cross-shard vote rejected, whose
+    /// records replay must skip.
+    pub(crate) fn open_with(
+        dir: impl AsRef<Path>,
+        config: StoreConfig,
+        durability: DurabilityConfig,
+        tracker: Option<Arc<GlobalTracker>>,
+        discard: &BTreeSet<u64>,
     ) -> io::Result<Self> {
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
@@ -272,9 +493,19 @@ where
         // window of decoded bodies, not a second full copy of the log.
         use rayon::prelude::*;
         const DECODE_WINDOW: usize = 64;
+        let mut discarded = 0u64;
         let to_replay: Vec<&pam_wal::EpochRecord> = records
             .iter()
             .filter(|r| r.epoch > ckpt_epoch) // inside the checkpoint already (idempotent anyway)
+            .filter(|r| {
+                // A slice of a torn cross-shard batch: the 2PC vote
+                // discarded the whole batch, so this record's epoch
+                // number survives (contiguity above already checked it)
+                // but its operations must not be applied.
+                let drop = r.global.is_some_and(|s| discard.contains(&s.epoch));
+                discarded += u64::from(drop);
+                !drop
+            })
             .collect();
         for window in to_replay.chunks(DECODE_WINDOW) {
             let bodies: Vec<Result<_, _>> = window
@@ -300,6 +531,8 @@ where
             ckpt_mutex: Mutex::new(()),
             base: last_epoch,
             published: AtomicU64::new(last_epoch),
+            tracker,
+            pending: Mutex::new(BTreeMap::new()),
             counters: DurCounters::default(),
             last_ckpt_at: Mutex::new(None),
             _spec: std::marker::PhantomData,
@@ -342,6 +575,7 @@ where
                 checkpoint_entries,
                 replayed_epochs: replayed,
                 last_epoch,
+                discarded_epochs: discarded,
             },
             stop,
             checkpointer,
@@ -352,6 +586,13 @@ where
     /// Write a checkpoint now: pin the head, stream it to disk (writers
     /// keep committing), then truncate WAL segments the checkpoint
     /// covers. Returns the WAL epoch the checkpoint claims.
+    ///
+    /// # Errors
+    ///
+    /// Filesystem errors pass through; a sharded store's shard
+    /// additionally fails with `TimedOut` if a cross-shard batch stays
+    /// undecided (a sibling shard wedged mid-log) — a failed checkpoint
+    /// is never fatal, the WAL still holds everything.
     pub fn checkpoint(&self) -> io::Result<u64> {
         do_checkpoint(&self.store, &self.hook, &self.dir, &self.config)
     }
@@ -411,6 +652,41 @@ where
     // idempotent.
     let epoch = hook.published.load(Ordering::Acquire);
     let pin = store.pin();
+    if let Some(tracker) = &hook.tracker {
+        // Epoch-clock gating. The pin may contain slices of cross-shard
+        // batches not yet logged by every sibling shard. Baking such a
+        // slice into the checkpoint would make it un-discardable if the
+        // batch later loses the recovery vote, so wait (decisions land
+        // as fast as the siblings' committers append — microseconds)
+        // until the watermark passes every stamp that can be in the pin.
+        // Every such stamp is in `pending` right now: slices log before
+        // they publish, and pruning only removes already-decided ones.
+        let gate = hook
+            .pending
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .values()
+            .copied()
+            .max();
+        if let Some(newest_stamp) = gate {
+            let deadline = Instant::now() + DECISION_TIMEOUT;
+            while tracker.watermark() < newest_stamp {
+                if Instant::now() > deadline {
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        "checkpoint blocked: a cross-shard batch is still awaiting \
+                         its sibling shards' WAL appends (is a sibling wedged?)",
+                    ));
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let w = tracker.watermark();
+            hook.pending
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .retain(|_, g| *g > w);
+        }
+    }
     let map = pin.map();
     checkpoint::write(
         dir,
@@ -420,6 +696,13 @@ where
         config.keep_checkpoints,
     )?;
     drop(pin); // the snapshot is on disk; release the version
+    if let Some(tracker) = &hook.tracker {
+        // Pin the clock in the manifest *before* truncation may reclaim
+        // stamped records: recovery's presence vote only runs for stamps
+        // above the manifest watermark, so a record may vanish from the
+        // log only once its batch's decision is persisted.
+        tracker.persist()?;
+    }
     hook.lock_wal().truncate_through(epoch)?;
     hook.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
     hook.counters
@@ -578,9 +861,18 @@ fn has_shard_dirs(dir: &Path) -> io::Result<bool> {
 /// to WALs that never held them.
 ///
 /// Recovery is per shard (checkpoint bulk-load + WAL replay, torn tails
-/// tolerated), and shards recover independently — a torn tail in one
-/// shard's log cannot disturb another's. Derefs to [`ShardedStore`] for
-/// the whole read/write/snapshot API.
+/// tolerated) — but **cross-shard batches recover atomically**. Every
+/// slice of a multi-shard `write_batch` is logged with its global epoch
+/// stamp, and `open` first pre-scans all shards' logs and runs a
+/// 2PC-style presence vote: a global epoch logged on *every* participant
+/// commits; one logged on some-but-not-all (a crash tore the tail
+/// mid-batch) is **discarded on every shard**. The store therefore
+/// recovers to the maximum global epoch fully present on all shards — a
+/// prefix-consistent cut of the epoch clock — and pins that watermark
+/// (plus the discard list) in the `MANIFEST` before serving traffic, so
+/// re-opens re-apply the same decisions even after other shards'
+/// checkpoints truncate the evidence. Derefs to [`ShardedStore`] for the
+/// whole read/write/snapshot API.
 pub struct DurableShardedStore<S: AugSpec, B: Balance = WeightBalanced>
 where
     S::K: Codec + ShardKey,
@@ -590,6 +882,7 @@ where
     /// below join their checkpointers and drain their pipelines.
     sharded: Arc<ShardedStore<S, B>>,
     shards: Vec<DurableStore<S, B>>,
+    tracker: Arc<GlobalTracker>,
     recovery: Vec<RecoveryInfo>,
     dir: PathBuf,
     /// Declared last: the directory stays locked until every shard has
@@ -602,23 +895,42 @@ where
     S::K: Codec + ShardKey,
     S::V: Codec,
 {
-    /// Open (or create) a sharded durable store in `dir`: verify (or
-    /// write) the shard-count manifest, then recover every shard **in
-    /// parallel** — checkpoint bulk-load plus WAL replay, reusing the
-    /// single-store path per shard. Fails with `InvalidInput` on a shard-count
-    /// mismatch and `InvalidData` if shard directories exist without a
-    /// manifest (guessing a layout could route keys into the wrong WAL).
+    /// Open (or create) a sharded durable store in `dir`: verify the
+    /// shard-count manifest, **vote on cross-shard batches**, then
+    /// recover every shard **in parallel** — checkpoint bulk-load plus
+    /// WAL replay, reusing the single-store path per shard.
+    ///
+    /// The vote is the cross-shard half of recovery: a read-only
+    /// pre-scan collects every global epoch stamp from every shard's
+    /// log; stamps above the manifest's persisted watermark that are
+    /// missing on at least one of their participants mark torn batches,
+    /// which every shard's replay then skips. The advanced watermark and
+    /// the discard list are pinned back into the manifest *before* any
+    /// shard serves traffic, and the global epoch clock resumes past the
+    /// watermark.
+    ///
+    /// # Errors
+    ///
+    /// * `InvalidInput` — the manifest pins a different shard count (the
+    ///   hash routing is part of the on-disk format);
+    /// * `InvalidData` — shard directories without a manifest (guessing
+    ///   a layout could route keys into the wrong WAL), or corruption /
+    ///   WAL gaps inside a shard;
+    /// * `WouldBlock` — another live process holds the directory lock.
     pub fn open(
         dir: impl AsRef<Path>,
         config: ShardedConfig,
         durability: DurabilityConfig,
     ) -> io::Result<Self> {
+        use rayon::prelude::*;
+
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir)?;
         let lock = DirLock::acquire(&dir)?;
         manifest::clean_temp_file(&dir)?;
         let want = config.shards.max(1) as u64;
-        match manifest::load(&dir)? {
+        let existing = manifest::load(&dir)?;
+        match &existing {
             Some(m) if m.shards == want => {}
             Some(m) => {
                 return Err(io::Error::new(
@@ -645,35 +957,92 @@ where
                     ),
                 ));
             }
-            None => manifest::write(&dir, want)?,
+            None => {}
         }
+        let (prev_watermark, prev_discarded) = existing
+            .map(|m| (m.global_epoch, m.discarded))
+            .unwrap_or((0, Vec::new()));
 
-        // Recover every shard concurrently: each open is an independent
-        // checkpoint bulk-load + WAL replay in its own `shard-<i>/`
-        // directory (its own DirLock), so shard recovery time is the max
-        // over shards instead of the sum. The parallel driver keeps the
-        // results in shard order; the first error wins (already-opened
-        // shards shut down cleanly when dropped).
-        use rayon::prelude::*;
+        // Phase 1 — the vote. Pre-scan every shard's log (read-only, in
+        // parallel) for cross-shard batch stamps, then decide each
+        // global epoch above the persisted watermark: present on every
+        // participant → commit; missing anywhere (a crash tore the tail
+        // mid-batch) → discard on all shards. Epochs at or below the
+        // watermark keep their persisted decision — their records may
+        // already have been truncated elsewhere, so re-counting them
+        // would be unsound. (Known cost: the pre-scan decodes the WALs
+        // once and phase 2's `Wal::open` decodes them again — threading
+        // the scan results through would halve open-time I/O; see
+        // ROADMAP.)
+        let scans = (0..want as usize)
+            .into_par_iter()
+            .map(|i| pam_wal::wal::scan_global_stamps(manifest::shard_dir(&dir, i)))
+            .collect::<Vec<io::Result<Vec<GlobalStamp>>>>()
+            .into_iter()
+            .collect::<io::Result<Vec<_>>>()?;
+        let mut seen: BTreeMap<u64, (u32, u32)> = BTreeMap::new(); // g → (participants, present)
+        for per_shard in &scans {
+            let mut uniq = BTreeSet::new();
+            for stamp in per_shard {
+                if uniq.insert(stamp.epoch) {
+                    let entry = seen.entry(stamp.epoch).or_insert((stamp.participants, 0));
+                    entry.1 += 1;
+                }
+            }
+        }
+        let mut discard: BTreeSet<u64> = prev_discarded.into_iter().collect();
+        let mut watermark = prev_watermark;
+        for (&g, &(participants, present)) in &seen {
+            watermark = watermark.max(g);
+            if g > prev_watermark && present < participants {
+                discard.insert(g);
+            }
+        }
+        // Forget discards no shard's log still mentions: once the last
+        // record of a torn batch is truncated away, nothing can resurface
+        // it (the clock never re-mints an old epoch).
+        discard.retain(|g| seen.contains_key(g));
+        let discard_list: Vec<u64> = discard.iter().copied().collect();
+        // Pin the decisions before any shard opens for traffic: every
+        // global epoch <= watermark now has a persisted verdict.
+        manifest::write(&dir, want, watermark, &discard_list)?;
+        let tracker = Arc::new(GlobalTracker::new(
+            dir.clone(),
+            want,
+            watermark,
+            discard_list,
+        ));
+
+        // Phase 2 — recover every shard concurrently: each open is an
+        // independent checkpoint bulk-load + WAL replay in its own
+        // `shard-<i>/` directory (its own DirLock), so shard recovery
+        // time is the max over shards instead of the sum. Replay skips
+        // the discarded batches. The parallel driver keeps the results
+        // in shard order; the first error wins (already-opened shards
+        // shut down cleanly when dropped).
         let shards = (0..want as usize)
             .into_par_iter()
             .map(|i| {
-                DurableStore::open(
+                DurableStore::open_with(
                     manifest::shard_dir(&dir, i),
                     config.store.clone(),
                     durability.clone(),
+                    Some(tracker.clone()),
+                    &discard,
                 )
             })
             .collect::<Vec<io::Result<DurableStore<S, B>>>>()
             .into_iter()
             .collect::<io::Result<Vec<_>>>()?;
         let recovery = shards.iter().map(|s| s.recovery().clone()).collect();
-        let sharded = Arc::new(ShardedStore::from_stores(
+        let sharded = Arc::new(ShardedStore::from_stores_with_clock(
             shards.iter().map(|s| s.handle()).collect(),
+            GlobalClock::tracked(tracker.clone()),
         ));
         Ok(DurableShardedStore {
             sharded,
             shards,
+            tracker,
             recovery,
             dir,
             _lock: lock,
@@ -682,7 +1051,13 @@ where
 
     /// Checkpoint every shard (each pins its own head and streams it
     /// concurrently with writers); returns the per-shard WAL epochs the
-    /// checkpoints claim.
+    /// checkpoints claim. Each shard persists the global epoch
+    /// watermark to the manifest before truncating its WAL.
+    ///
+    /// # Errors
+    ///
+    /// The first failing shard's error (see [`DurableStore::checkpoint`]);
+    /// earlier shards' checkpoints remain valid.
     pub fn checkpoint(&self) -> io::Result<Vec<u64>> {
         self.shards.iter().map(|s| s.checkpoint()).collect()
     }
@@ -695,6 +1070,15 @@ where
     /// Highest durable-and-published WAL epoch per shard.
     pub fn wal_epochs(&self) -> Vec<u64> {
         self.shards.iter().map(|s| s.wal_epoch()).collect()
+    }
+
+    /// The global epoch clock's committed watermark: every cross-shard
+    /// batch stamped `<=` this value is decided (durable on all its
+    /// shards, or discarded on all of them). At open this is the
+    /// *maximum global epoch fully present on all shards* — the
+    /// prefix-consistent cut recovery restored.
+    pub fn global_watermark(&self) -> u64 {
+        self.tracker.watermark()
     }
 
     /// The directory holding the manifest and shard subdirectories.

@@ -38,6 +38,14 @@
 //!   checkpointer): write parallelism beyond one committer, with
 //!   scatter-gather reads, k-way merged range scans, and consistent
 //!   cross-shard snapshots via a brief all-shard epoch barrier.
+//! * **Cross-shard atomicity** — a **global epoch clock** stamps every
+//!   multi-shard `write_batch` ([`GlobalStamp`]); the slices are
+//!   submitted under an *epoch fence* and logged with the stamp, so
+//!   epoch-fenced readers ([`ShardedStore::snapshot`],
+//!   [`ShardedStore::range_for_each`]) never observe a torn batch, and
+//!   [`DurableShardedStore`] crash-recovers every shard to the same
+//!   global epoch (torn batches are discarded everywhere by a 2PC-style
+//!   presence vote; the `MANIFEST` pins the clock).
 //!
 //! ## Quick example
 //!
@@ -83,7 +91,7 @@ mod store;
 pub use config::{DurabilityConfig, ShardedConfig, StoreConfig};
 pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo};
 pub use op::{NormalizedBatch, WriteOp};
-pub use pam_wal::{Codec, SyncPolicy};
+pub use pam_wal::{Codec, GlobalStamp, SyncPolicy};
 pub use pipeline::{CommitHook, CommitTicket};
 pub use registry::{PinnedVersion, VersionId, VersionInfo};
 pub use shard::{ShardKey, ShardedSnapshot, ShardedStore, ShardedTicket};

@@ -63,6 +63,22 @@ pub struct NormalizedBatch<S: AugSpec> {
     pub raw_ops: usize,
 }
 
+impl<S: AugSpec> NormalizedBatch<S> {
+    /// Did every raw operation cancel out (no surviving puts or
+    /// deletes)? Such an epoch still commits (and, when durable, still
+    /// logs — its WAL record may carry a cross-shard stamp recovery
+    /// votes on) but applies no tree work.
+    pub fn is_empty(&self) -> bool {
+        self.puts.is_empty() && self.deletes.is_empty()
+    }
+
+    /// Surviving operations (puts + deletes) after last-write-wins
+    /// deduplication.
+    pub fn len(&self) -> usize {
+        self.puts.len() + self.deletes.len()
+    }
+}
+
 /// Sort + last-write-wins dedup + partition (see module docs).
 pub fn normalize<S: AugSpec>(mut ops: Vec<(u64, WriteOp<S>)>) -> NormalizedBatch<S> {
     let raw_ops = ops.len();

@@ -1,12 +1,24 @@
 //! The batched group-commit pipeline.
 //!
-//! Writers append operations to the current *epoch buffer* and receive a
+//! Writers append operations to the open *epoch segment* and receive a
 //! [`CommitTicket`] immediately — enqueueing is a mutex push, never tree
-//! work. A dedicated committer thread:
+//! work. The buffer is a FIFO queue of segments, each of which becomes
+//! exactly one committed epoch:
 //!
-//! 1. sleeps until an epoch has work, then lingers for the configured
-//!    *group-commit window* so concurrent writers share the batch;
-//! 2. drains the whole buffer atomically (this is what makes an epoch an
+//! * plain submissions (`Pipeline::submit_all`) pile into the open
+//!   segment at the queue's back, sharing its epoch (group commit);
+//! * a **sealed** submission (`Pipeline::submit_sealed`) — one shard's
+//!   slice of a cross-shard atomic batch, tagged with a
+//!   [`GlobalStamp`] — always gets a segment (and therefore a WAL
+//!   record) of its own, so crash recovery can commit or discard the
+//!   whole batch at record granularity.
+//!
+//! A dedicated committer thread:
+//!
+//! 1. sleeps until a segment has work, then — when the sole queued
+//!    segment is an open one — lingers for the configured *group-commit
+//!    window* so concurrent writers share the batch;
+//! 2. pops the front segment atomically (this is what makes an epoch an
 //!    all-or-nothing unit: either every operation of an epoch is in the
 //!    published version, or none is);
 //! 3. normalizes the batch (parallel sort + last-write-wins dedup, see
@@ -26,6 +38,8 @@ use crate::registry::Registry;
 use crate::stats::StatsInner;
 use pam::balance::Balance;
 use pam::{AugSpec, SharedMap};
+use pam_wal::GlobalStamp;
+use std::collections::VecDeque;
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -38,6 +52,10 @@ use std::time::Instant;
 ///    the epoch is applied, published, or acknowledged. When it returns
 ///    `Ok`, the record must be as durable as the hook's policy promises —
 ///    every [`CommitTicket`] of the epoch is still blocked at this point.
+///    `global` is the cross-shard batch stamp when the epoch is a sealed
+///    slice of a multi-shard `write_batch` (`None` otherwise); a durable
+///    hook must persist it with the record, because recovery's atomicity
+///    vote depends on it.
 /// 2. [`CommitHook::epoch_published`] runs after the version is visible
 ///    in the registry and *before* tickets wake, so anything the hook
 ///    records (e.g. the highest published epoch a checkpoint may claim)
@@ -49,7 +67,17 @@ use std::time::Instant;
 /// writes that never reached the log.
 pub trait CommitHook<S: AugSpec>: Send + Sync {
     /// Make the normalized epoch durable.
-    fn log_epoch(&self, epoch: u64, batch: &NormalizedBatch<S>) -> std::io::Result<()>;
+    ///
+    /// # Errors
+    ///
+    /// Any error poisons the store (fail-stop): the committer exits and
+    /// every subsequent submit/wait/flush panics.
+    fn log_epoch(
+        &self,
+        epoch: u64,
+        global: Option<GlobalStamp>,
+        batch: &NormalizedBatch<S>,
+    ) -> std::io::Result<()>;
 
     /// The epoch's version is now readable in the registry.
     fn epoch_published(&self, epoch: u64, version: u64) {
@@ -57,11 +85,25 @@ pub trait CommitHook<S: AugSpec>: Send + Sync {
     }
 }
 
+/// One queued epoch: its pre-assigned epoch number, its operations, and
+/// (for a sealed cross-shard slice) the batch stamp.
+struct EpochSeg<S: AugSpec> {
+    epoch: u64,
+    global: Option<GlobalStamp>,
+    ops: Vec<(u64, WriteOp<S>)>,
+    /// Sealed segments never accept further operations (cross-shard
+    /// slices must map 1:1 onto WAL records); the open segment at the
+    /// queue's back keeps accumulating until the committer pops it.
+    sealed: bool,
+}
+
 /// Epoch numbering starts at 1 so "nothing committed yet" is 0.
 struct PipeState<S: AugSpec> {
-    buffer: Vec<(u64, WriteOp<S>)>,
-    /// Epoch the buffer belongs to.
-    epoch: u64,
+    /// FIFO queue of epoch segments; the back may be an open (unsealed)
+    /// segment that plain submissions keep joining.
+    queue: VecDeque<EpochSeg<S>>,
+    /// Epoch number the next created segment will take.
+    next_epoch: u64,
     /// Highest epoch fully applied and published.
     committed_epoch: u64,
     /// Version that made `committed_epoch` durable.
@@ -84,7 +126,8 @@ pub(crate) struct Pipeline<S: AugSpec> {
     done: Condvar,
     /// Wakes submitters blocked on a barrier (see [`Pipeline::begin_barrier`]).
     gate: Condvar,
-    /// Crossing this buffered-op count cuts the group-commit window short.
+    /// Crossing this op count in the open segment cuts the group-commit
+    /// window short.
     max_batch: usize,
 }
 
@@ -93,8 +136,8 @@ impl<S: AugSpec> Pipeline<S> {
         Pipeline {
             max_batch: max_batch.max(1),
             state: Mutex::new(PipeState {
-                buffer: Vec::new(),
-                epoch: 1,
+                queue: VecDeque::new(),
+                next_epoch: 1,
                 committed_epoch: 0,
                 committed_version: 0,
                 next_seq: 0,
@@ -112,6 +155,19 @@ impl<S: AugSpec> Pipeline<S> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
+    /// Park while a snapshot barrier is up, then check liveness.
+    fn admit<'a>(&'a self, mut g: MutexGuard<'a, PipeState<S>>) -> MutexGuard<'a, PipeState<S>> {
+        // A barrier (sharded snapshot in progress) parks submitters until
+        // it lifts; the committer keeps draining, so the wait is one
+        // flush, not a stall.
+        while g.barrier {
+            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+        assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
+        assert!(!g.shutdown, "store is shutting down");
+        g
+    }
+
     /// Enqueue one operation; returns its epoch.
     pub fn submit(self: &Arc<Self>, op: WriteOp<S>) -> CommitTicket<S> {
         self.submit_all(std::iter::once(op))
@@ -123,32 +179,94 @@ impl<S: AugSpec> Pipeline<S> {
         self: &Arc<Self>,
         ops: impl IntoIterator<Item = WriteOp<S>>,
     ) -> CommitTicket<S> {
-        let mut g = self.lock();
-        // A barrier (sharded snapshot in progress) parks submitters until
-        // it lifts; the committer keeps draining, so the wait is one
-        // flush, not a stall.
-        while g.barrier {
-            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+        let mut g = self.admit(self.lock());
+        // Join the open segment at the back, or start one.
+        let open_at_back = g.queue.back().is_some_and(|seg| !seg.sealed);
+        if !open_at_back {
+            let epoch = g.next_epoch;
+            g.next_epoch += 1;
+            g.queue.push_back(EpochSeg {
+                epoch,
+                global: None,
+                ops: Vec::new(),
+                sealed: false,
+            });
         }
-        assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
-        assert!(!g.shutdown, "store is shutting down");
-        let was_empty = g.buffer.is_empty();
         let mut pushed = false;
-        for op in ops {
-            let seq = g.next_seq;
-            g.next_seq += 1;
-            g.buffer.push((seq, op));
-            pushed = true;
+        let was_empty;
+        {
+            let seq0 = g.next_seq;
+            let seg = g.queue.back_mut().expect("open segment present");
+            was_empty = seg.ops.is_empty();
+            let mut seq = seq0;
+            for op in ops {
+                seg.ops.push((seq, op));
+                seq += 1;
+                pushed = true;
+            }
+            g.next_seq = seq;
         }
-        // an empty submission is vacuously durable (epoch 0 counts as
-        // always-committed)
-        let epoch = if pushed { g.epoch } else { 0 };
-        // Wake the committer when the epoch gets its first op (starts the
-        // group-commit window) and when the buffer crosses the batch cap
+        let seg_epoch = g.queue.back().expect("open segment present").epoch;
+        let seg_len = g.queue.back().expect("open segment present").ops.len();
+        // An empty submission is vacuously durable (epoch 0 counts as
+        // always-committed). Drop a freshly created empty segment so the
+        // committer never sees zero-op epochs.
+        let epoch = if pushed {
+            seg_epoch
+        } else {
+            if !open_at_back {
+                g.queue.pop_back();
+                g.next_epoch -= 1;
+            }
+            0
+        };
+        // Wake the committer when the segment gets its first op (starts
+        // the group-commit window) and when it crosses the batch cap
         // (cuts the window short, bounding latency and memory).
-        if pushed && (was_empty || g.buffer.len() >= self.max_batch) {
+        if pushed && (was_empty || seg_len >= self.max_batch) {
             self.work.notify_one();
         }
+        drop(g);
+        CommitTicket {
+            epoch,
+            pipe: Arc::clone(self),
+        }
+    }
+
+    /// Enqueue a **sealed** epoch: `ops` get a segment of their own —
+    /// one epoch, one WAL record — tagged with the cross-shard batch
+    /// stamp. The sharded store submits each shard's slice of a
+    /// multi-shard `write_batch` this way so recovery can commit or
+    /// discard the batch at record granularity. An empty `ops` is
+    /// vacuously durable (ticket epoch 0), mirroring [`Self::submit_all`].
+    pub fn submit_sealed(
+        self: &Arc<Self>,
+        ops: Vec<WriteOp<S>>,
+        global: Option<GlobalStamp>,
+    ) -> CommitTicket<S> {
+        if ops.is_empty() {
+            return CommitTicket {
+                epoch: 0,
+                pipe: Arc::clone(self),
+            };
+        }
+        let mut g = self.admit(self.lock());
+        let epoch = g.next_epoch;
+        g.next_epoch += 1;
+        let seq0 = g.next_seq;
+        let tagged: Vec<(u64, WriteOp<S>)> = ops
+            .into_iter()
+            .enumerate()
+            .map(|(i, op)| (seq0 + i as u64, op))
+            .collect();
+        g.next_seq = seq0 + tagged.len() as u64;
+        g.queue.push_back(EpochSeg {
+            epoch,
+            global,
+            ops: tagged,
+            sealed: true,
+        });
+        self.work.notify_one();
         drop(g);
         CommitTicket {
             epoch,
@@ -160,14 +278,12 @@ impl<S: AugSpec> Pipeline<S> {
     /// version that contains it.
     pub fn flush(&self) -> u64 {
         let mut g = self.lock();
-        // An empty buffer does NOT mean everything is durable: the
-        // committer may have drained epoch `epoch - 1` and still be
-        // applying it. Wait for every *started* epoch, plus the current
-        // one if it has buffered work.
-        let target = if g.buffer.is_empty() {
-            g.epoch - 1
-        } else {
-            g.epoch
+        // An empty queue does NOT mean everything is durable: the
+        // committer may have popped an epoch and still be applying it.
+        // Wait for every epoch handed out so far.
+        let target = match g.queue.back() {
+            Some(seg) => seg.epoch,
+            None => g.next_epoch - 1,
         };
         if g.committed_epoch >= target {
             return g.committed_version;
@@ -180,7 +296,7 @@ impl<S: AugSpec> Pipeline<S> {
         g.committed_version
     }
 
-    /// Ask the committer to exit once the buffer is drained.
+    /// Ask the committer to exit once the queue is drained.
     pub fn begin_shutdown(&self) {
         self.lock().shutdown = true;
         self.work.notify_one();
@@ -191,6 +307,8 @@ impl<S: AugSpec> Pipeline<S> {
     /// [`Pipeline::end_barrier`]. Barriers on one pipeline are serialized
     /// against each other. This is the per-shard half of a consistent
     /// cross-shard snapshot: barrier every shard, flush, pin, release.
+    /// (The cross-shard half — no batch may be *half-submitted* when the
+    /// barriers go up — is the sharded store's epoch fence.)
     pub fn begin_barrier(&self) {
         let mut g = self.lock();
         while g.barrier {
@@ -206,7 +324,7 @@ impl<S: AugSpec> Pipeline<S> {
     }
 
     /// The committer loop. Runs on its own thread until shutdown *and*
-    /// empty buffer (or until the commit hook fails — see [`CommitHook`]).
+    /// empty queue (or until the commit hook fails — see [`CommitHook`]).
     pub fn run_committer<B: Balance>(
         &self,
         head: &SharedMap<S, B>,
@@ -217,33 +335,39 @@ impl<S: AugSpec> Pipeline<S> {
     ) {
         let mut g = self.lock();
         loop {
-            if g.buffer.is_empty() {
+            let Some(front) = g.queue.front() else {
                 if g.shutdown {
                     return;
                 }
                 g = self.work.wait(g).unwrap_or_else(PoisonError::into_inner);
                 continue;
-            }
-            // Group-commit window: linger once so concurrent writers can
-            // join this epoch (skipped when already over the batch cap,
-            // when draining for shutdown, or with a zero window). Gate on
+            };
+            // Group-commit window: when the only queued segment is the
+            // open one, linger once so concurrent writers can join its
+            // epoch (skipped when already over the batch cap, when
+            // draining for shutdown, with a zero window, or when sealed
+            // segments queue behind — those commit back-to-back). Gate on
             // the *clamped* cap so submit and committer agree even for a
             // `max_batch: 0` config (clamped to 1 in `Pipeline::new`).
-            if !config.batch_window.is_zero() && g.buffer.len() < self.max_batch && !g.shutdown {
+            if !config.batch_window.is_zero()
+                && g.queue.len() == 1
+                && !front.sealed
+                && front.ops.len() < self.max_batch
+                && !g.shutdown
+            {
                 let (ng, _timeout) = self
                     .work
                     .wait_timeout(g, config.batch_window)
                     .unwrap_or_else(PoisonError::into_inner);
                 g = ng;
-                if g.buffer.is_empty() {
+                if g.queue.is_empty() {
                     continue; // spurious wakeup before any op landed
                 }
             }
-            // Drain the epoch atomically.
-            let batch = std::mem::take(&mut g.buffer);
-            let epoch = g.epoch;
-            g.epoch += 1;
+            // Pop the front epoch atomically.
+            let seg = g.queue.pop_front().expect("front segment present");
             drop(g);
+            let (epoch, global, batch) = (seg.epoch, seg.global, seg.ops);
 
             let t0 = Instant::now();
             let normalized = normalize::<S>(batch);
@@ -253,14 +377,14 @@ impl<S: AugSpec> Pipeline<S> {
             // or acked (tickets are still blocked here). A hook failure
             // fail-stops the store.
             if let Some(h) = hook {
-                if let Err(e) = h.log_epoch(epoch, &normalized) {
+                if let Err(e) = h.log_epoch(epoch, global, &normalized) {
                     eprintln!(
                         "pam-store: commit hook failed for epoch {epoch}: {e}; poisoning store"
                     );
                     let mut g = self.lock();
                     g.poisoned = true;
                     g.shutdown = true;
-                    g.buffer.clear();
+                    g.queue.clear();
                     self.done.notify_all();
                     return;
                 }
@@ -311,6 +435,7 @@ impl<S: AugSpec> CommitTicket<S> {
     /// contains it (the epoch's own version, by construction).
     ///
     /// # Panics
+    ///
     /// If the store was poisoned by a failed commit hook (the write may
     /// never become durable).
     pub fn wait(&self) -> u64 {

@@ -1,6 +1,6 @@
 //! The version registry: named, refcount-pinned snapshots.
 //!
-//! Every commit publishes the new root as a [`VersionEntry`] under a
+//! Every commit publishes the new root as a version entry under a
 //! monotonically increasing [`VersionId`]. Entries are held in `Arc`s, so
 //! the `Arc` strong count *is* the pin count: a [`PinnedVersion`] guard
 //! keeps its version (and therefore the tree nodes it uniquely owns)

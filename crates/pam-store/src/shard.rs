@@ -24,25 +24,44 @@
 //!   **aug queries on a sharded store require a commutative `combine`**
 //!   (all built-in specs — sum, max, min — are commutative).
 //!
-//! ## Consistency
+//! ## Consistency: the global epoch clock and the epoch fence
 //!
 //! Each shard keeps the single-store guarantees (atomic epochs, snapshot
-//! reads, read-your-writes). *Cross*-shard operations are coordinated
-//! only where documented:
+//! reads, read-your-writes). Cross-shard operations are coordinated by a
+//! **global epoch clock** and an **epoch fence**:
 //!
-//! * a [`ShardedStore::write_batch`] is split per shard and is atomic
-//!   *within* each shard, not across shards;
-//! * plain cross-shard reads (`get_many`, `range_for_each`, `len`, aug
-//!   queries) pin each shard's head independently — a concurrent commit
-//!   may land between two pins;
-//! * [`ShardedStore::snapshot`] closes that gap: it raises a brief
-//!   *submit barrier* on every shard (new writes park, in-flight epochs
-//!   drain), pins every head, and releases — yielding a
-//!   [`ShardedSnapshot`] whose pinned version vector is a consistent cut:
-//!   it contains every write acknowledged before the barrier and none
-//!   submitted after it.
+//! * a multi-shard [`ShardedStore::write_batch`] is stamped with a fresh
+//!   **global epoch** ([`GlobalStamp`]), split per shard, and each
+//!   shard's slice commits as its own *sealed* pipeline epoch carrying
+//!   the stamp. The slices are submitted while holding the read side of
+//!   the fence, so no epoch-fenced reader can ever observe the batch
+//!   half-submitted. A batch whose operations all route to **one** shard
+//!   skips the clock and the fence entirely (the fast path — a
+//!   single-shard epoch is already atomic);
+//! * [`ShardedStore::snapshot`] and the live
+//!   [`ShardedStore::range_for_each`] / [`ShardedStore::range`] cut at a
+//!   global epoch boundary: they take the fence's write side (waiting
+//!   out any in-flight batch submission), raise a brief *submit barrier*
+//!   on every shard (new writes park, buffered epochs drain), flush and
+//!   pin every head, and release. The resulting [`ShardedSnapshot`]
+//!   contains every write acknowledged before the cut, none submitted
+//!   after it, and **every cross-shard batch wholly or not at all** —
+//!   the paper's one-root-pointer snapshot guarantee, restored across N
+//!   roots;
+//! * point reads (`get`, `get_many`), `len`, and aug queries still pin
+//!   each shard's head independently (a concurrent commit may land
+//!   between two pins — they trade the fence for zero coordination); use
+//!   [`ShardedStore::snapshot`] when cross-shard atomicity matters for
+//!   point reads.
+//!
+//! Durability extends the same stamp: each slice's WAL record carries
+//! the global epoch, and [`crate::DurableShardedStore`] recovers to the
+//! maximum global epoch fully present on all shards — a batch whose
+//! crash-torn log lost a slice on one shard is discarded on every shard
+//! (see the `durable` module docs).
 
 use crate::config::ShardedConfig;
+use crate::durable::GlobalTracker;
 use crate::pipeline::CommitTicket;
 use crate::registry::{PinnedVersion, VersionId};
 use crate::stats::StoreStats;
@@ -50,7 +69,9 @@ use crate::store::VersionedStore;
 use crate::WriteOp;
 use pam::balance::Balance;
 use pam::{AugSpec, WeightBalanced};
-use std::sync::{Arc, Mutex, PoisonError};
+use pam_wal::GlobalStamp;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, PoisonError, RwLock};
 
 // ---------------------------------------------------------------------------
 // Stable shard routing
@@ -167,6 +188,88 @@ impl<A: ShardKey, B: ShardKey> ShardKey for (A, B) {
 }
 
 // ---------------------------------------------------------------------------
+// The global epoch clock
+// ---------------------------------------------------------------------------
+
+/// The clock refuses to hand out stamps in the last 2^32 of the u64
+/// range: a store minting a million cross-shard batches per second would
+/// take half a million years to get here, so hitting the guard means a
+/// corrupted clock value — panicking beats wrapping to stamps that
+/// compare *older* than every persisted decision.
+pub(crate) const CLOCK_OVERFLOW_MARGIN: u64 = 1 << 32;
+
+/// Panic if `epoch` is inside the overflow margin (see
+/// [`CLOCK_OVERFLOW_MARGIN`]).
+#[inline]
+pub(crate) fn check_clock_epoch(epoch: u64) {
+    assert!(
+        epoch < u64::MAX - CLOCK_OVERFLOW_MARGIN,
+        "global epoch clock overflow: epoch {epoch} is inside the reserved margin"
+    );
+}
+
+/// The store-wide monotone clock that stamps cross-shard batches.
+///
+/// A plain in-memory store only needs the counter; a durable sharded
+/// store routes stamping through its `GlobalTracker`, which additionally
+/// records each stamp as *outstanding* until every participant shard has
+/// logged its slice (the input to checkpoint gating and the recovery
+/// vote).
+pub(crate) enum GlobalClock {
+    /// In-memory counter of the last stamped epoch.
+    Untracked(AtomicU64),
+    /// Durable stores stamp through the tracker (same monotone sequence,
+    /// plus outstanding-batch accounting).
+    Tracked(Arc<GlobalTracker>),
+}
+
+impl GlobalClock {
+    fn new() -> Self {
+        GlobalClock::Untracked(AtomicU64::new(0))
+    }
+
+    /// A clock whose next stamp is `last + 1` — tests seed it near the
+    /// overflow margin to exercise the guard (recovery seeds the tracked
+    /// variant with the persisted watermark instead).
+    #[cfg(test)]
+    pub(crate) fn starting_at(last: u64) -> Self {
+        GlobalClock::Untracked(AtomicU64::new(last))
+    }
+
+    pub(crate) fn tracked(tracker: Arc<GlobalTracker>) -> Self {
+        GlobalClock::Tracked(tracker)
+    }
+
+    /// Mint the next global epoch for a batch spanning `participants`
+    /// shards.
+    ///
+    /// # Panics
+    ///
+    /// On clock overflow (see [`CLOCK_OVERFLOW_MARGIN`]).
+    fn stamp(&self, participants: u32) -> GlobalStamp {
+        match self {
+            GlobalClock::Untracked(last) => {
+                let epoch = last.fetch_add(1, Ordering::Relaxed) + 1;
+                check_clock_epoch(epoch);
+                GlobalStamp {
+                    epoch,
+                    participants,
+                }
+            }
+            GlobalClock::Tracked(t) => t.stamp(participants),
+        }
+    }
+
+    /// The most recently stamped global epoch (0: none yet).
+    fn current(&self) -> u64 {
+        match self {
+            GlobalClock::Untracked(last) => last.load(Ordering::Relaxed),
+            GlobalClock::Tracked(t) => t.last_stamped(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // The sharded store
 // ---------------------------------------------------------------------------
 
@@ -201,6 +304,25 @@ pub struct ShardedStore<S: AugSpec, B: Balance = WeightBalanced> {
     shards: Vec<Arc<VersionedStore<S, B>>>,
     /// Serializes [`ShardedStore::snapshot`] barriers (one at a time).
     snapshot_gate: Mutex<()>,
+    /// Stamps cross-shard batches with monotone global epochs.
+    clock: GlobalClock,
+    /// The epoch fence. A multi-shard `write_batch` holds the **read**
+    /// side while it submits its per-shard slices; an epoch-fenced
+    /// reader ([`ShardedStore::snapshot`]) takes the **write** side
+    /// before raising the shard barriers, so at the instant the barriers
+    /// go up every cross-shard batch is either submitted to *all* its
+    /// shards or to none — the other half of torn-batch freedom (the
+    /// barriers + flush then turn "submitted everywhere" into
+    /// "committed everywhere" before any head is pinned).
+    fence: RwLock<()>,
+    /// Serializes the stamp + enqueue phase of cross-shard batches:
+    /// without it, two concurrent batches could enqueue their slices in
+    /// opposite orders on different shards (shard 0 sees [B1, B2],
+    /// shard 1 sees [B2, B1]) and the acked state would match *no*
+    /// serial order of the batches. Held only across the N queue pushes
+    /// — commits still run in parallel per shard — so per-shard epoch
+    /// order always equals global stamp order.
+    xbatch_gate: Mutex<()>,
 }
 
 /// Ends the raised barriers even if a flush panics mid-snapshot (a
@@ -244,10 +366,23 @@ where
     /// Shard `i` must hold exactly the keys with `shard_hash() % n == i`
     /// — feeding arbitrary maps in breaks routing.
     pub fn from_stores(shards: Vec<Arc<VersionedStore<S, B>>>) -> Self {
+        Self::from_stores_with_clock(shards, GlobalClock::new())
+    }
+
+    /// Like [`Self::from_stores`], with an explicit clock — recovery
+    /// seeds it past the persisted watermark (durable stores pass a
+    /// tracker-backed clock).
+    pub(crate) fn from_stores_with_clock(
+        shards: Vec<Arc<VersionedStore<S, B>>>,
+        clock: GlobalClock,
+    ) -> Self {
         assert!(!shards.is_empty(), "a sharded store needs >= 1 shard");
         ShardedStore {
             shards,
             snapshot_gate: Mutex::new(()),
+            clock,
+            fence: RwLock::new(()),
+            xbatch_gate: Mutex::new(()),
         }
     }
 
@@ -281,23 +416,72 @@ where
         self.shards[shard].delete(key)
     }
 
-    /// Enqueue several operations. Operations targeting the same shard
-    /// share an epoch (atomic within the shard); **atomicity does not
-    /// span shards** — a concurrent reader may observe one shard's slice
-    /// of the batch before another's.
+    /// Enqueue several operations as one **cross-shard atomic batch**.
+    ///
+    /// A batch spanning several shards is stamped with a fresh global
+    /// epoch and split per shard; each slice commits as its own sealed
+    /// epoch carrying the stamp, and the slices are submitted under the
+    /// epoch fence — so [`Self::snapshot`] / [`Self::range_for_each`]
+    /// readers see the whole batch or none of it, and (when durable)
+    /// crash recovery keeps or discards it on all shards together. A
+    /// batch whose operations all route to one shard takes the fast
+    /// path: no stamp, no fence, one ordinary group-committed epoch.
+    ///
+    /// Point reads (`get`, `get_many`) bypass the fence and may observe
+    /// a batch's shards at different instants; use a snapshot when that
+    /// matters.
+    ///
+    /// # Panics
+    ///
+    /// On global-epoch-clock overflow (after ~2^63 cross-shard batches).
     pub fn write_batch(&self, ops: impl IntoIterator<Item = WriteOp<S>>) -> ShardedTicket<S> {
         let mut per_shard: Vec<Vec<WriteOp<S>>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for op in ops {
             per_shard[self.shard_of(op.key())].push(op);
         }
+        let participants = per_shard.iter().filter(|ops| !ops.is_empty()).count();
+        if participants <= 1 {
+            // Fast path: an empty batch is vacuously committed; a
+            // single-shard batch is already atomic as one ordinary epoch
+            // (it may share that epoch with concurrent writers — group
+            // commit). Neither consults the clock or the fence.
+            return ShardedTicket {
+                tickets: per_shard
+                    .into_iter()
+                    .enumerate()
+                    .filter(|(_, ops)| !ops.is_empty())
+                    .map(|(i, ops)| self.shards[i].write_batch(ops))
+                    .collect(),
+                global: None,
+            };
+        }
+        // Hold the fence's read side across the stamp AND every
+        // per-shard submit: an epoch-fenced reader (fence write side)
+        // can never cut between two slices of this batch — and because
+        // stamping happens under the fence, a snapshot's
+        // `global_epoch()` (read under the write side) never names a
+        // batch the snapshot does not contain. The xbatch gate then
+        // orders concurrent batches: stamping and enqueueing are one
+        // atomic step, so every shard's pipeline sees cross-shard
+        // batches in global stamp order (the committed state is always
+        // the serial order of the stamps). Safe to hold across the
+        // submits: with the fence read held no barrier can be up, so
+        // `submit_sealed` never blocks.
+        let _in_flight = self.fence.read().unwrap_or_else(PoisonError::into_inner);
+        let _ordered = self
+            .xbatch_gate
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let stamp = self.clock.stamp(participants as u32);
         ShardedTicket {
             tickets: per_shard
                 .into_iter()
                 .enumerate()
                 .filter(|(_, ops)| !ops.is_empty())
-                .map(|(i, ops)| self.shards[i].write_batch(ops))
+                .map(|(i, ops)| self.shards[i].submit_sealed(ops, Some(stamp)))
                 .collect(),
+            global: Some(stamp.epoch),
         }
     }
 
@@ -348,7 +532,9 @@ where
     }
 
     /// All entries with keys in `[lo, hi]`, merged across shards in key
-    /// order. Prefer [`Self::range_for_each`] for large ranges.
+    /// order, read from one epoch-fenced cut (see
+    /// [`Self::range_for_each`]). Prefer `range_for_each` for large
+    /// ranges.
     pub fn range(&self, lo: &S::K, hi: &S::K) -> Vec<(S::K, S::V)> {
         let mut out = Vec::new();
         self.range_for_each(lo, hi, |k, v| out.push((k.clone(), v.clone())));
@@ -358,10 +544,15 @@ where
     /// Stream the entries with keys in `[lo, hi]` to `f` in global key
     /// order: a k-way merge over every shard's streaming range (hash
     /// partitioning interleaves the key space, so all shards
-    /// participate). Each shard's head is pinned for the duration.
+    /// participate).
+    ///
+    /// The scan reads from an **epoch-fenced cut** — internally it takes
+    /// a [`Self::snapshot`] (fence + brief all-shard barrier), so a
+    /// cross-shard `write_batch` can never appear torn mid-scan. Writers
+    /// park for one flush per scan start; a scan over an already-held
+    /// [`ShardedSnapshot`] avoids that cost entirely.
     pub fn range_for_each(&self, lo: &S::K, hi: &S::K, f: impl FnMut(&S::K, &S::V)) {
-        let pins: Vec<_> = self.shards.iter().map(|s| s.pin()).collect();
-        merged_range_for_each(&pins, lo, hi, f);
+        self.snapshot().range_for_each(lo, hi, f);
     }
 
     /// Augmented value over keys in `[lo, hi]`: the combine of the
@@ -393,20 +584,27 @@ where
 
     // -- snapshots ---------------------------------------------------------
 
-    /// Take a **consistent cross-shard snapshot**: raise a submit barrier
+    /// Take a **consistent cross-shard snapshot** at a global epoch
+    /// boundary: take the epoch fence's write side (waiting out any
+    /// in-flight cross-shard batch submission), raise a submit barrier
     /// on every shard (new writes park; epochs already buffered drain),
-    /// pin every shard's head, release the barriers. The result contains
-    /// every write acknowledged before the call and none submitted after
-    /// the barrier was up — a consistent cut of the version vector.
+    /// flush and pin every shard's head, release. The result contains
+    /// every write acknowledged before the call, none submitted after
+    /// the barrier was up, and every cross-shard batch **wholly or not
+    /// at all** — a consistent cut of the version vector, stamped with
+    /// the global epoch it cut at ([`ShardedSnapshot::global_epoch`]).
     ///
-    /// The barrier is brief (one flush per shard) but does park writers;
-    /// for read paths that tolerate per-shard consistency, the plain read
-    /// API avoids it entirely.
+    /// The fence + barrier are brief (one flush per shard) but do park
+    /// writers; for read paths that tolerate per-shard consistency,
+    /// `get`/`get_many`/aug queries avoid them entirely.
     pub fn snapshot(&self) -> ShardedSnapshot<S, B> {
         let _serialize = self
             .snapshot_gate
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
+        // Write side of the epoch fence: once held, no cross-shard batch
+        // is half-submitted anywhere.
+        let _fence = self.fence.write().unwrap_or_else(PoisonError::into_inner);
         let mut guard = BarrierGuard {
             shards: &self.shards,
             raised: 0,
@@ -415,6 +613,8 @@ where
             s.pipeline().begin_barrier();
             guard.raised += 1;
         }
+        // Every fully-submitted batch flushes through on every shard
+        // before any head is pinned: the pins form one global-epoch cut.
         let pins = self
             .shards
             .iter()
@@ -423,8 +623,16 @@ where
                 s.pin()
             })
             .collect();
+        let global_epoch = self.clock.current();
         drop(guard); // lowers every barrier
-        ShardedSnapshot { pins }
+        ShardedSnapshot { pins, global_epoch }
+    }
+
+    /// The most recently minted global epoch (0: no cross-shard batch
+    /// stamped yet). Monotone; durable stores persist its committed
+    /// watermark in the `MANIFEST`.
+    pub fn global_epoch(&self) -> u64 {
+        self.clock.current()
     }
 
     // -- observability -----------------------------------------------------
@@ -463,15 +671,21 @@ where
 }
 
 /// A receipt for a cross-shard batch: one sub-ticket per shard that
-/// received operations.
+/// received operations, plus the batch's global epoch stamp (when it
+/// spanned more than one shard).
 pub struct ShardedTicket<S: AugSpec> {
     tickets: Vec<CommitTicket<S>>,
+    global: Option<u64>,
 }
 
 impl<S: AugSpec> ShardedTicket<S> {
     /// Block until every shard's slice of the batch is committed;
     /// returns the per-slice version ids (shard order, shards that
     /// received no operations omitted).
+    ///
+    /// # Panics
+    ///
+    /// If a shard's store was poisoned by a failed commit hook.
     pub fn wait(&self) -> Vec<u64> {
         self.tickets.iter().map(|t| t.wait()).collect()
     }
@@ -480,6 +694,12 @@ impl<S: AugSpec> ShardedTicket<S> {
     pub fn is_done(&self) -> bool {
         self.tickets.iter().all(|t| t.is_done())
     }
+
+    /// The global epoch this batch was stamped with, or `None` for the
+    /// single-shard (and empty) fast path that needs no stamp.
+    pub fn global_epoch(&self) -> Option<u64> {
+        self.global
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -487,11 +707,13 @@ impl<S: AugSpec> ShardedTicket<S> {
 // ---------------------------------------------------------------------------
 
 /// A consistent cross-shard snapshot: one pinned version per shard, taken
-/// under an all-shard submit barrier (see [`ShardedStore::snapshot`]).
-/// Holding it keeps every pinned version readable; reads never block and
-/// never change.
+/// under the epoch fence and an all-shard submit barrier (see
+/// [`ShardedStore::snapshot`]) — cross-shard batches appear wholly or
+/// not at all. Holding it keeps every pinned version readable; reads
+/// never block and never change.
 pub struct ShardedSnapshot<S: AugSpec, B: Balance = WeightBalanced> {
     pins: Vec<PinnedVersion<S, B>>,
+    global_epoch: u64,
 }
 
 impl<S: AugSpec, B: Balance> ShardedSnapshot<S, B>
@@ -501,6 +723,13 @@ where
     /// The pinned per-shard version ids — the snapshot's coordinate.
     pub fn version_vector(&self) -> Vec<VersionId> {
         self.pins.iter().map(|p| p.id()).collect()
+    }
+
+    /// The global epoch this snapshot cut at: every cross-shard batch
+    /// stamped `<=` this epoch is wholly contained; none stamped after
+    /// it is visible.
+    pub fn global_epoch(&self) -> u64 {
+        self.global_epoch
     }
 
     /// The pinned version of one shard.
@@ -563,6 +792,7 @@ impl<S: AugSpec, B: Balance> Clone for ShardedSnapshot<S, B> {
     fn clone(&self) -> Self {
         ShardedSnapshot {
             pins: self.pins.clone(),
+            global_epoch: self.global_epoch,
         }
     }
 }
@@ -710,18 +940,84 @@ mod tests {
     }
 
     #[test]
-    fn write_batch_is_atomic_per_shard() {
+    fn cross_shard_batch_commits_atomically_with_a_stamp() {
         let store = eager(2);
         let t = store.write_batch(
             (0..100u64)
                 .map(|k| WriteOp::Put(k, k))
                 .chain(std::iter::once(WriteOp::Delete(50))),
         );
+        assert_eq!(
+            t.global_epoch(),
+            Some(1),
+            "a multi-shard batch mints the first global epoch"
+        );
         let versions = t.wait();
         assert!(t.is_done());
         assert_eq!(versions.len(), 2, "both shards received ops");
         assert_eq!(store.len(), 99);
         assert_eq!(store.get(&50), None);
+        assert_eq!(store.global_epoch(), 1);
+        let snap = store.snapshot();
+        assert_eq!(snap.global_epoch(), 1, "the snapshot cut at the stamp");
+    }
+
+    #[test]
+    fn single_shard_batch_takes_the_fast_path_without_a_stamp() {
+        let store = eager(4);
+        // all ops on one key → one shard → no clock tick, no fence
+        let t = store.write_batch(vec![WriteOp::Put(7, 1), WriteOp::Put(7, 2)]);
+        assert_eq!(
+            t.global_epoch(),
+            None,
+            "single-shard batches skip the clock"
+        );
+        t.wait();
+        assert_eq!(store.global_epoch(), 0);
+        // plain puts skip it too
+        store.put(8, 8).wait();
+        store.put_all(std::iter::once((9u64, 9u64))).wait();
+        assert_eq!(store.global_epoch(), 0);
+        assert_eq!(store.get(&7), Some(2));
+        // a one-shard *store* can never span shards
+        let one = eager(1);
+        let t = one.write_batch((0..50u64).map(|k| WriteOp::Put(k, k)));
+        assert_eq!(t.global_epoch(), None);
+        t.wait();
+        assert_eq!(one.global_epoch(), 0);
+    }
+
+    #[test]
+    fn empty_cross_shard_batch_is_vacuously_committed() {
+        let store = eager(3);
+        let t = store.write_batch(std::iter::empty());
+        assert_eq!(t.global_epoch(), None);
+        assert!(t.is_done(), "an empty batch is already committed");
+        assert_eq!(t.wait(), Vec::<u64>::new());
+        assert_eq!(store.global_epoch(), 0, "no stamp was spent");
+        assert!(store.is_empty());
+        // empty submissions interleave harmlessly with real ones
+        store.put(1, 1).wait();
+        assert_eq!(store.write_batch(std::iter::empty()).wait().len(), 0);
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "global epoch clock overflow")]
+    fn clock_overflow_is_a_guarded_panic_not_a_wrap() {
+        let store: Sharded = ShardedStore::from_stores_with_clock(
+            (0..2)
+                .map(|_| {
+                    Arc::new(VersionedStore::with_config(StoreConfig {
+                        batch_window: Duration::ZERO,
+                        ..StoreConfig::default()
+                    }))
+                })
+                .collect(),
+            GlobalClock::starting_at(u64::MAX - CLOCK_OVERFLOW_MARGIN),
+        );
+        // spans both shards → must stamp → must hit the guard
+        store.write_batch((0..16u64).map(|k| WriteOp::Put(k, k)));
     }
 
     #[test]

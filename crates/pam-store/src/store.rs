@@ -118,8 +118,26 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
 
     /// Block until every previously enqueued operation is committed;
     /// returns the version containing them.
+    ///
+    /// # Panics
+    ///
+    /// If the store was poisoned by a failed commit hook (as do the
+    /// write methods themselves — fail-stop, see [`CommitHook`]).
     pub fn flush(&self) -> VersionId {
         self.inner.pipeline.flush()
+    }
+
+    /// Enqueue one shard's slice of a cross-shard atomic batch as a
+    /// *sealed* epoch: the operations get an epoch (and WAL record) of
+    /// their own, stamped with the batch's global epoch so recovery can
+    /// commit or discard the whole batch at record granularity. Only the
+    /// sharded layer calls this.
+    pub(crate) fn submit_sealed(
+        &self,
+        ops: Vec<WriteOp<S>>,
+        global: Option<pam_wal::GlobalStamp>,
+    ) -> CommitTicket<S> {
+        self.inner.pipeline.submit_sealed(ops, global)
     }
 
     // -- reads (current version; never block commits) ---------------------

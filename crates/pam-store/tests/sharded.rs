@@ -296,24 +296,326 @@ fn kill_and_recover_with_torn_shard_tail() {
         "child checkpointed every shard: {:?}",
         store.recovery()
     );
-    // the unacked batch was split per shard; each shard's slice is
-    // atomic (all its keys or none), even though the cross-shard batch
-    // as a whole may be partial
-    for shard in 0..SHARDS as u64 {
-        let mine: Vec<u64> = (0..12u64)
-            .filter(|i| (1000 + i).shard_hash() % SHARDS as u64 == shard)
+    // The unacked batch was stamped with a global epoch and split per
+    // shard; since PR 5 recovery votes on it as a unit — it must appear
+    // **wholly or not at all across the entire store**, never partially
+    // (the pre-PR-5 guarantee was only per-shard atomicity).
+    let present = (0..12u64)
+        .filter(|i| store.get(&(1000 + i)).is_some())
+        .count();
+    assert!(
+        present == 0 || present == 12,
+        "unacked cross-shard batch must be all-or-nothing store-wide \
+         ({present}/12 present)"
+    );
+    drop(store);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // The tentpole invariant, raced: a writer commits cross-shard
+    // batches that set a fixed key set to one uniform value per batch,
+    // while the main thread takes epoch-fenced snapshots. Any snapshot
+    // showing two different values — or a mix of present and absent —
+    // caught a torn batch.
+    #[test]
+    fn interleaved_batches_and_snapshots_never_observe_a_partial_batch(
+        shards in 2usize..6,
+        batches in 4u64..24,
+        nkeys in 4usize..20,
+    ) {
+        let store = Arc::new(Sharded::with_config(ShardedConfig {
+            shards,
+            store: StoreConfig {
+                batch_window: Duration::from_micros(20),
+                ..StoreConfig::default()
+            },
+        }));
+        // spread keys; whether a given case crosses shards or collapses
+        // onto one (fast path) is part of the space being tested
+        let keys: Arc<Vec<u64>> = Arc::new((0..nkeys as u64).map(|i| i * 911 + 17).collect());
+
+        // TWO writers racing over the same keys: besides torn batches,
+        // this catches cross-batch order divergence (shard 0 committing
+        // [B1, B2] while shard 1 commits [B2, B1] would leave a mixed
+        // state no serial order produced — the xbatch gate forbids it)
+        let writers: Vec<_> = (0..2u64)
+            .map(|w| {
+                let (s, keys) = (store.clone(), keys.clone());
+                std::thread::spawn(move || {
+                    for i in 1..batches + 1 {
+                        let val = w * 1_000_000 + i;
+                        s.write_batch(keys.iter().map(|&k| WriteOp::Put(k, val))).wait();
+                    }
+                })
+            })
             .collect();
-        let present = mine
-            .iter()
-            .filter(|&&i| store.get(&(1000 + i)).is_some())
-            .count();
-        assert!(
-            present == 0 || present == mine.len(),
-            "shard {shard}: unacked slice must be all-or-nothing \
-             ({present}/{} present)",
-            mine.len()
-        );
+        while writers.iter().any(|w| !w.is_finished()) {
+            let snap = store.snapshot();
+            let vals = snap.get_many(&keys);
+            let first = &vals[0];
+            prop_assert!(
+                vals.iter().all(|v| v == first),
+                "snapshot at global epoch {} tore or reordered a batch: {vals:?}",
+                snap.global_epoch()
+            );
+        }
+        for w in writers {
+            w.join().unwrap();
+        }
+        // after both writers finish, the state is the last batch in
+        // stamp order — uniform across every key and every shard
+        let final_vals = store.snapshot().get_many(&keys);
+        let winner = final_vals[0];
+        prop_assert!(winner.is_some_and(|v| v % 1_000_000 == batches));
+        prop_assert!(final_vals.iter().all(|v| *v == winner), "{final_vals:?}");
+        // the live fenced range sees the final state too
+        let mut seen = 0usize;
+        store.range_for_each(&0, &u64::MAX, |_, &v| {
+            assert_eq!(Some(v), winner);
+            seen += 1;
+        });
+        prop_assert_eq!(seen, keys.len());
     }
+}
+
+/// The PR-5 acceptance test: a subprocess `abort()`s right after acking
+/// a cross-shard batch; the parent then **removes one shard's slice
+/// record** from its WAL tail (the torn-tail signature of a crash
+/// mid-batch). Recovery must vote the batch down *everywhere*: no shard
+/// retains its slice, all shards agree on the global watermark, and the
+/// decision is stable across further reopens.
+#[test]
+fn torn_cross_shard_batch_is_discarded_on_every_shard() {
+    const SHARDS: usize = 3;
+    const BATCH: std::ops::Range<u64> = 2000..2012;
+    if let Ok(dir) = std::env::var("PAM_XBATCH_CRASH_DIR") {
+        let store = Durable::open(
+            PathBuf::from(dir),
+            eager_sharded(SHARDS),
+            DurabilityConfig::default(),
+        )
+        .unwrap();
+        for k in 1..=40u64 {
+            store.put(k, k * 3).wait();
+        }
+        // the batch must genuinely span all shards for the tear below to
+        // be a *slice* tear
+        let hit: std::collections::BTreeSet<usize> = BATCH.map(|k| store.shard_of(&k)).collect();
+        assert_eq!(hit.len(), SHARDS, "batch keys must cover every shard");
+        let t = store.write_batch(BATCH.map(|k| WriteOp::Put(k, 1)));
+        assert_eq!(t.global_epoch(), Some(1), "first stamp of this store");
+        t.wait(); // acked — every slice is on disk when this returns
+        std::process::abort();
+    }
+
+    let dir = fresh_dir("xbatch-torn");
+    fs::create_dir_all(&dir).unwrap();
+    let status = std::process::Command::new(std::env::current_exe().unwrap())
+        .args([
+            "torn_cross_shard_batch_is_discarded_on_every_shard",
+            "--exact",
+            "--test-threads=1",
+            "--nocapture",
+        ])
+        .env("PAM_XBATCH_CRASH_DIR", &dir)
+        .status()
+        .expect("spawn crash child");
+    assert!(!status.success(), "child must die by abort");
+
+    // Tear shard-1's slice off: find the last frame of its active
+    // segment — the stamped batch slice, the last record every shard
+    // wrote — verify the stamp, and cut the file at the frame boundary,
+    // exactly what a crash that lost the final append would leave.
+    let seg = fs::read_dir(dir.join("shard-1"))
+        .unwrap()
+        .filter_map(|e| {
+            let p = e.unwrap().path();
+            p.extension().is_some_and(|x| x == "seg").then_some(p)
+        })
+        .max()
+        .expect("shard-1 has a WAL segment");
+    let bytes = fs::read(&seg).unwrap();
+    let mut pos = 8; // segment magic
+    let mut last_frame_at = None;
+    while pos < bytes.len() {
+        match pam_wal::frame::next_frame(&bytes[pos..]) {
+            pam_wal::frame::Frame::Ok { payload, consumed } => {
+                last_frame_at = Some((pos, payload.to_vec()));
+                pos += consumed;
+            }
+            other => panic!("unexpected frame state {other:?} at {pos}"),
+        }
+    }
+    let (cut_at, payload) = last_frame_at.expect("shard-1 logged records");
+    let mut r = pam_wal::Reader::new(&payload);
+    let _wal_epoch = r.varint().unwrap();
+    assert_eq!(
+        r.varint().unwrap(),
+        1,
+        "shard-1's last record must be the global-epoch-1 slice"
+    );
+    assert_eq!(r.varint().unwrap(), SHARDS as u64, "participant count");
+    fs::write(&seg, &bytes[..cut_at]).unwrap();
+
+    let reopen = || Durable::open(&dir, eager_sharded(SHARDS), DurabilityConfig::default());
+    let store = reopen().unwrap();
+    // every acked single-shard write survives
+    for k in 1..=40u64 {
+        assert_eq!(store.get(&k), Some(k * 3), "acked write {k} lost");
+    }
+    // the torn batch is gone from EVERY shard, not just the torn one
+    for k in BATCH {
+        assert_eq!(store.get(&k), None, "discarded batch key {k} resurfaced");
+    }
+    // shards 0 and 2 each skipped exactly their slice record
+    let skipped: Vec<u64> = store
+        .recovery()
+        .iter()
+        .map(|r| r.discarded_epochs)
+        .collect();
+    assert_eq!(
+        skipped.iter().sum::<u64>(),
+        2,
+        "two surviving slices voted down: {skipped:?}"
+    );
+    assert_eq!(skipped[1], 0, "the torn shard has nothing left to discard");
+    // all shards recovered to the same global epoch: the watermark covers
+    // the (discarded) batch, and the clock resumes past it
+    assert_eq!(store.global_watermark(), 1);
+    assert_eq!(store.global_epoch(), 1);
+
+    // the decision is durable: a clean reopen re-discards nothing new
+    // and never resurrects the batch
+    drop(store);
+    let store = reopen().unwrap();
+    for k in BATCH {
+        assert_eq!(store.get(&k), None, "batch key {k} resurfaced on reopen");
+    }
+    assert_eq!(store.global_watermark(), 1);
+
+    // life goes on: the next cross-shard batch stamps epoch 2, commits,
+    // and survives a further clean reopen
+    let t = store.put_all(BATCH.map(|k| (k, 9)));
+    assert_eq!(t.global_epoch(), Some(2));
+    t.wait();
+    drop(store);
+    let store = reopen().unwrap();
+    for k in BATCH {
+        assert_eq!(store.get(&k), Some(9));
+    }
+    assert_eq!(store.global_watermark(), 2);
+    drop(store);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Cross-shard slices must hit the disk even under a relaxed fsync
+/// policy: the 2PC watermark advances when a slice reports "logged",
+/// and recovery trusts that decision — an unsynced slice could vanish
+/// in a power cut after the vote, tearing the batch. Single-shard
+/// epochs keep the relaxed policy.
+#[test]
+fn cross_shard_slices_are_force_synced_under_relaxed_policies() {
+    use pam_store::SyncPolicy;
+    let dir = fresh_dir("force-sync");
+    let lazy = DurabilityConfig {
+        sync: SyncPolicy::SyncEveryN(1_000_000),
+        ..DurabilityConfig::default()
+    };
+    let store = Durable::open(&dir, eager_sharded(3), lazy).unwrap();
+    for k in 0..20u64 {
+        store.put(k, k).wait();
+    }
+    let before = store.stats().durability.wal_fsyncs;
+    assert_eq!(before, 0, "single-shard epochs honor SyncEveryN");
+    let t = store.write_batch((100..120u64).map(|k| WriteOp::Put(k, 1)));
+    assert!(t.global_epoch().is_some(), "batch must span shards");
+    t.wait();
+    let after = store.stats().durability.wal_fsyncs;
+    assert!(
+        after >= 2,
+        "every participating shard force-syncs its slice (got {after} fsyncs)"
+    );
+    drop(store);
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+/// A store laid down by PR 2–4 code — format-1 manifest, `PAMWAL01`
+/// segments with no stamp fields — must open and replay unchanged, and
+/// new epochs (v2 records) must coexist with the old segments.
+#[test]
+fn pre_clock_on_disk_format_still_replays() {
+    use pam_wal::codec::put_varint;
+
+    const SHARDS: u64 = 2;
+    let dir = fresh_dir("v1-format");
+
+    // hand-write the old layout: MANIFEST format 1 + one v1 segment per
+    // shard holding that shard's keys
+    fs::create_dir_all(&dir).unwrap();
+    {
+        let mut out = pam_wal::manifest::MANIFEST_MAGIC.to_vec();
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // format 1: no clock fields
+        put_varint(&mut payload, SHARDS);
+        let mut framed = Vec::new();
+        pam_wal::frame::put_frame(&mut framed, &payload);
+        out.extend_from_slice(&framed);
+        fs::write(dir.join("MANIFEST"), out).unwrap();
+    }
+    let mut per_shard: Vec<Vec<(u64, u64)>> = vec![Vec::new(); SHARDS as usize];
+    for k in 0..100u64 {
+        per_shard[(k.shard_hash() % SHARDS) as usize].push((k, k + 500));
+    }
+    for (i, pairs) in per_shard.iter().enumerate() {
+        let shard_dir = dir.join(format!("shard-{i}"));
+        fs::create_dir_all(&shard_dir).unwrap();
+        let mut seg = pam_wal::wal::SEGMENT_MAGIC.to_vec(); // v1!
+        for (epoch, &(k, v)) in pairs.iter().enumerate() {
+            let mut body = Vec::new();
+            pam_wal::record::encode_epoch_body(&[(k, v)], &[], &mut body);
+            let mut payload = Vec::new();
+            put_varint(&mut payload, epoch as u64 + 1);
+            payload.extend_from_slice(&body);
+            pam_wal::frame::put_frame(&mut seg, &payload);
+        }
+        fs::write(shard_dir.join("wal-00000000000000000001.seg"), seg).unwrap();
+    }
+
+    let store = Durable::open(
+        &dir,
+        eager_sharded(SHARDS as usize),
+        DurabilityConfig::default(),
+    )
+    .expect("a PR 2-4 store must open under PR 5 code");
+    assert_eq!(store.len(), 100);
+    for k in 0..100u64 {
+        assert_eq!(store.get(&k), Some(k + 500), "v1-replayed key {k}");
+    }
+    assert_eq!(
+        store.global_watermark(),
+        0,
+        "no stamps existed before the clock"
+    );
+    // new writes — including a stamped cross-shard batch — append v2
+    // records after the sealed v1 segments
+    let hit: std::collections::BTreeSet<usize> =
+        (200..220u64).map(|k| store.shard_of(&k)).collect();
+    assert_eq!(hit.len(), 2, "upgrade batch must span both shards");
+    store.put_all((200..220u64).map(|k| (k, 1))).wait();
+    drop(store);
+    let store = Durable::open(
+        &dir,
+        eager_sharded(SHARDS as usize),
+        DurabilityConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(store.len(), 120);
+    assert_eq!(store.get(&205), Some(1));
+    assert_eq!(store.get(&42), Some(542));
+    assert_eq!(store.global_watermark(), 1, "the upgrade batch was stamped");
     drop(store);
     fs::remove_dir_all(&dir).unwrap();
 }

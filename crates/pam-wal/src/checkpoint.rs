@@ -59,6 +59,12 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
 /// The visitor shape (instead of an iterator) is deliberate: it lets the
 /// tree side export with a plain in-order recursion and keeps this crate
 /// free of any map dependency.
+///
+/// # Errors
+///
+/// `InvalidInput` when `source` emits a different number of pairs than
+/// `len` promised; filesystem errors pass through. Either way nothing
+/// but a `.tmp` file is left behind — the rename is the commit point.
 pub fn write<K, V>(
     dir: &Path,
     epoch: u64,
@@ -249,6 +255,14 @@ fn load_file_with<K: Codec, V: Codec>(
 /// corrupt mid-stream is abandoned (its partial accumulator dropped) and
 /// the next-older one is tried — the same fallback contract as
 /// [`load_latest`], which is this function specialized to `Vec`.
+///
+/// # Errors
+///
+/// Corruption (`InvalidData`) is *not* an error here — it triggers the
+/// fallback to the next-older checkpoint, and running out of candidates
+/// yields `Ok(None)`. Genuine I/O errors (a failing device) pass
+/// through, because falling back on those could silently serve stale
+/// data from a half-readable disk.
 pub fn load_latest_with<K: Codec, V: Codec, M>(
     dir: &Path,
     mut fresh: impl FnMut() -> M,
@@ -285,6 +299,11 @@ pub fn load_latest<K: Codec, V: Codec>(dir: &Path) -> io::Result<Option<LoadedCh
 }
 
 /// Remove leftover `.tmp` files from a checkpoint interrupted by a crash.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the directory walk or removals (a
+/// missing directory is fine: there is nothing to clean).
 pub fn clean_temp_files(dir: &Path) -> io::Result<()> {
     if !dir.exists() {
         return Ok(());

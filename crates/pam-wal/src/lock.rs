@@ -37,6 +37,11 @@ fn owner_alive(pid: u32) -> bool {
 impl DirLock {
     /// Take the lock, failing with `WouldBlock` if a live process holds
     /// it. A lock left behind by a dead process is broken and re-taken.
+    ///
+    /// # Errors
+    ///
+    /// `WouldBlock` when another live process owns the directory;
+    /// filesystem errors pass through.
     pub fn acquire(dir: impl AsRef<Path>) -> io::Result<DirLock> {
         let dir = dir.as_ref();
         fs::create_dir_all(dir)?;

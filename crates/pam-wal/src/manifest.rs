@@ -1,5 +1,6 @@
 //! The shard-layout manifest: how a directory of WAL/checkpoint
-//! subdirectories is partitioned.
+//! subdirectories is partitioned, and where the global epoch clock
+//! stands.
 //!
 //! A sharded store splits its key space across N independent WAL
 //! directories (`shard-0/ .. shard-<N-1>/`). The shard *assignment* of a
@@ -10,12 +11,27 @@
 //! version) at creation time so an open with the wrong shard count fails
 //! loudly instead.
 //!
+//! Since format 2 the manifest also **pins the global epoch clock**: the
+//! committed watermark `global_epoch` (every cross-shard batch stamped
+//! `<= global_epoch` has a persisted commit/discard decision) and the
+//! short list of *discarded* global epochs — batches a crash left logged
+//! on some-but-not-all participant shards, voted down at recovery. The
+//! watermark is rewritten before any shard's WAL truncation may reclaim
+//! a stamped record, which is what keeps the 2PC presence vote sound
+//! across restarts (see `pam-store::DurableShardedStore`).
+//!
 //! ```text
-//! MANIFEST = [ magic "PAMSHRD1" ][ frame: varint(format) ++ varint(shards) ]
+//! MANIFEST = [ magic "PAMSHRD1" ]
+//!            [ frame: varint(format) ++ varint(shards)            (v1)
+//!                  ++ varint(global_epoch)
+//!                  ++ varint(len) ++ len * varint(discarded)      (v2) ]
 //! ```
 //!
 //! The file is written to a `.tmp` sibling, fsynced, and atomically
 //! renamed, like a checkpoint: it either exists wholly or not at all.
+//! Format-1 manifests (PR 3–4 stores) load as `global_epoch = 0` with an
+//! empty discard list — a store from before the clock existed has
+//! everything decided by construction.
 
 use crate::codec::{put_varint, Reader};
 use crate::frame::{self, Frame};
@@ -27,15 +43,26 @@ use std::path::{Path, PathBuf};
 pub const MANIFEST_MAGIC: &[u8; 8] = b"PAMSHRD1";
 
 /// On-disk layout format version written by this crate.
-pub const MANIFEST_FORMAT: u64 = 1;
+pub const MANIFEST_FORMAT: u64 = 2;
 
-/// The pinned layout of a sharded store directory.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+/// The pinned layout (and global-clock state) of a sharded store
+/// directory.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Manifest {
-    /// Layout format version (see [`MANIFEST_FORMAT`]).
+    /// Layout format version this file was read as (1 or
+    /// [`MANIFEST_FORMAT`]; writes always use [`MANIFEST_FORMAT`]).
     pub format: u64,
     /// Number of hash shards the key space is partitioned into.
     pub shards: u64,
+    /// The committed global-epoch watermark: every cross-shard batch
+    /// stamped `<= global_epoch` has a persisted decision (committed
+    /// unless listed in [`Manifest::discarded`]). `0` for format-1 files.
+    pub global_epoch: u64,
+    /// Global epochs whose batches were voted down at recovery (logged
+    /// on some-but-not-all participants); always `<= global_epoch`.
+    /// Pruned once no shard's WAL still holds a record stamped with
+    /// them. Empty for format-1 files.
+    pub discarded: Vec<u64>,
 }
 
 fn manifest_path(dir: &Path) -> PathBuf {
@@ -51,8 +78,16 @@ fn sync_dir(dir: &Path) -> io::Result<()> {
     File::open(dir)?.sync_all()
 }
 
-/// Atomically write the manifest for a fresh sharded directory.
-pub fn write(dir: &Path, shards: u64) -> io::Result<()> {
+/// Atomically write the manifest: `shards` pinned at creation,
+/// `global_epoch` the committed global-clock watermark, `discarded` the
+/// voted-down global epochs (sorted). Rewritten whenever the watermark
+/// advances past state a WAL truncation is about to reclaim.
+///
+/// # Errors
+///
+/// Propagates filesystem errors from the temp-file write, fsync, or
+/// rename.
+pub fn write(dir: &Path, shards: u64, global_epoch: u64, discarded: &[u64]) -> io::Result<()> {
     fs::create_dir_all(dir)?;
     let final_path = manifest_path(dir);
     let tmp_path = final_path.with_extension("tmp");
@@ -61,6 +96,11 @@ pub fn write(dir: &Path, shards: u64) -> io::Result<()> {
     let mut payload = Vec::new();
     put_varint(&mut payload, MANIFEST_FORMAT);
     put_varint(&mut payload, shards);
+    put_varint(&mut payload, global_epoch);
+    put_varint(&mut payload, discarded.len() as u64);
+    for &g in discarded {
+        put_varint(&mut payload, g);
+    }
     frame::put_frame(&mut out, &payload);
     let mut file = OpenOptions::new()
         .create(true)
@@ -76,7 +116,14 @@ pub fn write(dir: &Path, shards: u64) -> io::Result<()> {
 
 /// Load the manifest, if one exists. A present-but-invalid manifest is an
 /// error, never a silent "no manifest": guessing a layout risks routing
-/// keys into the wrong shard's WAL.
+/// keys into the wrong shard's WAL. Format-1 files (no clock fields)
+/// load with `global_epoch = 0` and no discarded epochs.
+///
+/// # Errors
+///
+/// `InvalidData` when the file exists but its magic, frame, fields, or
+/// format version are invalid; other kinds pass through from the
+/// filesystem.
 pub fn load(dir: &Path) -> io::Result<Option<Manifest>> {
     let path = manifest_path(dir);
     let bad = |msg: &str| {
@@ -99,20 +146,40 @@ pub fn load(dir: &Path) -> io::Result<Option<Manifest>> {
     };
     let mut r = Reader::new(payload);
     let format = r.varint().map_err(|_| bad("bad format field"))?;
+    if format == 0 || format > MANIFEST_FORMAT {
+        return Err(bad(&format!("unsupported format {format}")));
+    }
     let shards = r.varint().map_err(|_| bad("bad shard count"))?;
+    let (global_epoch, discarded) = if format >= 2 {
+        let g = r.varint().map_err(|_| bad("bad global epoch"))?;
+        let n = r.varint().map_err(|_| bad("bad discard count"))?;
+        let mut d = Vec::with_capacity(n.min(1 << 16) as usize);
+        for _ in 0..n {
+            d.push(r.varint().map_err(|_| bad("bad discarded epoch"))?);
+        }
+        (g, d)
+    } else {
+        (0, Vec::new())
+    };
     if !r.is_empty() {
         return Err(bad("trailing bytes"));
-    }
-    if format != MANIFEST_FORMAT {
-        return Err(bad(&format!("unsupported format {format}")));
     }
     if shards == 0 {
         return Err(bad("zero shards"));
     }
-    Ok(Some(Manifest { format, shards }))
+    Ok(Some(Manifest {
+        format,
+        shards,
+        global_epoch,
+        discarded,
+    }))
 }
 
 /// Remove a leftover `MANIFEST.tmp` from a crash mid-write.
+///
+/// # Errors
+///
+/// Propagates filesystem errors other than the file being absent.
 pub fn clean_temp_file(dir: &Path) -> io::Result<()> {
     match fs::remove_file(manifest_path(dir).with_extension("tmp")) {
         Ok(()) => Ok(()),
@@ -135,12 +202,41 @@ mod tests {
     fn roundtrip_and_missing() {
         let dir = tmp_dir("roundtrip");
         assert_eq!(load(&dir).ok(), Some(None), "missing dir: no manifest");
-        write(&dir, 4).unwrap();
+        write(&dir, 4, 17, &[3, 9]).unwrap();
         assert_eq!(
             load(&dir).unwrap(),
             Some(Manifest {
                 format: MANIFEST_FORMAT,
-                shards: 4
+                shards: 4,
+                global_epoch: 17,
+                discarded: vec![3, 9],
+            })
+        );
+        // the watermark rewrite path: same shards, advanced clock
+        write(&dir, 4, 21, &[]).unwrap();
+        let m = load(&dir).unwrap().unwrap();
+        assert_eq!((m.shards, m.global_epoch, m.discarded.len()), (4, 21, 0));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn format_1_manifests_load_with_zero_clock() {
+        let dir = tmp_dir("v1");
+        fs::create_dir_all(&dir).unwrap();
+        // raw format-1 bytes, as PR 3-4 stores wrote them
+        let mut out = MANIFEST_MAGIC.to_vec();
+        let mut payload = Vec::new();
+        put_varint(&mut payload, 1); // format 1
+        put_varint(&mut payload, 6); // shards
+        frame::put_frame(&mut out, &payload);
+        fs::write(manifest_path(&dir), out).unwrap();
+        assert_eq!(
+            load(&dir).unwrap(),
+            Some(Manifest {
+                format: 1,
+                shards: 6,
+                global_epoch: 0,
+                discarded: vec![],
             })
         );
         fs::remove_dir_all(&dir).unwrap();
@@ -149,13 +245,28 @@ mod tests {
     #[test]
     fn corrupt_manifest_is_an_error_not_none() {
         let dir = tmp_dir("corrupt");
-        write(&dir, 8).unwrap();
+        write(&dir, 8, 0, &[]).unwrap();
         let path = manifest_path(&dir);
         let mut bytes = fs::read(&path).unwrap();
         let last = bytes.len() - 1;
         bytes[last] ^= 0xff;
         fs::write(&path, bytes).unwrap();
         let err = load(&dir).expect_err("corrupt manifest must not look absent");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn future_format_is_refused() {
+        let dir = tmp_dir("future");
+        fs::create_dir_all(&dir).unwrap();
+        let mut out = MANIFEST_MAGIC.to_vec();
+        let mut payload = Vec::new();
+        put_varint(&mut payload, MANIFEST_FORMAT + 1);
+        put_varint(&mut payload, 2);
+        frame::put_frame(&mut out, &payload);
+        fs::write(manifest_path(&dir), out).unwrap();
+        let err = load(&dir).expect_err("future formats must not be guessed at");
         assert_eq!(err.kind(), io::ErrorKind::InvalidData);
         fs::remove_dir_all(&dir).unwrap();
     }

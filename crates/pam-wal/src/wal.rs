@@ -9,8 +9,20 @@
 //! ```
 //!
 //! Each segment starts with an 8-byte magic and then a run of checksummed
-//! frames (see [`crate::frame`]), one per committed epoch, whose payload
-//! is `varint(epoch)` followed by the epoch body ([`crate::record`]).
+//! frames (see [`crate::frame`]), one per committed epoch. Two record
+//! layouts exist, distinguished by the segment magic:
+//!
+//! * `PAMWAL01` (v1, read-only): payload is `varint(epoch)` followed by
+//!   the epoch body ([`crate::record`]);
+//! * `PAMWAL02` (v2, written by this crate): payload is `varint(epoch) ++
+//!   varint(global_epoch) ++ varint(participants) ++ body`, where the two
+//!   extra fields carry the *global epoch clock* stamp of a cross-shard
+//!   batch ([`GlobalStamp`]; both zero for ordinary single-shard epochs).
+//!
+//! Old v1 segments replay transparently (their records simply carry no
+//! stamp). A v1 *active tail* is sealed on open — its torn tail is still
+//! truncated, but new appends go to a fresh v2 segment, so a segment
+//! never mixes record layouts.
 //!
 //! *Rotation*: when the active segment outgrows
 //! [`WalConfig::segment_bytes`], it is fsynced, sealed, and a fresh
@@ -40,8 +52,31 @@ use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
 
-/// Magic bytes opening every segment file.
+/// Magic bytes opening a v1 segment file (read-compat only; new
+/// segments are written as [`SEGMENT_MAGIC_V2`]).
 pub const SEGMENT_MAGIC: &[u8; 8] = b"PAMWAL01";
+
+/// Magic bytes opening a v2 segment file (records carry a
+/// [`GlobalStamp`]).
+pub const SEGMENT_MAGIC_V2: &[u8; 8] = b"PAMWAL02";
+
+/// The global-epoch-clock stamp of a cross-shard atomic batch.
+///
+/// A sharded store mints one stamp per cross-shard `write_batch` and
+/// logs it with every per-shard slice of the batch. Recovery counts the
+/// shards on which a given global epoch survives: a stamp present on
+/// some-but-not-all of its `participants` shards marks a *torn* batch,
+/// which is discarded everywhere (2PC-style presence voting — see
+/// `pam-store`'s `DurableShardedStore`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GlobalStamp {
+    /// The global epoch assigned by the store-wide clock (monotone
+    /// across all shards; `0` is never a valid stamp).
+    pub epoch: u64,
+    /// How many shards received a slice of this batch — the vote count
+    /// recovery requires before committing the global epoch.
+    pub participants: u32,
+}
 
 /// When the WAL issues `fsync` for appended epoch records.
 ///
@@ -84,12 +119,17 @@ impl Default for WalConfig {
     }
 }
 
-/// One recovered epoch record: the epoch number and its body bytes
-/// (decode with [`crate::record::decode_epoch_body`]).
+/// One recovered epoch record: the epoch number, its cross-shard stamp
+/// (if any), and its body bytes (decode with
+/// [`crate::record::decode_epoch_body`]).
 #[derive(Debug)]
 pub struct EpochRecord {
     /// The epoch this record logged.
     pub epoch: u64,
+    /// The global epoch stamp, when this record is one shard's slice of
+    /// a cross-shard atomic batch (`None` for ordinary epochs and for
+    /// all records recovered from v1 segments).
+    pub global: Option<GlobalStamp>,
     /// The serialized epoch body.
     pub body: Vec<u8>,
 }
@@ -144,10 +184,12 @@ fn corrupt(msg: &str, path: &Path) -> io::Error {
     )
 }
 
-/// One decoded segment: its records, the byte offset of the first
-/// invalid frame (= file length when every frame was valid), and whether
-/// the scan stopped at a torn/corrupt tail frame.
+/// One decoded segment: its format version, its records, the byte
+/// offset of the first invalid frame (= file length when every frame was
+/// valid), and whether the scan stopped at a torn/corrupt tail frame.
 struct SegmentScan {
+    /// `true` for `PAMWAL02` segments (records carry a stamp field).
+    v2: bool,
     records: Vec<EpochRecord>,
     pos: usize,
     tail_torn: bool,
@@ -157,14 +199,17 @@ struct SegmentScan {
 /// segment) the first invalid frame ends the scan and is reported via
 /// `tail_torn`; without it (sealed segments, fsynced before rotation)
 /// any invalid frame is a hard error — damage there means the disk lied.
+/// The record layout (v1 vs v2) is chosen by the segment's magic.
 fn scan_segment(path: &Path, tolerate_torn_tail: bool) -> io::Result<SegmentScan> {
     let bytes = fs::read(path)?;
     if bytes.len() < SEGMENT_MAGIC.len() {
         return Err(corrupt("missing magic", path));
     }
-    if &bytes[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
-        return Err(corrupt("bad magic", path));
-    }
+    let v2 = match &bytes[..SEGMENT_MAGIC.len()] {
+        m if m == SEGMENT_MAGIC_V2 => true,
+        m if m == SEGMENT_MAGIC => false,
+        _ => return Err(corrupt("bad magic", path)),
+    };
     let mut records = Vec::new();
     let mut pos = SEGMENT_MAGIC.len();
     let mut tail_torn = false;
@@ -173,8 +218,21 @@ fn scan_segment(path: &Path, tolerate_torn_tail: bool) -> io::Result<SegmentScan
             Frame::Ok { payload, consumed } => {
                 let mut r = crate::codec::Reader::new(payload);
                 let epoch = r.varint().map_err(|_| corrupt("bad epoch field", path))?;
+                let global = if v2 {
+                    let g = r.varint().map_err(|_| corrupt("bad global field", path))?;
+                    let parts = r
+                        .varint()
+                        .map_err(|_| corrupt("bad participants field", path))?;
+                    (g != 0).then_some(GlobalStamp {
+                        epoch: g,
+                        participants: parts as u32,
+                    })
+                } else {
+                    None
+                };
                 records.push(EpochRecord {
                     epoch,
+                    global,
                     body: payload[payload.len() - r.remaining()..].to_vec(),
                 });
                 pos += consumed;
@@ -188,10 +246,60 @@ fn scan_segment(path: &Path, tolerate_torn_tail: bool) -> io::Result<SegmentScan
         }
     }
     Ok(SegmentScan {
+        v2,
         records,
         pos,
         tail_torn,
     })
+}
+
+/// List the segment files in `dir`, sorted by first epoch. A missing
+/// directory yields an empty list (a store that has never written).
+fn segment_paths(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut paths: Vec<(u64, PathBuf)> = entries
+        .filter_map(|e| {
+            let p = e.ok()?.path();
+            Some((parse_segment_name(&p)?, p))
+        })
+        .collect();
+    paths.sort_by_key(|&(e, _)| e);
+    Ok(paths)
+}
+
+/// Read-only pre-scan of a WAL directory for cross-shard batch stamps:
+/// every [`GlobalStamp`] on a surviving record, in log order. The last
+/// segment's torn tail is tolerated exactly as [`Wal::open`] tolerates
+/// it (the stamps visible here are the stamps replay will see), but
+/// nothing is truncated or modified. A missing directory is an empty
+/// log.
+///
+/// The sharded recovery path runs this on **every** shard before opening
+/// **any** shard: the 2PC presence vote (is global epoch `G` logged on
+/// all of its participants?) needs the cross-shard view first.
+///
+/// # Errors
+///
+/// Propagates I/O errors, and `InvalidData` for corruption outside the
+/// tolerated active-segment tail — the same contract as [`Wal::open`].
+pub fn scan_global_stamps(dir: impl AsRef<Path>) -> io::Result<Vec<GlobalStamp>> {
+    let paths = segment_paths(dir.as_ref())?;
+    let mut stamps = Vec::new();
+    for (i, (_, path)) in paths.iter().enumerate() {
+        let last = i + 1 == paths.len();
+        if last && fs::metadata(path)?.len() < SEGMENT_MAGIC.len() as u64 {
+            // crash between segment creation and the magic write: open
+            // will discard this file; it holds no records
+            continue;
+        }
+        let scan = scan_segment(path, last)?;
+        stamps.extend(scan.records.iter().filter_map(|r| r.global));
+    }
+    Ok(stamps)
 }
 
 impl Wal {
@@ -203,20 +311,24 @@ impl Wal {
     /// restored when the per-segment record lists are concatenated).
     /// Only the active tail — which may legitimately end in a torn
     /// record — is scanned sequentially and truncated to its last whole
-    /// record; see the module docs for the recovery contract.
+    /// record. An old-format (v1) active tail is additionally *sealed*:
+    /// its records replay, but new appends start a fresh v2 segment so a
+    /// segment never mixes record layouts. See the module docs for the
+    /// recovery contract.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidData` for corruption outside the tolerated active-segment
+    /// tail (sealed segments were fsynced before rotation — damage there
+    /// means the disk lied); other kinds pass through from the
+    /// filesystem.
     pub fn open(dir: impl AsRef<Path>, config: WalConfig) -> io::Result<(Wal, Vec<EpochRecord>)> {
         use rayon::prelude::*;
 
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
 
-        let mut paths: Vec<(u64, PathBuf)> = fs::read_dir(&dir)?
-            .filter_map(|e| {
-                let p = e.ok()?.path();
-                Some((parse_segment_name(&p)?, p))
-            })
-            .collect();
-        paths.sort_by_key(|&(e, _)| e);
+        let paths = segment_paths(&dir)?;
 
         // Every segment but the last is sealed: decode them concurrently.
         let sealed_count = paths.len().saturating_sub(1);
@@ -245,21 +357,44 @@ impl Wal {
                 sync_dir(&dir)?;
             } else {
                 let scan = scan_segment(path, true)?;
+                let tail_empty = scan.records.is_empty();
                 records.extend(scan.records);
                 let mut file = OpenOptions::new().read(true).write(true).open(path)?;
                 if scan.tail_torn {
                     file.set_len(scan.pos as u64)?;
                     file.sync_data()?;
                 }
-                file.seek(SeekFrom::Start(scan.pos as u64))?;
-                current = Some((
-                    file,
-                    Segment {
+                if scan.v2 {
+                    file.seek(SeekFrom::Start(scan.pos as u64))?;
+                    current = Some((
+                        file,
+                        Segment {
+                            first_epoch: *first_epoch,
+                            path: path.clone(),
+                        },
+                        scan.pos as u64,
+                    ));
+                } else if tail_empty {
+                    // v1 tail holding no records (a v1 store crashed
+                    // between rotation's magic write and the first
+                    // frame): discard it. Sealing it would leave a file
+                    // named `first_epoch` == the next epoch to append,
+                    // and the fresh v2 segment's create_new would then
+                    // collide with it.
+                    drop(file);
+                    fs::remove_file(path)?;
+                    sync_dir(&dir)?;
+                } else {
+                    // v1 tail: seal it (fsync the truncation, keep the
+                    // records) and let the next append start a fresh v2
+                    // segment — a segment never mixes record layouts.
+                    file.sync_data()?;
+                    drop(file);
+                    sealed.push(Segment {
                         first_epoch: *first_epoch,
                         path: path.clone(),
-                    },
-                    scan.pos as u64,
-                ));
+                    });
+                }
             }
         }
 
@@ -279,9 +414,22 @@ impl Wal {
     }
 
     /// Append one epoch record. `epoch` must be greater than every epoch
-    /// appended or recovered so far. Applies the configured
-    /// [`SyncPolicy`] and rotates segments as needed.
-    pub fn append(&mut self, epoch: u64, body: &[u8]) -> io::Result<AppendInfo> {
+    /// appended or recovered so far; `global` is the cross-shard batch
+    /// stamp when this epoch is one shard's slice of an atomic
+    /// multi-shard batch (`None` for ordinary epochs). Applies the
+    /// configured [`SyncPolicy`] and rotates segments as needed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the write, fsync, or rotation.
+    /// The caller (the store's commit hook) treats any failure as
+    /// fail-stop.
+    pub fn append(
+        &mut self,
+        epoch: u64,
+        global: Option<GlobalStamp>,
+        body: &[u8],
+    ) -> io::Result<AppendInfo> {
         debug_assert!(epoch > self.last_epoch, "epochs must be monotone");
         // Rotate a full active segment *before* the append so a segment
         // never splits an epoch.
@@ -304,13 +452,18 @@ impl Wal {
                 .create_new(true)
                 .write(true)
                 .open(&seg.path)?;
-            file.write_all(SEGMENT_MAGIC)?;
+            file.write_all(SEGMENT_MAGIC_V2)?;
             sync_dir(&self.dir)?;
-            self.current = Some((file, seg, SEGMENT_MAGIC.len() as u64));
+            self.current = Some((file, seg, SEGMENT_MAGIC_V2.len() as u64));
         }
 
-        let mut payload = Vec::with_capacity(10 + body.len());
+        let mut payload = Vec::with_capacity(20 + body.len());
         crate::codec::put_varint(&mut payload, epoch);
+        crate::codec::put_varint(&mut payload, global.map_or(0, |s| s.epoch));
+        crate::codec::put_varint(
+            &mut payload,
+            global.map_or(0, |s| u64::from(s.participants)),
+        );
         payload.extend_from_slice(body);
         let mut buf = Vec::with_capacity(frame::HEADER_LEN + payload.len());
         let framed = frame::put_frame(&mut buf, &payload) as u64;
@@ -340,6 +493,10 @@ impl Wal {
     }
 
     /// Force an fsync of the active segment (no-op when nothing is open).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the fsync failure.
     pub fn sync(&mut self) -> io::Result<bool> {
         if let Some((file, _, _)) = self.current.as_mut() {
             if self.epochs_since_sync > 0 {
@@ -356,6 +513,11 @@ impl Wal {
     /// a checkpoint at `epoch` (i.e. all its records have epoch `<=
     /// epoch`). Returns the number of segments removed. The active
     /// segment is never removed.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors from the unlinks or the directory
+    /// fsync.
     pub fn truncate_through(&mut self, epoch: u64) -> io::Result<usize> {
         // A sealed segment's coverage ends where its successor begins, so
         // `sealed[i]` is wholly <= epoch iff successor.first_epoch <=
@@ -433,7 +595,7 @@ mod tests {
             let (mut wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
             assert!(recs.is_empty());
             for e in 1..=5u64 {
-                let info = wal.append(e, &body(e)).unwrap();
+                let info = wal.append(e, None, &body(e)).unwrap();
                 assert!(info.synced);
                 assert!(info.bytes > 0);
             }
@@ -459,7 +621,7 @@ mod tests {
         };
         let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
         for e in 1..=20u64 {
-            wal.append(e, &body(e)).unwrap();
+            wal.append(e, None, &body(e)).unwrap();
         }
         assert!(wal.segments() > 3, "tiny segments must have rotated");
         let before = wal.segments();
@@ -484,7 +646,7 @@ mod tests {
         {
             let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
             for e in 1..=3u64 {
-                wal.append(e, &body(e)).unwrap();
+                wal.append(e, None, &body(e)).unwrap();
             }
         }
         // simulate a crash mid-append: a frame header promising more
@@ -497,7 +659,7 @@ mod tests {
 
         let (mut wal, recs) = Wal::open(&dir, cfg).unwrap();
         assert_eq!(recs.len(), 3, "torn tail must not hide whole records");
-        wal.append(4, &body(4)).unwrap();
+        wal.append(4, None, &body(4)).unwrap();
         drop(wal);
         let (_, recs) = Wal::open(&dir, cfg).unwrap();
         assert_eq!(
@@ -518,7 +680,7 @@ mod tests {
         {
             let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
             for e in 1..=10u64 {
-                wal.append(e, &body(e)).unwrap();
+                wal.append(e, None, &body(e)).unwrap();
             }
             assert!(wal.segments() >= 2);
         }
@@ -542,6 +704,8 @@ mod tests {
         let one_record = {
             let mut payload = Vec::new();
             crate::codec::put_varint(&mut payload, 1);
+            crate::codec::put_varint(&mut payload, 0); // no global stamp
+            crate::codec::put_varint(&mut payload, 0);
             payload.extend_from_slice(&body(1));
             (frame::HEADER_LEN + payload.len()) as u64
         };
@@ -552,14 +716,14 @@ mod tests {
         };
         let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
         let synced: Vec<bool> = (1..=6u64)
-            .map(|e| wal.append(e, &body(e)).unwrap().synced)
+            .map(|e| wal.append(e, None, &body(e)).unwrap().synced)
             .collect();
         assert_eq!(synced, vec![false, true, false, true, false, true]);
         assert!(
             !wal.sync().unwrap(),
             "nothing pending after a synced append"
         );
-        wal.append(7, &body(7)).unwrap();
+        wal.append(7, None, &body(7)).unwrap();
         assert!(wal.sync().unwrap(), "pending bytes need a final sync");
         drop(wal);
         fs::remove_dir_all(&dir).unwrap();
@@ -574,12 +738,163 @@ mod tests {
         };
         let (mut wal, _) = Wal::open(&dir, cfg).unwrap();
         let synced: Vec<bool> = (1..=7u64)
-            .map(|e| wal.append(e, &body(e)).unwrap().synced)
+            .map(|e| wal.append(e, None, &body(e)).unwrap().synced)
             .collect();
         assert_eq!(synced, vec![false, false, true, false, false, true, false]);
         assert!(wal.sync().unwrap(), "pending epochs need a final sync");
         assert!(!wal.sync().unwrap(), "nothing pending after sync");
         drop(wal);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn global_stamps_roundtrip_and_prescan() {
+        let dir = tmp_dir("stamps");
+        let stamp = |g, p| {
+            Some(GlobalStamp {
+                epoch: g,
+                participants: p,
+            })
+        };
+        {
+            let (mut wal, _) = Wal::open(&dir, WalConfig::default()).unwrap();
+            wal.append(1, None, &body(1)).unwrap();
+            wal.append(2, stamp(7, 3), &body(2)).unwrap();
+            wal.append(3, None, &body(3)).unwrap();
+            wal.append(4, stamp(9, 2), &body(4)).unwrap();
+        }
+        let (_, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        let globals: Vec<_> = recs.iter().map(|r| r.global).collect();
+        assert_eq!(
+            globals,
+            vec![None, stamp(7, 3), None, stamp(9, 2)],
+            "stamps must survive a reopen exactly"
+        );
+        assert_eq!(recs[1].body, body(2), "stamp fields must not eat the body");
+        // the read-only pre-scan sees the same stamps without touching
+        // the log
+        let stamps = scan_global_stamps(&dir).unwrap();
+        assert_eq!(
+            stamps,
+            vec![
+                GlobalStamp {
+                    epoch: 7,
+                    participants: 3
+                },
+                GlobalStamp {
+                    epoch: 9,
+                    participants: 2
+                }
+            ]
+        );
+        assert!(
+            scan_global_stamps(dir.join("nonexistent"))
+                .unwrap()
+                .is_empty(),
+            "a store that never wrote has no stamps"
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// Write a raw v1 segment (`PAMWAL01`, records = varint(epoch) ++
+    /// body) the way PR 2–4 stores laid them down.
+    fn write_v1_segment(path: &Path, epochs: &[u64]) {
+        let mut bytes = SEGMENT_MAGIC.to_vec();
+        for &e in epochs {
+            let mut payload = Vec::new();
+            crate::codec::put_varint(&mut payload, e);
+            payload.extend_from_slice(&body(e));
+            frame::put_frame(&mut bytes, &payload);
+        }
+        fs::write(path, bytes).unwrap();
+    }
+
+    #[test]
+    fn v1_segments_still_replay_and_tail_is_sealed() {
+        let dir = tmp_dir("v1-compat");
+        fs::create_dir_all(&dir).unwrap();
+        write_v1_segment(&segment_path(&dir, 1), &[1, 2, 3]);
+
+        let (mut wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recs.iter().map(|r| r.epoch).collect::<Vec<_>>(), [1, 2, 3]);
+        assert!(
+            recs.iter().all(|r| r.global.is_none()),
+            "v1 records carry no stamp"
+        );
+        assert_eq!(recs[1].body, body(2));
+        assert_eq!(wal.last_epoch(), 3);
+
+        // appending resumes in a *new* v2 segment; the v1 file is sealed
+        wal.append(
+            4,
+            Some(GlobalStamp {
+                epoch: 1,
+                participants: 2,
+            }),
+            &body(4),
+        )
+        .unwrap();
+        assert_eq!(wal.segments(), 2, "v1 tail sealed, fresh v2 tail opened");
+        let head = fs::read(segment_path(&dir, 4)).unwrap();
+        assert_eq!(&head[..8], SEGMENT_MAGIC_V2);
+        drop(wal);
+
+        let (_, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            [1, 2, 3, 4],
+            "mixed v1+v2 logs replay in order"
+        );
+        assert_eq!(recs[3].global.map(|s| s.epoch), Some(1));
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn empty_v1_tail_is_discarded_not_sealed() {
+        // A v1 store that crashed between rotation's magic write and the
+        // first frame leaves an active segment holding only the magic,
+        // named after the epoch the *next* append will use. Sealing it
+        // would make that append's create_new collide with the file.
+        let dir = tmp_dir("v1-empty-tail");
+        fs::create_dir_all(&dir).unwrap();
+        write_v1_segment(&segment_path(&dir, 1), &[1, 2, 3, 4]);
+        fs::write(segment_path(&dir, 5), SEGMENT_MAGIC).unwrap();
+
+        let (mut wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            [1, 2, 3, 4]
+        );
+        wal.append(5, None, &body(5))
+            .expect("append must not collide with the discarded v1 tail");
+        drop(wal);
+        let (_, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(
+            recs.iter().map(|r| r.epoch).collect::<Vec<_>>(),
+            [1, 2, 3, 4, 5]
+        );
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn v1_torn_tail_is_truncated_then_sealed() {
+        let dir = tmp_dir("v1-torn");
+        fs::create_dir_all(&dir).unwrap();
+        let seg = segment_path(&dir, 1);
+        write_v1_segment(&seg, &[1, 2]);
+        // a torn half-record at the v1 tail, as a crash would leave
+        let mut bytes = fs::read(&seg).unwrap();
+        bytes.extend_from_slice(&[44, 0, 0, 0, 0xde, 0xad]);
+        fs::write(&seg, bytes).unwrap();
+
+        let (mut wal, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recs.iter().map(|r| r.epoch).collect::<Vec<_>>(), [1, 2]);
+        wal.append(3, None, &body(3)).unwrap();
+        drop(wal);
+        // the truncation stuck: reopening treats the v1 file as sealed,
+        // where a torn frame would be a hard error
+        let (_, recs) = Wal::open(&dir, WalConfig::default()).unwrap();
+        assert_eq!(recs.iter().map(|r| r.epoch).collect::<Vec<_>>(), [1, 2, 3]);
         fs::remove_dir_all(&dir).unwrap();
     }
 }

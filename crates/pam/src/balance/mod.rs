@@ -37,7 +37,7 @@ use std::sync::Arc;
 ///
 /// `join` is the **only** operation that creates or restructures interior
 /// nodes, so it is also where augmented values get recomputed (inside
-/// [`Node::make`]) and where persistence-driven path copying happens
+/// `Node::make`) and where persistence-driven path copying happens
 /// (via [`crate::node::expose`]).
 pub trait Balance: Sized + Send + Sync + 'static {
     /// Per-node metadata derived from the node's position/children

@@ -15,7 +15,7 @@
 //! ablation in the bench suite).
 //!
 //! Every node stores the augmented value of its subtree. It is computed in
-//! [`Node::make`] as `f(A(L), f(g(k,v), A(R)))`, which "localizes
+//! `Node::make` as `f(A(L), f(g(k,v), A(R)))`, which "localizes
 //! application of the augmentation functions f and g to when a node is
 //! created" (§4) — no other code in the crate touches augmentation unless
 //! it explicitly queries it.

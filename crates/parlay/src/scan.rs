@@ -20,7 +20,7 @@ pub fn sum_u64(v: &[u64]) -> u64 {
         .sum()
 }
 
-/// Inclusive prefix sums of `v` (out[i] = v[0] + ... + v[i]), computed with
+/// Inclusive prefix sums of `v` (`out[i] = v[0] + ... + v[i]`), computed with
 /// the classic two-pass blocked algorithm. Work O(n), span O(n / P + P).
 pub fn scan_inclusive(v: &[u64]) -> Vec<u64> {
     let n = v.len();
