@@ -37,9 +37,18 @@
 //! latency vs. acked 16-key `write_batch` latency (global epoch stamp +
 //! per-shard sealed epochs + all-slice ack) and the epoch-fenced
 //! `snapshot()` cost, per shard count.
+//!
+//! With `--contend` (optionally `--shards N[,M,...]`) the driver
+//! measures the **fence-contention tail**: acked put p50/p99/p999 alone
+//! vs. under a concurrent epoch-fenced `snapshot()` loop (EXPERIMENTS
+//! §7). All latency columns everywhere are histogram percentiles
+//! (`pam_obs::Histogram`), not means. `--json <path>` artifacts embed
+//! the full `pam_*` metrics-registry dump under `"metrics"`, and
+//! `--prom <path>` writes the Prometheus-text exposition.
 
 use pam::SumAug;
 use pam_bench::*;
+use pam_obs::{Histogram, MetricsRegistry};
 use pam_store::{
     DurabilityConfig, DurableStore, ShardedConfig, ShardedStore, StoreConfig, StoreStats,
     SyncPolicy, VersionedStore,
@@ -48,6 +57,39 @@ use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Duration;
 use workloads::hash64;
+
+/// Render `stats` as the canonical `pam_*` metrics registry dump
+/// (embedded under `"metrics"` in every `--json` artifact, so the
+/// artifact always carries p50/p99/p999 for commit, fsync, and
+/// fence-wait latencies).
+fn metrics_json(stats: &StoreStats) -> String {
+    let registry = MetricsRegistry::new();
+    stats.export_into(&registry);
+    registry.render_json()
+}
+
+/// Write the Prometheus-text exposition of `stats` to `path` (`--prom`).
+fn write_prom(path: &str, stats: &StoreStats) {
+    let registry = MetricsRegistry::new();
+    stats.export_into(&registry);
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create prom output dir");
+        }
+    }
+    std::fs::write(path, registry.render_prometheus()).expect("write prom output");
+    println!("wrote {path}");
+}
+
+/// `p50/p99/p999` of a nanosecond histogram, as microseconds.
+fn fmt_quantiles_us(h: &pam_obs::HistogramSnapshot) -> String {
+    format!(
+        "{:.1}/{:.1}/{:.1}",
+        h.p50() as f64 / 1e3,
+        h.p99() as f64 / 1e3,
+        h.p999() as f64 / 1e3
+    )
+}
 
 type Store = VersionedStore<SumAug<u64, u64>>;
 type Durable = DurableStore<SumAug<u64, u64>>;
@@ -216,13 +258,13 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
         "durability",
         "Mops/s",
         "commits",
-        "mean commit",
-        "max commit",
+        "commit p50/p99/p999 µs",
+        "fsync p99 µs",
         "wal KiB",
         "fsyncs",
-        "Δ mean commit",
+        "Δ p99 commit",
     ]);
-    let mut baseline_mean: Option<Duration> = None;
+    let mut baseline_p99: Option<u64> = None;
     for m in modes {
         // durable stores live in a scratch dir wiped per run
         let dir = std::env::temp_dir().join(format!("pam-ycsb-wal-{}-{m}", std::process::id()));
@@ -262,23 +304,22 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
         let stats = durable
             .as_ref()
             .map_or_else(|| store.stats(), |d| d.stats());
-        let delta = match (m, baseline_mean) {
+        let delta = match (m, baseline_p99) {
             ("off", _) => {
-                baseline_mean = Some(stats.mean_commit);
+                baseline_p99 = Some(stats.commit.p99());
                 "baseline".to_string()
             }
-            (_, Some(base)) => format!(
-                "{:+.1} µs",
-                (stats.mean_commit.as_secs_f64() - base.as_secs_f64()) * 1e6
-            ),
+            (_, Some(base)) => {
+                format!("{:+.1} µs", (stats.commit.p99() as f64 - base as f64) / 1e3)
+            }
             _ => "-".to_string(),
         };
         table.row(vec![
             m.to_string(),
             fmt_meps(threads * ops_per_thread, secs),
             stats.commits.to_string(),
-            format!("{:?}", stats.mean_commit),
-            format!("{:?}", stats.max_commit),
+            fmt_quantiles_us(&stats.commit),
+            format!("{:.1}", stats.durability.wal_fsync.p99() as f64 / 1e3),
             (stats.durability.wal_bytes / 1024).to_string(),
             stats.durability.wal_fsyncs.to_string(),
             delta,
@@ -296,12 +337,11 @@ fn run_durability(mode: &str, threads: usize, preload: usize, ops_per_thread: us
 /// One row of the `--xbatch` sweep (also what `--json` serializes).
 struct XbatchRow {
     shards: usize,
-    put_us: f64,
-    put_max_us: f64,
-    xbatch_us: f64,
-    xbatch_max_us: f64,
+    put: pam_obs::HistogramSnapshot,
+    xbatch: pam_obs::HistogramSnapshot,
     snapshot_us: f64,
     stamped: u64,
+    stats: StoreStats,
 }
 
 /// The `--xbatch` comparison: acked single-key put latency vs. acked
@@ -316,9 +356,9 @@ fn run_xbatch(counts: &[usize], preload: usize, ops: usize) -> Vec<XbatchRow> {
     let mut rows = Vec::new();
     let mut table = Table::new(&[
         "shards",
-        "put µs (mean/max)",
-        "xbatch-16 µs (mean/max)",
-        "per key µs",
+        "put µs p50/p99/p999",
+        "xbatch-16 µs p50/p99/p999",
+        "per key p50 µs",
         "snapshot µs",
         "global epochs",
     ]);
@@ -334,23 +374,23 @@ fn run_xbatch(counts: &[usize], preload: usize, ops: usize) -> Vec<XbatchRow> {
             .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
             .wait();
 
+        // each acked latency lands in a log-bucketed histogram so the
+        // row reports tail percentiles, not a tail-blind mean
         let timed = |iters: u64, f: &mut dyn FnMut(u64)| {
-            let (mut sum, mut max) = (0.0f64, 0.0f64);
+            let hist = Histogram::new();
             for i in 0..iters {
                 let t0 = std::time::Instant::now();
                 f(i);
-                let us = t0.elapsed().as_secs_f64() * 1e6;
-                sum += us;
-                max = max.max(us);
+                hist.record_duration(t0.elapsed());
             }
-            (sum / iters as f64, max)
+            hist.snapshot()
         };
         let s = store.clone();
-        let (put_us, put_max_us) = timed(ops as u64, &mut |i| {
+        let put = timed(ops as u64, &mut |i| {
             s.put(hash64(i) % key_space, i).wait();
         });
         let stamped_before = store.global_epoch();
-        let (xbatch_us, xbatch_max_us) = timed(batches as u64, &mut |b| {
+        let xbatch = timed(batches as u64, &mut |b| {
             s.put_all((0..BATCH_KEYS).map(|j| (hash64(b * BATCH_KEYS + j) % key_space, b)))
                 .wait();
         });
@@ -365,20 +405,19 @@ fn run_xbatch(counts: &[usize], preload: usize, ops: usize) -> Vec<XbatchRow> {
 
         table.row(vec![
             n.to_string(),
-            format!("{put_us:.1} / {put_max_us:.1}"),
-            format!("{xbatch_us:.1} / {xbatch_max_us:.1}"),
-            format!("{:.2}", xbatch_us / BATCH_KEYS as f64),
+            fmt_quantiles_us(&put),
+            fmt_quantiles_us(&xbatch),
+            format!("{:.2}", xbatch.p50() as f64 / 1e3 / BATCH_KEYS as f64),
             format!("{snapshot_us:.1}"),
             stamped.to_string(),
         ]);
         rows.push(XbatchRow {
             shards: n,
-            put_us,
-            put_max_us,
-            xbatch_us,
-            xbatch_max_us,
+            put,
+            xbatch,
             snapshot_us,
             stamped,
+            stats: store.stats(),
         });
     }
     table.print();
@@ -402,20 +441,170 @@ fn write_xbatch_json(path: &str, rows: &[XbatchRow], preload: usize, ops: usize)
     out.push_str("  \"results\": [\n");
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
-            "    {{\"shards\": {}, \"put_us\": {:.3}, \"put_max_us\": {:.3}, \
-             \"xbatch_us\": {:.3}, \"xbatch_max_us\": {:.3}, \"snapshot_us\": {:.3}, \
+            "    {{\"shards\": {}, \"put_p50_us\": {:.3}, \"put_p99_us\": {:.3}, \
+             \"put_p999_us\": {:.3}, \"put_max_us\": {:.3}, \
+             \"xbatch_p50_us\": {:.3}, \"xbatch_p99_us\": {:.3}, \
+             \"xbatch_p999_us\": {:.3}, \"snapshot_us\": {:.3}, \
              \"global_epochs\": {}}}{}\n",
             r.shards,
-            r.put_us,
-            r.put_max_us,
-            r.xbatch_us,
-            r.xbatch_max_us,
+            r.put.p50() as f64 / 1e3,
+            r.put.p99() as f64 / 1e3,
+            r.put.p999() as f64 / 1e3,
+            r.put.max() as f64 / 1e3,
+            r.xbatch.p50() as f64 / 1e3,
+            r.xbatch.p99() as f64 / 1e3,
+            r.xbatch.p999() as f64 / 1e3,
             r.snapshot_us,
             r.stamped,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // the registry dump of the last (most sharded) run: p50/p99/p999 for
+    // every pam_* histogram, fence-wait and snapshot counters included
+    let metrics = rows.last().map(|r| metrics_json(&r.stats));
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics.as_deref().unwrap_or("null")
+    ));
+    out.push_str("}\n");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create json output dir");
+        }
+    }
+    let mut f = std::fs::File::create(path).expect("create json output file");
+    f.write_all(out.as_bytes()).expect("write json output");
+    println!("\nwrote {path}");
+}
+
+/// One row of the `--contend` comparison (also what `--json` serializes).
+struct ContendRow {
+    shards: usize,
+    baseline: pam_obs::HistogramSnapshot,
+    contended: pam_obs::HistogramSnapshot,
+    snapshots: u64,
+    stats: StoreStats,
+}
+
+/// The `--contend` comparison (EXPERIMENTS §7): acked single-key put
+/// latency on a sharded store, alone vs. under a concurrent
+/// epoch-fenced `snapshot()` loop. Every snapshot raises the all-shard
+/// submit barrier, so writers park in `admit()` and the put tail
+/// stretches — the new histograms make that visible as p99/p999 rather
+/// than a tail-blind mean. Zero group-commit window: the barrier, not
+/// batching, is the object under test.
+fn run_contend(counts: &[usize], preload: usize, ops: usize) -> Vec<ContendRow> {
+    let key_space = (preload as u64) * 4;
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "shards",
+        "alone µs p50/p99/p999",
+        "contended µs p50/p99/p999",
+        "snapshots",
+        "fence waits",
+        "fence p99 µs",
+    ]);
+    for &n in counts {
+        let store = Arc::new(Sharded::with_config(ShardedConfig {
+            shards: n,
+            store: StoreConfig {
+                batch_window: Duration::ZERO,
+                ..StoreConfig::default()
+            },
+        }));
+        store
+            .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
+            .wait();
+
+        let acked_puts = |salt: u64| {
+            let hist = Histogram::new();
+            for i in 0..ops as u64 {
+                let t0 = std::time::Instant::now();
+                store.put(hash64(salt ^ i) % key_space, i).wait();
+                hist.record_duration(t0.elapsed());
+            }
+            hist.snapshot()
+        };
+        let baseline = acked_puts(0);
+
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let snapper = {
+            let s = store.clone();
+            let stop = stop.clone();
+            std::thread::spawn(move || {
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    let _snap = s.snapshot();
+                }
+            })
+        };
+        let contended = acked_puts(1);
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        snapper.join().unwrap();
+
+        let stats = store.stats();
+        table.row(vec![
+            n.to_string(),
+            fmt_quantiles_us(&baseline),
+            fmt_quantiles_us(&contended),
+            stats.snapshots_taken.to_string(),
+            stats.fence_waits.to_string(),
+            format!(
+                "{:.1}",
+                stats.barrier_wait.p99().max(stats.fence_wait.p99()) as f64 / 1e3
+            ),
+        ]);
+        rows.push(ContendRow {
+            shards: n,
+            baseline,
+            contended,
+            snapshots: stats.snapshots_taken,
+            stats,
+        });
+    }
+    table.print();
+    println!(
+        "\n(each snapshot takes the fence write side and raises a submit \
+         barrier on every shard; writers admitted mid-barrier park until \
+         it drops — the contended p99/p999 measures that parking)"
+    );
+    rows
+}
+
+/// Write the contend rows as JSON (hand-rolled: offline workspace).
+fn write_contend_json(path: &str, rows: &[ContendRow], preload: usize, ops: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ycsb-contend\",\n");
+    out.push_str(&format!("  \"pam_scale\": {},\n", scale()));
+    out.push_str(&format!("  \"preload\": {preload},\n"));
+    out.push_str(&format!("  \"acked_ops\": {ops},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"shards\": {}, \"alone_p50_us\": {:.3}, \"alone_p99_us\": {:.3}, \
+             \"alone_p999_us\": {:.3}, \"contended_p50_us\": {:.3}, \
+             \"contended_p99_us\": {:.3}, \"contended_p999_us\": {:.3}, \
+             \"snapshots\": {}, \"fence_waits\": {}}}{}\n",
+            r.shards,
+            r.baseline.p50() as f64 / 1e3,
+            r.baseline.p99() as f64 / 1e3,
+            r.baseline.p999() as f64 / 1e3,
+            r.contended.p50() as f64 / 1e3,
+            r.contended.p99() as f64 / 1e3,
+            r.contended.p999() as f64 / 1e3,
+            r.snapshots,
+            r.stats.fence_waits,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    let metrics = rows.last().map(|r| metrics_json(&r.stats));
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics.as_deref().unwrap_or("null")
+    ));
+    out.push_str("}\n");
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create json output dir");
@@ -451,7 +640,7 @@ fn run_shards(
         "Mops/s",
         "commits",
         "mean batch",
-        "mean commit",
+        "commit p50/p99/p999 µs",
         "max commit",
         "Δ Mops/s",
     ]);
@@ -482,7 +671,7 @@ fn run_shards(
             format!("{mops:.2}"),
             stats.commits.to_string(),
             format!("{:.1}", stats.mean_batch()),
-            format!("{:?}", stats.mean_commit),
+            fmt_quantiles_us(&stats.commit),
             format!("{:?}", stats.max_commit),
             delta,
         ]);
@@ -517,18 +706,29 @@ fn write_json(path: &str, rows: &[ShardRow], threads: usize, preload: usize, ops
     for (i, r) in rows.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"shards\": {}, \"mops\": {:.4}, \"secs\": {:.6}, \"commits\": {}, \
-             \"mean_batch\": {:.2}, \"mean_commit_us\": {:.2}, \"max_commit_us\": {:.2}}}{}\n",
+             \"mean_batch\": {:.2}, \"commit_p50_us\": {:.2}, \"commit_p99_us\": {:.2}, \
+             \"commit_p999_us\": {:.2}, \"max_commit_us\": {:.2}}}{}\n",
             r.shards,
             r.mops,
             r.secs,
             r.stats.commits,
             r.stats.mean_batch(),
-            r.stats.mean_commit.as_secs_f64() * 1e6,
+            r.stats.commit.p50() as f64 / 1e3,
+            r.stats.commit.p99() as f64 / 1e3,
+            r.stats.commit.p999() as f64 / 1e3,
             r.stats.max_commit.as_secs_f64() * 1e6,
             if i + 1 == rows.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    // the registry dump of the last (most sharded) run — gives the CI
+    // artifact p50/p99/p999 for commit, fsync, and fence-wait metrics
+    let metrics = rows.last().map(|r| metrics_json(&r.stats));
+    out.push_str(&format!(
+        "  \"metrics\": {}\n",
+        metrics.as_deref().unwrap_or("null")
+    ));
+    out.push_str("}\n");
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent).expect("create json output dir");
@@ -584,13 +784,42 @@ fn main() {
             })
             .collect()
     };
-    fn json_path(args: &[String]) -> Option<&str> {
-        args.iter().position(|a| a == "--json").map(|j| {
+    fn path_arg<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+        args.iter().position(|a| a == flag).map(|j| {
             args.get(j + 1).map(String::as_str).unwrap_or_else(|| {
-                eprintln!("--json needs a path");
+                eprintln!("{flag} needs a path");
                 std::process::exit(2);
             })
         })
+    }
+    fn json_path(args: &[String]) -> Option<&str> {
+        path_arg(args, "--json")
+    }
+    // `--prom <path>`: Prometheus-text exposition of the final run's
+    // metrics registry (the CI bench-smoke parse-check artifact).
+    fn prom_path(args: &[String]) -> Option<&str> {
+        path_arg(args, "--prom")
+    }
+
+    // `--contend`: acked put latency under a concurrent epoch-fenced
+    // snapshot loop — the fence-contention tail (EXPERIMENTS §7).
+    if args.iter().any(|a| a == "--contend") {
+        let counts = shard_counts(&args);
+        let acked_ops = scaled(20_000);
+        println!(
+            "{preload} preloaded keys, {acked_ops} acked puts per mode, \
+             zero group-commit window, snapshot loop on a second thread\n"
+        );
+        let rows = run_contend(&counts, preload, acked_ops);
+        if let Some(path) = json_path(&args) {
+            write_contend_json(path, &rows, preload, acked_ops);
+        }
+        if let Some(path) = prom_path(&args) {
+            if let Some(r) = rows.last() {
+                write_prom(path, &r.stats);
+            }
+        }
+        return;
     }
 
     // `--xbatch`: acked single-put vs. cross-shard-batch latency — the
@@ -605,6 +834,11 @@ fn main() {
         let rows = run_xbatch(&counts, preload, acked_ops);
         if let Some(path) = json_path(&args) {
             write_xbatch_json(path, &rows, preload, acked_ops);
+        }
+        if let Some(path) = prom_path(&args) {
+            if let Some(r) = rows.last() {
+                write_prom(path, &r.stats);
+            }
         }
         return;
     }
@@ -622,14 +856,19 @@ fn main() {
         if let Some(path) = json_path(&args) {
             write_json(path, &rows, threads, preload, ops_per_thread);
         }
+        if let Some(path) = prom_path(&args) {
+            if let Some(r) = rows.last() {
+                write_prom(path, &r.stats);
+            }
+        }
         return;
     }
 
-    // only the --shards / --xbatch paths serialize results; silently
-    // dropping the flag elsewhere would leave a CI artifact step with no
-    // file
-    if args.iter().any(|a| a == "--json") {
-        eprintln!("--json is only supported with --shards / --xbatch");
+    // only the --shards / --xbatch / --contend paths serialize results;
+    // silently dropping the flag elsewhere would leave a CI artifact
+    // step with no file
+    if args.iter().any(|a| a == "--json" || a == "--prom") {
+        eprintln!("--json / --prom are only supported with --shards / --xbatch / --contend");
         std::process::exit(2);
     }
 
@@ -661,7 +900,7 @@ fn main() {
         "Mops/s",
         "commits",
         "mean batch",
-        "mean commit",
+        "commit p50/p99/p999 µs",
         "max commit",
     ]);
     for mix in MIXES {
@@ -674,7 +913,7 @@ fn main() {
                 fmt_meps(total_ops, secs),
                 stats.commits.to_string(),
                 format!("{:.1}", stats.mean_batch()),
-                format!("{:?}", stats.mean_commit),
+                fmt_quantiles_us(&stats.commit),
                 format!("{:?}", stats.max_commit),
             ]);
             // read-only mixes do not depend on the window; run once

@@ -1,0 +1,363 @@
+//! Lock-free log-bucketed latency histograms.
+//!
+//! The bucket layout is the classic log-linear scheme (HdrHistogram,
+//! Prometheus native histograms): values below 16 get one bucket each
+//! (exact), and every power-of-two octave above that is split into 16
+//! linear sub-buckets. A bucket's width is therefore at most 1/16 of its
+//! lower bound, so any reconstructed statistic (percentiles, in
+//! particular) carries **at most ~6.25% relative error** while the whole
+//! `u64` range fits in [`NUM_BUCKETS`] = 976 counters.
+//!
+//! [`Histogram`] is the hot-path recorder: one relaxed `fetch_add` on the
+//! bucket plus count/sum/max updates — safe to hammer from any number of
+//! threads with no locks and no false sharing beyond the array itself.
+//! [`HistogramSnapshot`] is the cold-path view: taken on demand, cheap to
+//! clone, mergeable across shards (bucket-wise addition), and the thing
+//! percentiles are computed from.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Sub-bucket resolution: each power-of-two octave splits into
+/// `2^SUB_BITS` = 16 linear buckets.
+const SUB_BITS: u32 = 4;
+/// Buckets per octave (and the threshold below which values are exact).
+const SUB_COUNT: usize = 1 << SUB_BITS;
+
+/// Total bucket count covering the whole `u64` range: 16 exact buckets
+/// for values `0..16`, then 16 per octave for the 60 octaves above.
+pub const NUM_BUCKETS: usize = SUB_COUNT + (64 - SUB_BITS as usize) * SUB_COUNT;
+
+/// The bucket index `value` lands in (total order preserving).
+#[inline]
+pub fn bucket_index(value: u64) -> usize {
+    if value < SUB_COUNT as u64 {
+        value as usize
+    } else {
+        let exp = 63 - value.leading_zeros() as usize; // >= SUB_BITS
+        let sub = ((value >> (exp - SUB_BITS as usize)) & (SUB_COUNT as u64 - 1)) as usize;
+        (exp - SUB_BITS as usize + 1) * SUB_COUNT + sub
+    }
+}
+
+/// The inclusive `(lo, hi)` value range of bucket `index`.
+///
+/// # Panics
+///
+/// If `index >= NUM_BUCKETS`.
+#[inline]
+pub fn bucket_bounds(index: usize) -> (u64, u64) {
+    assert!(index < NUM_BUCKETS, "bucket index out of range");
+    if index < SUB_COUNT {
+        (index as u64, index as u64)
+    } else {
+        let exp = index / SUB_COUNT - 1 + SUB_BITS as usize;
+        let sub = (index % SUB_COUNT) as u64;
+        let width = 1u64 << (exp - SUB_BITS as usize);
+        let lo = (SUB_COUNT as u64 + sub) * width;
+        (lo, lo + (width - 1)) // hi of the last bucket is exactly u64::MAX
+    }
+}
+
+/// A bucket's representative value: its midpoint (the estimate
+/// percentile queries report for ranks that land in it).
+#[inline]
+fn bucket_mid(index: usize) -> u64 {
+    let (lo, hi) = bucket_bounds(index);
+    lo + (hi - lo) / 2
+}
+
+/// A lock-free log-bucketed histogram of `u64` values (by convention:
+/// nanoseconds).
+///
+/// Recording is wait-free (relaxed atomics); reading goes through
+/// [`Histogram::snapshot`]. A snapshot taken while recorders are active
+/// is *per-field* consistent (each counter is read once) — good enough
+/// for monitoring, which is the point.
+pub struct Histogram {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Histogram {
+    /// An empty histogram (allocates the 976-bucket array).
+    pub fn new() -> Self {
+        Histogram {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one value.
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.buckets[bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+    }
+
+    /// Record a duration as nanoseconds (saturating at `u64::MAX`).
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Values recorded so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A point-in-time copy suitable for percentiles and merging.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        while buckets.last() == Some(&0) {
+            buckets.pop();
+        }
+        HistogramSnapshot {
+            buckets,
+            count: self.count.load(Ordering::Relaxed),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Histogram({:?})", self.snapshot())
+    }
+}
+
+/// A frozen copy of a [`Histogram`]: mergeable, cloneable, and the input
+/// to percentile queries. Trailing empty buckets are trimmed, so an
+/// all-zero histogram is a few dozen bytes, not 8 KiB.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Values recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded values (exact, not reconstructed).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded value (exact, not reconstructed).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Were any values recorded?
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of the recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            ((self.sum as u128) / (self.count as u128)) as u64
+        }
+    }
+
+    /// The value at quantile `q` in `[0, 1]`: the bucket midpoint at that
+    /// rank, clamped to the exact observed maximum — so the estimate is
+    /// within one bucket's width (≤ ~6.25% relative error) of the true
+    /// order statistic. Returns 0 for an empty histogram; `q` outside
+    /// `[0, 1]` clamps.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cum += n;
+            if cum >= rank {
+                return bucket_mid(i).min(self.max);
+            }
+        }
+        self.max // unreachable unless counters raced; max is always safe
+    }
+
+    /// Median (see [`Self::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.quantile(0.999)
+    }
+
+    /// Fold `other` into `self` (bucket-wise addition). Merging is
+    /// commutative and associative, so per-shard snapshots can be folded
+    /// in any order into one store-wide view.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if other.buckets.len() > self.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.count += other.count;
+        // the recorder's fetch_add wraps on overflow, so merging wraps
+        // identically rather than panicking in debug builds
+        self.sum = self.sum.wrapping_add(other.sum);
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl std::fmt::Debug for HistogramSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{{n={} mean={} p50={} p99={} p999={} max={}}}",
+            self.count,
+            self.mean(),
+            self.p50(),
+            self.p99(),
+            self.p999(),
+            self.max
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_layout_is_total_and_ordered() {
+        // every bucket's bounds invert its index, and bounds tile the
+        // u64 range contiguously
+        let mut expected_lo = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            assert_eq!(
+                lo,
+                expected_lo,
+                "bucket {i} must start where {} ended",
+                i - 1
+            );
+            assert_eq!(bucket_index(lo), i);
+            assert_eq!(bucket_index(hi), i);
+            expected_lo = hi.wrapping_add(1);
+        }
+        assert_eq!(expected_lo, 0, "last bucket must end at u64::MAX");
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_relative_error_is_bounded() {
+        for i in SUB_COUNT..NUM_BUCKETS {
+            let (lo, hi) = bucket_bounds(i);
+            let width = hi - lo + 1;
+            assert!(width <= lo / 16, "bucket {i}: width {width} vs lo {lo}");
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count(), 16);
+        assert_eq!(s.sum(), (0..16).sum::<u64>());
+        assert_eq!(s.max(), 15);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), 15);
+    }
+
+    #[test]
+    fn quantiles_track_a_known_distribution() {
+        let h = Histogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        for (q, exact) in [(0.5, 5_000u64), (0.9, 9_000), (0.99, 9_900), (0.999, 9_990)] {
+            let est = s.quantile(q);
+            let err = est.abs_diff(exact);
+            assert!(
+                err as f64 <= exact as f64 / 16.0 + 1.0,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        assert_eq!(s.max(), 10_000);
+        assert_eq!(s.mean(), (1..=10_000u64).sum::<u64>() / 10_000);
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zeros() {
+        let s = Histogram::new().snapshot();
+        assert!(s.is_empty());
+        assert_eq!(s.p50(), 0);
+        assert_eq!(s.p999(), 0);
+        assert_eq!(s.max(), 0);
+        assert_eq!(s.mean(), 0);
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let (a, b, all) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 0..1000u64 {
+            let v = v * v % 7919;
+            if v % 2 == 0 {
+                a.record(v)
+            } else {
+                b.record(v)
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn record_duration_saturates() {
+        let h = Histogram::new();
+        h.record_duration(Duration::from_nanos(1500));
+        h.record_duration(Duration::MAX);
+        let s = h.snapshot();
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.max(), u64::MAX);
+    }
+}

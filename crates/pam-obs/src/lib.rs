@@ -1,0 +1,32 @@
+//! `pam-obs` — zero-dependency observability for the PAM store stack.
+//!
+//! Three pieces, each usable on its own:
+//!
+//! * [`hist`] — lock-free **log-bucketed latency histograms**
+//!   ([`Histogram`] / [`HistogramSnapshot`]): wait-free recording from
+//!   any number of threads, snapshot-on-demand, percentiles
+//!   (p50/p90/p99/p999) within ~6.25% relative error, and bucket-wise
+//!   [`HistogramSnapshot::merge`] so per-shard histograms fold into one
+//!   store-wide view.
+//! * [`metrics`] — a [`MetricsRegistry`] of named counters, gauges, and
+//!   histograms with **Prometheus-text** and **JSON** exposition. Hot
+//!   paths keep their recorders embedded in their own structs; the
+//!   registry is the exposition surface they export into.
+//! * [`trace`] — a minimal tracing facade: [`event!`] and [`span!`]
+//!   macros behind one relaxed-atomic level gate, a pluggable
+//!   [`Subscriber`], and a default subscriber combining a ring buffer
+//!   of recent events with a `PAM_LOG`-filtered stderr writer.
+//!
+//! Everything is hand-rolled (no registry access in this workspace, by
+//! design — see the `crates/shims` pattern) and cheap enough to stay
+//! compiled into release builds.
+
+#![warn(missing_docs)]
+
+pub mod hist;
+pub mod metrics;
+pub mod trace;
+
+pub use hist::{Histogram, HistogramSnapshot};
+pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use trace::{recent_events, set_subscriber, Level, Span, Subscriber};

@@ -31,6 +31,8 @@ use crate::stats::{DurabilityStats, StoreStats};
 use crate::store::VersionedStore;
 use pam::balance::Balance;
 use pam::{AugMap, AugSpec, WeightBalanced};
+use pam_obs::{event, Histogram, Level};
+use pam_wal::wal::WalObs;
 use pam_wal::{checkpoint, manifest, record, Codec, DirLock, GlobalStamp, Wal, WalConfig};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
@@ -54,6 +56,34 @@ pub struct RecoveryInfo {
     /// torn (logged on some-but-not-all participants) — sharded recovery
     /// only; always 0 for a standalone [`DurableStore`].
     pub discarded_epochs: u64,
+    /// Where the recovery wall time went, phase by phase.
+    pub timings: RecoveryTimings,
+}
+
+/// Per-phase wall-time breakdown of one recovery (all fields zero for
+/// phases that did not run).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RecoveryTimings {
+    /// Sharded only: read-only pre-scan of every shard's WAL for
+    /// cross-shard batch stamps. Store-wide — the same value is stamped
+    /// into every shard's entry.
+    pub prescan: Duration,
+    /// Sharded only: the 2PC presence vote deciding torn batches.
+    /// Store-wide, like `prescan`.
+    pub vote: Duration,
+    /// Streaming the newest checkpoint into the map (bulk load).
+    pub bulk_load: Duration,
+    /// Scanning + frame-decoding the WAL segments ([`Wal::open`]).
+    pub segment_scan: Duration,
+    /// Decoding epoch bodies and applying them on top of the checkpoint.
+    pub replay: Duration,
+}
+
+impl RecoveryTimings {
+    /// Sum of all phases — the recovery's total accounted wall time.
+    pub fn total(&self) -> Duration {
+        self.prescan + self.vote + self.bulk_load + self.segment_scan + self.replay
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -211,8 +241,13 @@ struct DurCounters {
     bytes: AtomicU64,
     fsyncs: AtomicU64,
     checkpoints: AtomicU64,
+    ckpt_bytes: AtomicU64,
     last_ckpt_epoch: AtomicU64,
     bytes_at_last_ckpt: AtomicU64,
+    /// Whole-checkpoint duration, nanoseconds.
+    ckpt_nanos: Histogram,
+    /// Per-checkpoint version-pin hold time, nanoseconds.
+    ckpt_pin_nanos: Histogram,
 }
 
 /// The [`CommitHook`] that gives `VersionedStore` its WAL.
@@ -242,6 +277,10 @@ where
     /// record granularity.
     pending: Mutex<BTreeMap<u64, u64>>,
     counters: DurCounters,
+    /// The WAL's hot-path histograms (append/fsync latency, rotations),
+    /// cached here so `stats()` can snapshot them without taking the WAL
+    /// mutex away from the committer.
+    wal_obs: Arc<WalObs>,
     last_ckpt_at: Mutex<Option<Instant>>,
     _spec: std::marker::PhantomData<fn(S)>,
 }
@@ -262,7 +301,13 @@ where
             wal_bytes: self.counters.bytes.load(Ordering::Relaxed),
             wal_fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
             wal_segments: segments,
+            wal_rotations: self.wal_obs.rotations(),
+            wal_append: self.wal_obs.append_nanos.snapshot(),
+            wal_fsync: self.wal_obs.fsync_nanos.snapshot(),
             checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
+            checkpoint_bytes: self.counters.ckpt_bytes.load(Ordering::Relaxed),
+            checkpoint: self.counters.ckpt_nanos.snapshot(),
+            checkpoint_pin_hold: self.counters.ckpt_pin_nanos.snapshot(),
             last_checkpoint_epoch: self.counters.last_ckpt_epoch.load(Ordering::Relaxed),
             last_checkpoint_age: self
                 .last_ckpt_at
@@ -425,6 +470,8 @@ where
         //    `from_sorted_distinct` and unions onto the accumulated map's
         //    right edge (chunks ascend globally), so peak memory is one
         //    chunk, never the whole checkpoint vector.
+        let mut timings = RecoveryTimings::default();
+        let phase_start = Instant::now();
         let loaded = checkpoint::load_latest_with::<S::K, S::V, AugMap<S, B>>(
             &dir,
             AugMap::new,
@@ -438,6 +485,7 @@ where
             Some((epoch, entries, map)) => (epoch, entries, map),
             None => (0, 0, AugMap::new()),
         };
+        timings.bulk_load = phase_start.elapsed();
 
         // 2. WAL: replay epochs past the checkpoint through the same
         //    multi_insert/multi_delete path the committer uses
@@ -445,7 +493,9 @@ where
             segment_bytes: durability.segment_bytes,
             sync: durability.sync,
         };
+        let phase_start = Instant::now();
         let (wal, records) = Wal::open(&dir, wal_config)?;
+        timings.segment_scan = phase_start.elapsed();
         let mut replayed = 0u64;
         let mut last_epoch = ckpt_epoch.max(wal.last_epoch());
         // Gap detection: logged epochs increment by exactly 1 (within a
@@ -493,6 +543,7 @@ where
         // window of decoded bodies, not a second full copy of the log.
         use rayon::prelude::*;
         const DECODE_WINDOW: usize = 64;
+        let phase_start = Instant::now();
         let mut discarded = 0u64;
         let to_replay: Vec<&pam_wal::EpochRecord> = records
             .iter()
@@ -524,8 +575,20 @@ where
                 last_epoch = last_epoch.max(rec.epoch);
             }
         }
+        timings.replay = phase_start.elapsed();
+        event!(
+            Level::Info,
+            "pam_store::recovery",
+            "recovered {}: checkpoint epoch {ckpt_epoch} ({checkpoint_entries} entries, \
+             {:?}), wal scan {:?}, replayed {replayed} epochs ({discarded} discarded) in {:?}",
+            dir.display(),
+            timings.bulk_load,
+            timings.segment_scan,
+            timings.replay
+        );
 
         // 3. hand the recovered map to a fresh pipeline with the WAL hook
+        let wal_obs = wal.obs();
         let hook = Arc::new(WalHook::<S> {
             wal: Mutex::new(wal),
             ckpt_mutex: Mutex::new(()),
@@ -534,6 +597,7 @@ where
             tracker,
             pending: Mutex::new(BTreeMap::new()),
             counters: DurCounters::default(),
+            wal_obs,
             last_ckpt_at: Mutex::new(None),
             _spec: std::marker::PhantomData,
         });
@@ -576,6 +640,7 @@ where
                 replayed_epochs: replayed,
                 last_epoch,
                 discarded_epochs: discarded,
+                timings,
             },
             stop,
             checkpointer,
@@ -650,8 +715,10 @@ where
     // is then guaranteed inside the pin (versions publish in epoch
     // order). The pin may contain later epochs too — harmless, replay is
     // idempotent.
+    let ckpt_start = Instant::now();
     let epoch = hook.published.load(Ordering::Acquire);
     let pin = store.pin();
+    let pin_start = Instant::now();
     if let Some(tracker) = &hook.tracker {
         // Epoch-clock gating. The pin may contain slices of cross-shard
         // batches not yet logged by every sibling shard. Baking such a
@@ -688,7 +755,7 @@ where
         }
     }
     let map = pin.map();
-    checkpoint::write(
+    let ckpt_bytes = checkpoint::write(
         dir,
         epoch,
         map.len() as u64,
@@ -696,6 +763,9 @@ where
         config.keep_checkpoints,
     )?;
     drop(pin); // the snapshot is on disk; release the version
+    hook.counters
+        .ckpt_pin_nanos
+        .record_duration(pin_start.elapsed());
     if let Some(tracker) = &hook.tracker {
         // Pin the clock in the manifest *before* truncation may reclaim
         // stamped records: recovery's presence vote only runs for stamps
@@ -705,6 +775,9 @@ where
     }
     hook.lock_wal().truncate_through(epoch)?;
     hook.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
+    hook.counters
+        .ckpt_bytes
+        .fetch_add(ckpt_bytes, Ordering::Relaxed);
     hook.counters
         .last_ckpt_epoch
         .store(epoch, Ordering::Relaxed);
@@ -716,6 +789,13 @@ where
         .last_ckpt_at
         .lock()
         .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+    let took = ckpt_start.elapsed();
+    hook.counters.ckpt_nanos.record_duration(took);
+    event!(
+        Level::Info,
+        "pam_store::checkpoint",
+        "checkpoint at epoch {epoch}: {ckpt_bytes} bytes in {took:?}"
+    );
     Ok(epoch)
 }
 
@@ -974,12 +1054,15 @@ where
         // once and phase 2's `Wal::open` decodes them again — threading
         // the scan results through would halve open-time I/O; see
         // ROADMAP.)
+        let phase_start = Instant::now();
         let scans = (0..want as usize)
             .into_par_iter()
             .map(|i| pam_wal::wal::scan_global_stamps(manifest::shard_dir(&dir, i)))
             .collect::<Vec<io::Result<Vec<GlobalStamp>>>>()
             .into_iter()
             .collect::<io::Result<Vec<_>>>()?;
+        let prescan_took = phase_start.elapsed();
+        let phase_start = Instant::now();
         let mut seen: BTreeMap<u64, (u32, u32)> = BTreeMap::new(); // g → (participants, present)
         for per_shard in &scans {
             let mut uniq = BTreeSet::new();
@@ -1006,6 +1089,14 @@ where
         // Pin the decisions before any shard opens for traffic: every
         // global epoch <= watermark now has a persisted verdict.
         manifest::write(&dir, want, watermark, &discard_list)?;
+        let vote_took = phase_start.elapsed();
+        event!(
+            Level::Info,
+            "pam_store::recovery",
+            "sharded vote over {want} shards: watermark {watermark}, {} discarded \
+             (pre-scan {prescan_took:?}, vote {vote_took:?})",
+            discard.len()
+        );
         let tracker = Arc::new(GlobalTracker::new(
             dir.clone(),
             want,
@@ -1034,7 +1125,18 @@ where
             .collect::<Vec<io::Result<DurableStore<S, B>>>>()
             .into_iter()
             .collect::<io::Result<Vec<_>>>()?;
-        let recovery = shards.iter().map(|s| s.recovery().clone()).collect();
+        // The pre-scan and vote are store-wide phases; stamp the same
+        // wall times into every shard's entry (documented on
+        // `RecoveryTimings`).
+        let recovery = shards
+            .iter()
+            .map(|s| {
+                let mut info = s.recovery().clone();
+                info.timings.prescan = prescan_took;
+                info.timings.vote = vote_took;
+                info
+            })
+            .collect();
         let sharded = Arc::new(ShardedStore::from_stores_with_clock(
             shards.iter().map(|s| s.handle()).collect(),
             GlobalClock::tracked(tracker.clone()),

@@ -24,9 +24,9 @@
 //! * **Read API** — [`VersionedStore::get`] / [`VersionedStore::range`] /
 //!   [`VersionedStore::aug_range`] pin the current version for the
 //!   duration of the call and never block (or are blocked by) commits.
-//! * **Stats surface** ([`stats`]) — commit latency, batch sizes, CAS
-//!   retries, live versions, WAL/checkpoint counters, and a node-exact
-//!   memory footprint built on `pam::stats`.
+//! * **Stats surface** ([`stats`]) — per-stage commit latency histograms,
+//!   batch sizes, fence waits, live versions, WAL/checkpoint counters, and
+//!   a node-exact memory footprint built on `pam::stats`.
 //! * **Durability** ([`durable`]) — [`DurableStore`] wraps the store in a
 //!   write-ahead log (one record, one group fsync per epoch — see
 //!   `pam-wal`) plus non-blocking snapshot checkpoints, and recovers from
@@ -89,7 +89,7 @@ pub mod stats;
 mod store;
 
 pub use config::{DurabilityConfig, ShardedConfig, StoreConfig};
-pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo};
+pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo, RecoveryTimings};
 pub use op::{NormalizedBatch, WriteOp};
 pub use pam_wal::{Codec, GlobalStamp, SyncPolicy};
 pub use pipeline::{CommitHook, CommitTicket};

@@ -35,7 +35,7 @@
 use crate::config::StoreConfig;
 use crate::op::{normalize, NormalizedBatch, WriteOp};
 use crate::registry::Registry;
-use crate::stats::StatsInner;
+use crate::stats::{CommitTiming, StatsInner};
 use pam::balance::Balance;
 use pam::{AugSpec, SharedMap};
 use pam_wal::GlobalStamp;
@@ -95,6 +95,9 @@ struct EpochSeg<S: AugSpec> {
     /// slices must map 1:1 onto WAL records); the open segment at the
     /// queue's back keeps accumulating until the committer pops it.
     sealed: bool,
+    /// When the segment was created — its group-commit window occupancy
+    /// (creation to drain) is measured from here.
+    opened_at: Instant,
 }
 
 /// Epoch numbering starts at 1 so "nothing committed yet" is 0.
@@ -129,12 +132,16 @@ pub(crate) struct Pipeline<S: AugSpec> {
     /// Crossing this op count in the open segment cuts the group-commit
     /// window short.
     max_batch: usize,
+    /// Shared with the owning store: the committer and `admit()` record
+    /// into it directly.
+    stats: Arc<StatsInner>,
 }
 
 impl<S: AugSpec> Pipeline<S> {
-    pub fn new(max_batch: usize) -> Self {
+    pub fn new(max_batch: usize, stats: Arc<StatsInner>) -> Self {
         Pipeline {
             max_batch: max_batch.max(1),
+            stats,
             state: Mutex::new(PipeState {
                 queue: VecDeque::new(),
                 next_epoch: 1,
@@ -159,9 +166,14 @@ impl<S: AugSpec> Pipeline<S> {
     fn admit<'a>(&'a self, mut g: MutexGuard<'a, PipeState<S>>) -> MutexGuard<'a, PipeState<S>> {
         // A barrier (sharded snapshot in progress) parks submitters until
         // it lifts; the committer keeps draining, so the wait is one
-        // flush, not a stall.
-        while g.barrier {
-            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+        // flush, not a stall. Parked time feeds the barrier-wait
+        // histogram (and the `fence_waits` counter).
+        if g.barrier {
+            let parked = Instant::now();
+            while g.barrier {
+                g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+            }
+            self.stats.record_fence_wait(parked.elapsed());
         }
         assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
         assert!(!g.shutdown, "store is shutting down");
@@ -190,6 +202,7 @@ impl<S: AugSpec> Pipeline<S> {
                 global: None,
                 ops: Vec::new(),
                 sealed: false,
+                opened_at: Instant::now(),
             });
         }
         let mut pushed = false;
@@ -265,6 +278,7 @@ impl<S: AugSpec> Pipeline<S> {
             global,
             ops: tagged,
             sealed: true,
+            opened_at: Instant::now(),
         });
         self.work.notify_one();
         drop(g);
@@ -329,7 +343,6 @@ impl<S: AugSpec> Pipeline<S> {
         &self,
         head: &SharedMap<S, B>,
         registry: &Registry<S, B>,
-        stats: &StatsInner,
         config: &StoreConfig,
         hook: Option<&dyn CommitHook<S>>,
     ) {
@@ -368,9 +381,12 @@ impl<S: AugSpec> Pipeline<S> {
             let seg = g.queue.pop_front().expect("front segment present");
             drop(g);
             let (epoch, global, batch) = (seg.epoch, seg.global, seg.ops);
+            // Window occupancy: segment creation → drained by us.
+            let window = seg.opened_at.elapsed();
 
             let t0 = Instant::now();
             let normalized = normalize::<S>(batch);
+            let t_normalized = Instant::now();
             let batch_len = normalized.puts.len() + normalized.deletes.len();
             let raw_ops = normalized.raw_ops;
             // WAL first: the epoch must be durable before it is applied
@@ -389,6 +405,7 @@ impl<S: AugSpec> Pipeline<S> {
                     return;
                 }
             }
+            let t_logged = Instant::now();
             // Apply on a snapshot outside any lock; publish with the
             // optimistic swap (the write lock is held only for the O(1)
             // pointer exchange). The batch vectors are *moved* into the
@@ -407,13 +424,26 @@ impl<S: AugSpec> Pipeline<S> {
             let version = head
                 .try_swap(ver, m)
                 .unwrap_or_else(|_| unreachable!("pipeline is the sole head writer"));
+            let t_applied = Instant::now();
             registry.publish(version, applied, batch_len);
             if let Some(h) = hook {
                 // after publish, before tickets wake: the hook's notion of
                 // "published through epoch E" stays conservative
                 h.epoch_published(epoch, version);
             }
-            stats.record_commit(raw_ops, batch_len, 0, t0.elapsed());
+            let t_published = Instant::now();
+            self.stats.record_commit(
+                raw_ops,
+                batch_len,
+                CommitTiming {
+                    total: t_published - t0,
+                    window,
+                    normalize: t_normalized - t0,
+                    wal_log: t_logged - t_normalized,
+                    apply: t_applied - t_logged,
+                    publish: t_published - t_applied,
+                },
+            );
 
             g = self.lock();
             g.committed_epoch = epoch;

@@ -69,9 +69,11 @@ use crate::store::VersionedStore;
 use crate::WriteOp;
 use pam::balance::Balance;
 use pam::{AugSpec, WeightBalanced};
+use pam_obs::Histogram;
 use pam_wal::GlobalStamp;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::time::Instant;
 
 // ---------------------------------------------------------------------------
 // Stable shard routing
@@ -323,6 +325,29 @@ pub struct ShardedStore<S: AugSpec, B: Balance = WeightBalanced> {
     /// — commits still run in parallel per shard — so per-shard epoch
     /// order always equals global stamp order.
     xbatch_gate: Mutex<()>,
+    /// Fence contention metrics (see [`ShardObs`]).
+    obs: ShardObs,
+}
+
+/// Sharded-layer observability: how often the epoch fence is exercised
+/// and how long acquirers wait on it. Per-shard pipeline stats live in
+/// each [`VersionedStore`]; these counters belong to the *coordination*
+/// layer above them, so [`ShardedStore::stats`] overlays them onto the
+/// aggregated per-shard view.
+#[derive(Debug, Default)]
+struct ShardObs {
+    /// Epoch-fenced snapshots cut ([`ShardedStore::snapshot`], including
+    /// the ones live `range`/`range_for_each` scans take internally) —
+    /// each pays one fence write acquisition and one all-shard barrier.
+    snapshots_taken: AtomicU64,
+    /// Write-side acquisitions of the epoch fence (currently 1:1 with
+    /// snapshots; tracked separately so future write-side users stay
+    /// visible).
+    fence_write_acquisitions: AtomicU64,
+    /// Nanoseconds spent waiting to acquire the epoch fence, both sides:
+    /// cross-shard batches blocked behind a snapshot cut (read side) and
+    /// snapshots waiting out in-flight submissions (write side).
+    fence_wait: Histogram,
 }
 
 /// Ends the raised barriers even if a flush panics mid-snapshot (a
@@ -383,6 +408,7 @@ where
             clock,
             fence: RwLock::new(()),
             xbatch_gate: Mutex::new(()),
+            obs: ShardObs::default(),
         }
     }
 
@@ -468,7 +494,9 @@ where
         // the serial order of the stamps). Safe to hold across the
         // submits: with the fence read held no barrier can be up, so
         // `submit_sealed` never blocks.
+        let parked = Instant::now();
         let _in_flight = self.fence.read().unwrap_or_else(PoisonError::into_inner);
+        self.obs.fence_wait.record_duration(parked.elapsed());
         let _ordered = self
             .xbatch_gate
             .lock()
@@ -604,7 +632,13 @@ where
             .unwrap_or_else(PoisonError::into_inner);
         // Write side of the epoch fence: once held, no cross-shard batch
         // is half-submitted anywhere.
+        let parked = Instant::now();
         let _fence = self.fence.write().unwrap_or_else(PoisonError::into_inner);
+        self.obs.fence_wait.record_duration(parked.elapsed());
+        self.obs
+            .fence_write_acquisitions
+            .fetch_add(1, Ordering::Relaxed);
+        self.obs.snapshots_taken.fetch_add(1, Ordering::Relaxed);
         let mut guard = BarrierGuard {
             shards: &self.shards,
             raised: 0,
@@ -638,10 +672,18 @@ where
     // -- observability -----------------------------------------------------
 
     /// Store-wide statistics: the per-shard stats folded with
-    /// [`StoreStats::aggregate`].
+    /// [`StoreStats::aggregate`], overlaid with the sharded-layer fence
+    /// metrics ([`StoreStats::fence_wait`],
+    /// [`StoreStats::snapshots_taken`],
+    /// [`StoreStats::fence_write_acquisitions`] — always zero on an
+    /// unsharded store).
     pub fn stats(&self) -> StoreStats {
         let per: Vec<StoreStats> = self.stats_per_shard();
-        StoreStats::aggregate(per.iter())
+        let mut s = StoreStats::aggregate(per.iter());
+        s.fence_wait = self.obs.fence_wait.snapshot();
+        s.snapshots_taken = self.obs.snapshots_taken.load(Ordering::Relaxed);
+        s.fence_write_acquisitions = self.obs.fence_write_acquisitions.load(Ordering::Relaxed);
+        s
     }
 
     /// Per-shard statistics, shard order (spot imbalanced partitions).

@@ -1,36 +1,80 @@
 //! The store's observability surface.
 //!
-//! Counters are lock-free atomics bumped by the committer; a coherent
-//! [`StoreStats`] snapshot is assembled on demand. Memory numbers come
-//! from `pam::stats` (exact distinct-node walks over every live version),
-//! which is what makes the multi-version sharing visible: N pinned
-//! versions of similar maps report barely more bytes than one.
+//! Counters and latency histograms are lock-free atomics bumped by the
+//! committer (see `pam_obs::Histogram` — wait-free recording); a
+//! coherent [`StoreStats`] snapshot is assembled on demand. Memory
+//! numbers come from `pam::stats` (exact distinct-node walks over every
+//! live version), which is what makes the multi-version sharing
+//! visible: N pinned versions of similar maps report barely more bytes
+//! than one.
+//!
+//! Every histogram records **nanoseconds**. [`StoreStats::export_into`]
+//! publishes the whole snapshot into a [`pam_obs::MetricsRegistry`]
+//! under the canonical `pam_*` metric names (see the "Observability"
+//! section of ARCHITECTURE.md), from which Prometheus-text or JSON
+//! exposition follows.
 
+use pam_obs::{Histogram, HistogramSnapshot, MetricsRegistry};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// Per-stage wall times of one committed epoch, measured by the
+/// committer loop.
+#[derive(Clone, Copy, Debug, Default)]
+pub(crate) struct CommitTiming {
+    /// Whole commit: normalize + WAL + apply + publish.
+    pub total: Duration,
+    /// Group-commit window occupancy: how long the epoch segment sat
+    /// open accumulating writes before the committer drained it.
+    pub window: Duration,
+    /// Sort + last-write-wins deduplication.
+    pub normalize: Duration,
+    /// Commit-hook logging (WAL append + fsync for a durable store;
+    /// zero when no hook is installed).
+    pub wal_log: Duration,
+    /// `multi_insert`/`multi_delete` against the head plus the head
+    /// swap.
+    pub apply: Duration,
+    /// Version-registry publish + hook notification.
+    pub publish: Duration,
+}
 
 #[derive(Default)]
 pub(crate) struct StatsInner {
     commits: AtomicU64,
     raw_ops: AtomicU64,
     applied_ops: AtomicU64,
-    cas_retries: AtomicU64,
+    fence_waits: AtomicU64,
     max_batch: AtomicU64,
-    total_commit_nanos: AtomicU64,
-    max_commit_nanos: AtomicU64,
+    commit: Histogram,
+    commit_window: Histogram,
+    commit_normalize: Histogram,
+    commit_wal_log: Histogram,
+    commit_apply: Histogram,
+    commit_publish: Histogram,
+    barrier_wait: Histogram,
 }
 
 impl StatsInner {
-    pub fn record_commit(&self, raw_ops: usize, applied_ops: usize, retries: u64, took: Duration) {
-        let nanos = took.as_nanos() as u64;
+    pub fn record_commit(&self, raw_ops: usize, applied_ops: usize, timing: CommitTiming) {
         self.commits.fetch_add(1, Ordering::Relaxed);
         self.raw_ops.fetch_add(raw_ops as u64, Ordering::Relaxed);
         self.applied_ops
             .fetch_add(applied_ops as u64, Ordering::Relaxed);
-        self.cas_retries.fetch_add(retries, Ordering::Relaxed);
         self.max_batch.fetch_max(raw_ops as u64, Ordering::Relaxed);
-        self.total_commit_nanos.fetch_add(nanos, Ordering::Relaxed);
-        self.max_commit_nanos.fetch_max(nanos, Ordering::Relaxed);
+        self.commit.record_duration(timing.total);
+        self.commit_window.record_duration(timing.window);
+        self.commit_normalize.record_duration(timing.normalize);
+        self.commit_wal_log.record_duration(timing.wal_log);
+        self.commit_apply.record_duration(timing.apply);
+        self.commit_publish.record_duration(timing.publish);
+    }
+
+    /// A writer parked in `admit()` while a snapshot barrier held the
+    /// pipeline closed, for `took`.
+    pub fn record_fence_wait(&self, took: Duration) {
+        self.fence_waits.fetch_add(1, Ordering::Relaxed);
+        self.barrier_wait.record_duration(took);
     }
 }
 
@@ -43,15 +87,44 @@ pub struct StoreStats {
     pub raw_ops: u64,
     /// Operations surviving last-write-wins deduplication.
     pub applied_ops: u64,
-    /// CAS publish retries (always 0 today: the pipeline is the head's
-    /// sole writer; reserved for future direct-commit paths).
-    pub cas_retries: u64,
+    /// Times a writer parked in `admit()` because a snapshot barrier
+    /// held the pipeline closed. (This field replaced the stale
+    /// `cas_retries` counter, which was always 0 once the pipeline
+    /// became the head's sole writer.)
+    pub fence_waits: u64,
     /// Largest single batch (raw operations) drained in one epoch.
     pub max_batch: u64,
-    /// Mean wall time of a commit (normalize + apply + publish).
+    /// Mean wall time of a commit (derived from [`Self::commit`]).
     pub mean_commit: Duration,
-    /// Worst-case commit wall time.
+    /// Worst-case commit wall time (derived from [`Self::commit`]).
     pub max_commit: Duration,
+    /// Whole-commit latency distribution, nanoseconds.
+    pub commit: HistogramSnapshot,
+    /// Group-commit window occupancy: time each epoch segment sat open
+    /// accumulating writes before the committer drained it.
+    pub commit_window: HistogramSnapshot,
+    /// Normalize stage (sort + last-write-wins) latency.
+    pub commit_normalize: HistogramSnapshot,
+    /// Commit-hook logging stage latency (WAL append + fsync; all-zero
+    /// for an in-memory store).
+    pub commit_wal_log: HistogramSnapshot,
+    /// Apply stage (bulk insert/delete + head swap) latency.
+    pub commit_apply: HistogramSnapshot,
+    /// Publish stage (registry + hook notification) latency.
+    pub commit_publish: HistogramSnapshot,
+    /// Time writers spent parked in `admit()` behind snapshot barriers.
+    pub barrier_wait: HistogramSnapshot,
+    /// Time spent acquiring the sharded store's epoch fence (read side
+    /// by cross-shard batches, write side by snapshots). All-zero for
+    /// an unsharded store; filled in by `ShardedStore::stats`.
+    pub fence_wait: HistogramSnapshot,
+    /// Consistent snapshots taken (`ShardedStore::snapshot`; an
+    /// unsharded store reports 0 — its snapshots are free root grabs).
+    pub snapshots_taken: u64,
+    /// Exclusive (write-side) fence acquisitions — one per sharded
+    /// snapshot, so "live sharded range scans pay one snapshot per
+    /// scan" is measurable here.
+    pub fence_write_acquisitions: u64,
     /// Versions currently retained by the registry.
     pub live_versions: usize,
     /// Versions pruned since the store started.
@@ -75,8 +148,22 @@ pub struct DurabilityStats {
     pub wal_fsyncs: u64,
     /// Live WAL segment files.
     pub wal_segments: u64,
+    /// WAL segment rotations performed since open.
+    pub wal_rotations: u64,
+    /// Whole-append latency distribution (rotation + write + any
+    /// fsync), nanoseconds.
+    pub wal_append: HistogramSnapshot,
+    /// Fsync (`sync_data`) latency distribution, nanoseconds.
+    pub wal_fsync: HistogramSnapshot,
     /// Checkpoints written since open.
     pub checkpoints: u64,
+    /// Bytes written by checkpoints since open.
+    pub checkpoint_bytes: u64,
+    /// Whole-checkpoint duration distribution, nanoseconds.
+    pub checkpoint: HistogramSnapshot,
+    /// How long each checkpoint held its version pin (the window in
+    /// which that version's memory could not be reclaimed).
+    pub checkpoint_pin_hold: HistogramSnapshot,
     /// Highest WAL epoch covered by the newest checkpoint.
     pub last_checkpoint_epoch: u64,
     /// Time since the newest checkpoint was written in this process
@@ -88,10 +175,11 @@ impl std::fmt::Display for DurabilityStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "wal {} records / {} KiB / {} fsyncs / {} segments, {} checkpoints (last: epoch {}, {})",
+            "wal {} records / {} KiB / {} fsyncs (p99 {:?}) / {} segments, {} checkpoints (last: epoch {}, {})",
             self.wal_records,
             self.wal_bytes / 1024,
             self.wal_fsyncs,
+            Duration::from_nanos(self.wal_fsync.p99()),
             self.wal_segments,
             self.checkpoints,
             self.last_checkpoint_epoch,
@@ -110,16 +198,25 @@ impl StoreStats {
         retired_versions: u64,
         head_version: u64,
     ) -> Self {
-        let commits = inner.commits.load(Ordering::Relaxed);
-        let total = inner.total_commit_nanos.load(Ordering::Relaxed);
+        let commit = inner.commit.snapshot();
         StoreStats {
-            commits,
+            commits: inner.commits.load(Ordering::Relaxed),
             raw_ops: inner.raw_ops.load(Ordering::Relaxed),
             applied_ops: inner.applied_ops.load(Ordering::Relaxed),
-            cas_retries: inner.cas_retries.load(Ordering::Relaxed),
+            fence_waits: inner.fence_waits.load(Ordering::Relaxed),
             max_batch: inner.max_batch.load(Ordering::Relaxed),
-            mean_commit: Duration::from_nanos(total / commits.max(1)),
-            max_commit: Duration::from_nanos(inner.max_commit_nanos.load(Ordering::Relaxed)),
+            mean_commit: Duration::from_nanos(commit.mean()),
+            max_commit: Duration::from_nanos(commit.max()),
+            commit,
+            commit_window: inner.commit_window.snapshot(),
+            commit_normalize: inner.commit_normalize.snapshot(),
+            commit_wal_log: inner.commit_wal_log.snapshot(),
+            commit_apply: inner.commit_apply.snapshot(),
+            commit_publish: inner.commit_publish.snapshot(),
+            barrier_wait: inner.barrier_wait.snapshot(),
+            fence_wait: HistogramSnapshot::default(),
+            snapshots_taken: 0,
+            fence_write_acquisitions: 0,
             live_versions,
             retired_versions,
             head_version,
@@ -134,25 +231,35 @@ impl StoreStats {
     }
 
     /// Fold per-shard statistics into one store-wide summary (used by
-    /// `ShardedStore::stats`). Counters sum; commit latencies are the
-    /// commit-weighted mean and the global max; `head_version` is the
-    /// highest per-shard head (shard version ids are independent — use
-    /// `ShardedSnapshot::version_vector` for the real coordinate).
-    /// Durability counters sum, except `last_checkpoint_epoch` and
-    /// `last_checkpoint_age`, which report the *least-advanced* shard —
-    /// the conservative answer to "how stale could a checkpoint be".
+    /// `ShardedStore::stats`). Counters sum; histograms merge
+    /// bucket-wise (so the aggregate percentiles are the percentiles of
+    /// the union of all shards' samples); `mean_commit` / `max_commit`
+    /// are recomputed from the merged commit histogram; `head_version`
+    /// is the highest per-shard head (shard version ids are independent
+    /// — use `ShardedSnapshot::version_vector` for the real
+    /// coordinate). Durability counters sum, except
+    /// `last_checkpoint_epoch` and `last_checkpoint_age`, which report
+    /// the *least-advanced* shard — the conservative answer to "how
+    /// stale could a checkpoint be".
     pub fn aggregate<'a>(shards: impl IntoIterator<Item = &'a StoreStats>) -> StoreStats {
         let mut out = StoreStats::default();
-        let mut total_commit_nanos = 0u128;
         let mut first = true;
         for s in shards {
             out.commits += s.commits;
             out.raw_ops += s.raw_ops;
             out.applied_ops += s.applied_ops;
-            out.cas_retries += s.cas_retries;
+            out.fence_waits += s.fence_waits;
             out.max_batch = out.max_batch.max(s.max_batch);
-            total_commit_nanos += s.mean_commit.as_nanos() * s.commits as u128;
-            out.max_commit = out.max_commit.max(s.max_commit);
+            out.commit.merge(&s.commit);
+            out.commit_window.merge(&s.commit_window);
+            out.commit_normalize.merge(&s.commit_normalize);
+            out.commit_wal_log.merge(&s.commit_wal_log);
+            out.commit_apply.merge(&s.commit_apply);
+            out.commit_publish.merge(&s.commit_publish);
+            out.barrier_wait.merge(&s.barrier_wait);
+            out.fence_wait.merge(&s.fence_wait);
+            out.snapshots_taken += s.snapshots_taken;
+            out.fence_write_acquisitions += s.fence_write_acquisitions;
             out.live_versions += s.live_versions;
             out.retired_versions += s.retired_versions;
             out.head_version = out.head_version.max(s.head_version);
@@ -161,7 +268,15 @@ impl StoreStats {
             out.durability.wal_bytes += d.wal_bytes;
             out.durability.wal_fsyncs += d.wal_fsyncs;
             out.durability.wal_segments += d.wal_segments;
+            out.durability.wal_rotations += d.wal_rotations;
+            out.durability.wal_append.merge(&d.wal_append);
+            out.durability.wal_fsync.merge(&d.wal_fsync);
             out.durability.checkpoints += d.checkpoints;
+            out.durability.checkpoint_bytes += d.checkpoint_bytes;
+            out.durability.checkpoint.merge(&d.checkpoint);
+            out.durability
+                .checkpoint_pin_hold
+                .merge(&d.checkpoint_pin_hold);
             out.durability.last_checkpoint_epoch = if first {
                 d.last_checkpoint_epoch
             } else {
@@ -178,9 +293,51 @@ impl StoreStats {
                 };
             first = false;
         }
-        out.mean_commit =
-            Duration::from_nanos((total_commit_nanos / out.commits.max(1) as u128) as u64);
+        out.mean_commit = Duration::from_nanos(out.commit.mean());
+        out.max_commit = Duration::from_nanos(out.commit.max());
         out
+    }
+
+    /// Publish this snapshot into `registry` under the canonical
+    /// `pam_*` metric names (listed in ARCHITECTURE.md §Observability).
+    /// Every metric is exported unconditionally — an idle store shows
+    /// zeros rather than absent series — and re-exporting overwrites
+    /// the previous values, so calling this periodically on the same
+    /// registry yields a scrapeable surface.
+    pub fn export_into(&self, registry: &MetricsRegistry) {
+        registry.export_counter("pam_commits_total", self.commits);
+        registry.export_counter("pam_raw_ops_total", self.raw_ops);
+        registry.export_counter("pam_applied_ops_total", self.applied_ops);
+        registry.export_counter("pam_fence_waits_total", self.fence_waits);
+        registry.export_counter("pam_snapshots_taken_total", self.snapshots_taken);
+        registry.export_counter(
+            "pam_fence_write_acquisitions_total",
+            self.fence_write_acquisitions,
+        );
+        registry.export_counter("pam_max_batch_ops", self.max_batch);
+        registry.export_gauge("pam_live_versions", self.live_versions as i64);
+        registry.export_counter("pam_retired_versions_total", self.retired_versions);
+        registry.export_gauge("pam_head_version", self.head_version as i64);
+        registry.export_histogram("pam_commit_nanos", self.commit.clone());
+        registry.export_histogram("pam_commit_window_nanos", self.commit_window.clone());
+        registry.export_histogram("pam_commit_normalize_nanos", self.commit_normalize.clone());
+        registry.export_histogram("pam_commit_wal_log_nanos", self.commit_wal_log.clone());
+        registry.export_histogram("pam_commit_apply_nanos", self.commit_apply.clone());
+        registry.export_histogram("pam_commit_publish_nanos", self.commit_publish.clone());
+        registry.export_histogram("pam_barrier_wait_nanos", self.barrier_wait.clone());
+        registry.export_histogram("pam_fence_wait_nanos", self.fence_wait.clone());
+        let d = &self.durability;
+        registry.export_counter("pam_wal_records_total", d.wal_records);
+        registry.export_counter("pam_wal_bytes_total", d.wal_bytes);
+        registry.export_counter("pam_wal_fsyncs_total", d.wal_fsyncs);
+        registry.export_gauge("pam_wal_segments", d.wal_segments as i64);
+        registry.export_counter("pam_wal_rotations_total", d.wal_rotations);
+        registry.export_histogram("pam_wal_append_nanos", d.wal_append.clone());
+        registry.export_histogram("pam_wal_fsync_nanos", d.wal_fsync.clone());
+        registry.export_counter("pam_checkpoints_total", d.checkpoints);
+        registry.export_counter("pam_checkpoint_bytes_total", d.checkpoint_bytes);
+        registry.export_histogram("pam_checkpoint_nanos", d.checkpoint.clone());
+        registry.export_histogram("pam_checkpoint_pin_nanos", d.checkpoint_pin_hold.clone());
     }
 }
 
@@ -189,17 +346,27 @@ impl std::fmt::Display for StoreStats {
         write!(
             f,
             "v{} | {} commits, {} ops ({} applied after LWW), mean batch {:.1}, \
-             commit mean {:?} max {:?}, {} live / {} retired versions",
+             commit mean {:?} p99 {:?} max {:?}, {} live / {} retired versions",
             self.head_version,
             self.commits,
             self.raw_ops,
             self.applied_ops,
             self.mean_batch(),
             self.mean_commit,
+            Duration::from_nanos(self.commit.p99()),
             self.max_commit,
             self.live_versions,
             self.retired_versions,
         )?;
+        if self.fence_waits > 0 || self.snapshots_taken > 0 {
+            write!(
+                f,
+                " | {} fence waits (p99 {:?}), {} snapshots",
+                self.fence_waits,
+                Duration::from_nanos(self.barrier_wait.p99().max(self.fence_wait.p99())),
+                self.snapshots_taken,
+            )?;
+        }
         if self.durability.wal_records > 0 || self.durability.checkpoints > 0 {
             write!(f, " | {}", self.durability)?;
         }

@@ -13,7 +13,7 @@ struct Inner<S: AugSpec, B: Balance> {
     head: SharedMap<S, B>,
     registry: Registry<S, B>,
     pipeline: Arc<Pipeline<S>>,
-    stats: StatsInner,
+    stats: Arc<StatsInner>,
     config: StoreConfig,
     hook: Option<Arc<dyn CommitHook<S>>>,
 }
@@ -64,11 +64,12 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
         config: StoreConfig,
         hook: Option<Arc<dyn CommitHook<S>>>,
     ) -> Self {
+        let stats = Arc::new(StatsInner::default());
         let inner = Arc::new(Inner {
             head: SharedMap::new(initial.clone()),
             registry: Registry::new(initial, config.keep_versions),
-            pipeline: Arc::new(Pipeline::new(config.max_batch)),
-            stats: StatsInner::default(),
+            pipeline: Arc::new(Pipeline::new(config.max_batch, stats.clone())),
+            stats,
             config,
             hook,
         });
@@ -79,7 +80,6 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
                 worker.pipeline.run_committer(
                     &worker.head,
                     &worker.registry,
-                    &worker.stats,
                     &worker.config,
                     worker.hook.as_deref(),
                 );

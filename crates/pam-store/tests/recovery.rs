@@ -261,6 +261,17 @@ fn kill_and_recover() {
         assert_eq!(store.get(&e), Some(e * 7), "acked write {e} lost");
     }
     assert!(store.recovery().checkpoint_epoch >= 1, "child checkpointed");
+    // every recovery phase that did real work reports nonzero wall time
+    let t = store.recovery().timings;
+    assert!(t.bulk_load > Duration::ZERO, "checkpoint bulk-load untimed");
+    assert!(t.segment_scan > Duration::ZERO, "WAL segment scan untimed");
+    assert!(t.replay > Duration::ZERO, "post-checkpoint replay untimed");
+    assert_eq!(
+        (t.prescan, t.vote),
+        (Duration::ZERO, Duration::ZERO),
+        "pre-scan and vote are sharded-only phases"
+    );
+    assert!(t.total() >= t.bulk_load + t.segment_scan + t.replay);
     // the unacked tail batch is atomic: all ten keys or none
     let tail: Vec<u64> = (0..10u64).filter_map(|i| store.get(&(1000 + i))).collect();
     assert!(

@@ -141,6 +141,44 @@ fn snapshots_are_consistent_cuts_under_concurrent_writers() {
     assert_eq!(store.snapshot().len() as u64, 2 * PER_WRITER);
 }
 
+/// The PR-5 note "live sharded range scans pay one snapshot per scan"
+/// made measurable: every epoch-fenced cut bumps `snapshots_taken` and
+/// `fence_write_acquisitions` and records its fence wait, and the
+/// aggregated histograms carry exactly the union of the per-shard
+/// samples.
+#[test]
+fn fence_counters_and_wait_histograms_are_recorded() {
+    let store = Sharded::with_config(eager_sharded(3));
+    let t = store.put_all((0..100u64).map(|k| (k, 1)));
+    assert!(t.global_epoch().is_some(), "preload must span shards");
+    t.wait();
+    assert_eq!(store.stats().snapshots_taken, 0, "no snapshot yet");
+
+    for _ in 0..5 {
+        let _ = store.snapshot();
+    }
+    let mut n = 0;
+    store.range_for_each(&0, &u64::MAX, |_, _| n += 1); // 1 internal snapshot
+    assert_eq!(n, 100);
+
+    let s = store.stats();
+    assert_eq!(s.snapshots_taken, 6, "5 explicit + 1 per live range scan");
+    assert_eq!(s.fence_write_acquisitions, 6);
+    // the fence-wait histogram saw every acquisition: 6 write-side
+    // (snapshots) + 1 read-side (the cross-shard preload batch)
+    assert_eq!(s.fence_wait.count(), 7);
+    // aggregate percentiles come from the union of per-shard samples
+    assert_eq!(s.commit.count(), s.commits);
+    assert_eq!(
+        s.commits,
+        store
+            .stats_per_shard()
+            .iter()
+            .map(|p| p.commit.count())
+            .sum::<u64>()
+    );
+}
+
 #[test]
 fn durable_sharded_reopen_sees_acked_writes() {
     let dir = fresh_dir("reopen");
@@ -296,6 +334,22 @@ fn kill_and_recover_with_torn_shard_tail() {
         "child checkpointed every shard: {:?}",
         store.recovery()
     );
+    // per-shard phase timings: every shard bulk-loaded its checkpoint,
+    // scanned its segments, and replayed its tail; the store-wide
+    // pre-scan and vote phases are stamped identically into every entry
+    let t0 = store.recovery()[0].timings;
+    assert!(t0.prescan > Duration::ZERO, "sharded recovery pre-scans");
+    assert!(t0.vote > Duration::ZERO, "sharded recovery votes");
+    for r in store.recovery() {
+        let t = r.timings;
+        assert!(t.bulk_load > Duration::ZERO, "shard bulk-load untimed");
+        assert!(
+            t.segment_scan > Duration::ZERO,
+            "shard segment scan untimed"
+        );
+        assert!(t.replay > Duration::ZERO, "shard replay untimed");
+        assert_eq!((t.prescan, t.vote), (t0.prescan, t0.vote));
+    }
     // The unacked batch was stamped with a global epoch and split per
     // shard; since PR 5 recovery votes on it as a unit — it must appear
     // **wholly or not at all across the entire store**, never partially

@@ -49,4 +49,4 @@ pub use codec::{Codec, CodecError, Reader};
 pub use lock::DirLock;
 pub use manifest::Manifest;
 pub use record::EpochBody;
-pub use wal::{EpochRecord, GlobalStamp, SyncPolicy, Wal, WalConfig};
+pub use wal::{EpochRecord, GlobalStamp, SyncPolicy, Wal, WalConfig, WalObs};

@@ -48,9 +48,13 @@
 //! the much larger sealed portion of the log is still a hard error.
 
 use crate::frame::{self, Frame};
+use pam_obs::{event, Histogram, Level};
 use std::fs::{self, File, OpenOptions};
 use std::io::{self, Seek, SeekFrom, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 /// Magic bytes opening a v1 segment file (read-compat only; new
 /// segments are written as [`SEGMENT_MAGIC_V2`]).
@@ -134,6 +138,28 @@ pub struct EpochRecord {
     pub body: Vec<u8>,
 }
 
+/// Hot-path observability for one [`Wal`]: shared out via [`Wal::obs`]
+/// so the durability layer can snapshot append/fsync latency and
+/// rotation counts without holding the WAL mutex.
+#[derive(Debug, Default)]
+pub struct WalObs {
+    /// Latency of whole [`Wal::append`] calls, nanoseconds (includes
+    /// any rotation and fsync the append performed).
+    pub append_nanos: Histogram,
+    /// Latency of each `fsync` (`sync_data`) on the append path,
+    /// nanoseconds.
+    pub fsync_nanos: Histogram,
+    /// Segment rotations performed since open.
+    pub rotations: AtomicU64,
+}
+
+impl WalObs {
+    /// Rotations performed since open.
+    pub fn rotations(&self) -> u64 {
+        self.rotations.load(Ordering::Relaxed)
+    }
+}
+
 /// Outcome of one [`Wal::append`].
 #[derive(Debug, Clone, Copy)]
 pub struct AppendInfo {
@@ -160,6 +186,7 @@ pub struct Wal {
     last_epoch: u64,
     epochs_since_sync: u64,
     bytes_since_sync: u64,
+    obs: Arc<WalObs>,
 }
 
 fn segment_path(dir: &Path, first_epoch: u64) -> PathBuf {
@@ -408,6 +435,7 @@ impl Wal {
                 last_epoch,
                 epochs_since_sync: 0,
                 bytes_since_sync: 0,
+                obs: Arc::new(WalObs::default()),
             },
             records,
         ))
@@ -431,13 +459,21 @@ impl Wal {
         body: &[u8],
     ) -> io::Result<AppendInfo> {
         debug_assert!(epoch > self.last_epoch, "epochs must be monotone");
+        let append_start = Instant::now();
         // Rotate a full active segment *before* the append so a segment
         // never splits an epoch.
         if let Some((file, seg, size)) = self.current.take() {
             if size >= self.config.segment_bytes {
-                file.sync_data()?; // sealed segments are always durable
+                self.timed_fsync(&file)?; // sealed segments are always durable
                 self.epochs_since_sync = 0;
                 self.bytes_since_sync = 0;
+                self.obs.rotations.fetch_add(1, Ordering::Relaxed);
+                event!(
+                    Level::Info,
+                    "pam_wal",
+                    "sealed segment {} at {size} bytes",
+                    seg.path.display()
+                );
                 self.sealed.push(seg);
             } else {
                 self.current = Some((file, seg, size));
@@ -482,10 +518,15 @@ impl Wal {
             SyncPolicy::SyncEveryBytes(n) => self.bytes_since_sync >= n.max(1),
         };
         if synced {
+            let t = Instant::now();
             file.sync_data()?;
+            self.obs.fsync_nanos.record_duration(t.elapsed());
             self.epochs_since_sync = 0;
             self.bytes_since_sync = 0;
         }
+        self.obs
+            .append_nanos
+            .record_duration(append_start.elapsed());
         Ok(AppendInfo {
             bytes: framed,
             synced,
@@ -500,13 +541,30 @@ impl Wal {
     pub fn sync(&mut self) -> io::Result<bool> {
         if let Some((file, _, _)) = self.current.as_mut() {
             if self.epochs_since_sync > 0 {
+                let t = Instant::now();
                 file.sync_data()?;
+                self.obs.fsync_nanos.record_duration(t.elapsed());
                 self.epochs_since_sync = 0;
                 self.bytes_since_sync = 0;
                 return Ok(true);
             }
         }
         Ok(false)
+    }
+
+    /// `sync_data` with the latency recorded into the fsync histogram.
+    fn timed_fsync(&self, file: &File) -> io::Result<()> {
+        let t = Instant::now();
+        file.sync_data()?;
+        self.obs.fsync_nanos.record_duration(t.elapsed());
+        Ok(())
+    }
+
+    /// Shared handle to this log's hot-path metrics (append/fsync
+    /// latency histograms, rotation count). Cheap to clone and safe to
+    /// read while appends are in flight.
+    pub fn obs(&self) -> Arc<WalObs> {
+        Arc::clone(&self.obs)
     }
 
     /// Unlink every sealed segment whose contents are entirely covered by
