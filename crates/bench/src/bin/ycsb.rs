@@ -48,13 +48,15 @@
 
 use pam::SumAug;
 use pam_bench::*;
-use pam_obs::{Histogram, MetricsRegistry};
+use pam_obs::{
+    chrome_trace, FlightRecorder, Histogram, MetricsRegistry, ObsServer, TelemetrySource,
+};
 use pam_store::{
-    DurabilityConfig, DurableStore, ShardedConfig, ShardedStore, StoreConfig, StoreStats,
+    DurabilityConfig, DurableStore, Health, ShardedConfig, ShardedStore, StoreConfig, StoreStats,
     SyncPolicy, VersionedStore,
 };
 use std::io::Write as _;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 use std::time::Duration;
 use workloads::hash64;
 
@@ -104,6 +106,8 @@ trait KvTarget: Send + Sync + 'static {
     fn kv_scan_count(&self, lo: u64, hi: u64) -> usize;
     fn kv_sum(&self, lo: u64, hi: u64) -> u64;
     fn kv_flush(&self);
+    fn kv_stats(&self) -> StoreStats;
+    fn kv_health(&self) -> Health;
 }
 
 /// Both store types expose identically named inherent methods; one macro
@@ -128,10 +132,88 @@ macro_rules! impl_kv_target {
             fn kv_flush(&self) {
                 self.flush();
             }
+            fn kv_stats(&self) -> StoreStats {
+                self.stats()
+            }
+            fn kv_health(&self) -> Health {
+                self.health()
+            }
         }
     )*};
 }
 impl_kv_target!(Store, Sharded);
+
+// -- live telemetry (`--obs-addr`) -----------------------------------------
+
+/// What the telemetry endpoint scrapes from whichever store the current
+/// run mode is driving.
+type StatsProvider = Box<dyn Fn() -> (StoreStats, Health) + Send + Sync>;
+
+/// The slot the active run mode installs its store into: the endpoint
+/// outlives any single store (sweeps build one per row), so it reads
+/// through this indirection.
+fn obs_slot() -> &'static Mutex<Option<StatsProvider>> {
+    static SLOT: OnceLock<Mutex<Option<StatsProvider>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(None))
+}
+
+/// Point the live endpoint at `store` (replacing whatever previous row's
+/// store it was scraping).
+fn obs_install<T: KvTarget>(store: &Arc<T>) {
+    let s = store.clone();
+    *obs_slot().lock().unwrap() = Some(Box::new(move || (s.kv_stats(), s.kv_health())));
+}
+
+/// Bind the live telemetry endpoint (`--obs-addr`). The source reads the
+/// slot on every scrape, so it follows the sweep from store to store.
+fn obs_bind(addr: &str) -> ObsServer {
+    let source = TelemetrySource {
+        export: Box::new(|reg| {
+            if let Some(provider) = obs_slot().lock().unwrap().as_ref() {
+                provider().0.export_into(reg);
+            }
+        }),
+        health: Box::new(|| match obs_slot().lock().unwrap().as_ref() {
+            Some(provider) => provider().1,
+            None => Health::Healthy,
+        }),
+    };
+    let server = ObsServer::bind(addr, source).expect("bind --obs-addr");
+    // CI polls the log for this line to learn the resolved port.
+    println!("obs listening on {}", server.local_addr());
+    server
+}
+
+/// End-of-run duties for the observability flags, as a drop guard so
+/// every early-returning run mode pays them: write `--trace-out`, then
+/// linger (bounded) until the endpoint has served at least one request —
+/// a scraper racing a short run must not find a dead port.
+struct ObsFinish {
+    obs: Option<ObsServer>,
+    trace_out: Option<String>,
+}
+
+impl Drop for ObsFinish {
+    fn drop(&mut self) {
+        if let Some(path) = &self.trace_out {
+            let doc = chrome_trace(&FlightRecorder::global().snapshot());
+            if let Some(parent) = std::path::Path::new(path).parent() {
+                if !parent.as_os_str().is_empty() {
+                    std::fs::create_dir_all(parent).expect("create trace output dir");
+                }
+            }
+            std::fs::write(path, doc).expect("write trace output");
+            println!("wrote {path}");
+        }
+        if let Some(obs) = &self.obs {
+            let deadline = std::time::Instant::now() + Duration::from_secs(60);
+            while obs.request_count() == 0 && std::time::Instant::now() < deadline {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+        // the server itself shuts down when `obs` drops here
+    }
+}
 
 struct Mix {
     name: &'static str,
@@ -183,6 +265,7 @@ fn drive<T: KvTarget>(
     key_space: u64,
 ) -> f64 {
     let (read_pct, scan_pct, sum_pct) = (mix.read_pct, mix.scan_pct, mix.sum_pct);
+    obs_install(store); // live scrapes follow the store under test
     let (_, secs) = time(|| {
         let handles: Vec<_> = (0..threads)
             .map(|t| {
@@ -370,6 +453,7 @@ fn run_xbatch(counts: &[usize], preload: usize, ops: usize) -> Vec<XbatchRow> {
                 ..StoreConfig::default()
             },
         }));
+        obs_install(&store);
         store
             .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
             .wait();
@@ -513,6 +597,7 @@ fn run_contend(counts: &[usize], preload: usize, ops: usize) -> Vec<ContendRow> 
                 ..StoreConfig::default()
             },
         }));
+        obs_install(&store);
         store
             .put_all((0..preload as u64).map(|i| (hash64(i) % key_space, i)))
             .wait();
@@ -800,6 +885,19 @@ fn main() {
     fn prom_path(args: &[String]) -> Option<&str> {
         path_arg(args, "--prom")
     }
+
+    // `--obs-addr ADDR`: serve /metrics, /metrics.json, /events, /health,
+    // and /trace live while the benchmark runs (port 0 picks a free port;
+    // the resolved address is printed as "obs listening on ..."). The run
+    // then lingers — up to 60 s — until at least one request has been
+    // served, so a scraper started alongside never races a short run.
+    // `--trace-out FILE`: write the epoch flight ring as Chrome
+    // trace-event JSON at exit (load it in chrome://tracing or Perfetto).
+    // Both work with every run mode.
+    let _obs_finish = ObsFinish {
+        obs: path_arg(&args, "--obs-addr").map(obs_bind),
+        trace_out: path_arg(&args, "--trace-out").map(String::from),
+    };
 
     // `--contend`: acked put latency under a concurrent epoch-fenced
     // snapshot loop — the fence-contention tail (EXPERIMENTS §7).

@@ -15,7 +15,19 @@
 //! * [`trace`] — a minimal tracing facade: [`event!`] and [`span!`]
 //!   macros behind one relaxed-atomic level gate, a pluggable
 //!   [`Subscriber`], and a default subscriber combining a ring buffer
-//!   of recent events with a `PAM_LOG`-filtered stderr writer.
+//!   of recent events (level via `PAM_LOG_RING`) with a
+//!   `PAM_LOG`-filtered stderr writer.
+//! * [`server`] — a **live telemetry endpoint**: a hand-rolled HTTP/1.0
+//!   listener ([`ObsServer`]) serving `/metrics`, `/metrics.json`,
+//!   `/events`, `/health`, and `/trace` from a [`TelemetrySource`].
+//! * [`flight`] — the **epoch flight recorder**: a fixed ring of
+//!   per-epoch stage timelines ([`EpochTrace`]) plus crash dumps
+//!   (`flight-<pid>.json`) into registered WAL directories on poison or
+//!   panic.
+//! * [`chrome`] — renders the flight ring as Chrome trace-event JSON
+//!   ([`chrome_trace`]) for `chrome://tracing` / Perfetto.
+//! * [`json`] — the zero-dependency JSON reader the tests and CI checks
+//!   validate all of the above with.
 //!
 //! Everything is hand-rolled (no registry access in this workspace, by
 //! design — see the `crates/shims` pattern) and cheap enough to stay
@@ -23,10 +35,17 @@
 
 #![warn(missing_docs)]
 
+pub mod chrome;
+pub mod flight;
 pub mod hist;
+pub mod json;
 pub mod metrics;
+pub mod server;
 pub mod trace;
 
+pub use chrome::chrome_trace;
+pub use flight::{EpochTrace, FlightRecorder};
 pub use hist::{Histogram, HistogramSnapshot};
 pub use metrics::{Counter, Gauge, MetricsRegistry};
+pub use server::{Health, ObsServer, TelemetrySource};
 pub use trace::{recent_events, set_subscriber, Level, Span, Subscriber};

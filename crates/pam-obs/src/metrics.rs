@@ -21,6 +21,7 @@
 //! the name (e.g. `pam_commit_nanos{shard="3"}`).
 
 use crate::hist::{Histogram, HistogramSnapshot};
+use crate::json::escape as json_escape;
 use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError};
@@ -118,19 +119,6 @@ fn with_label(name: &str, key: &str, value: &str) -> String {
         Some(l) if !l.is_empty() => format!("{base}{{{l},{key}=\"{value}\"}}"),
         _ => format!("{base}{{{key}=\"{value}\"}}"),
     }
-}
-
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out
 }
 
 impl MetricsRegistry {

@@ -9,8 +9,9 @@
 //!    a disabled `event!(Level::Trace, ...)` costs one load and a
 //!    predictable branch — no formatting, no allocation.
 //! 2. **Zero dependencies.** The default subscriber is a fixed-size
-//!    ring buffer of recent events (always on, `Info` and above) plus a
-//!    stderr writer filtered by the `PAM_LOG` environment variable
+//!    ring buffer of recent events (always on; `Info` and above by
+//!    default, overridable via `PAM_LOG_RING`) plus a stderr writer
+//!    filtered by the `PAM_LOG` environment variable
 //!    (`error|warn|info|debug|trace`, default off).
 //! 3. **Pluggable.** [`set_subscriber`] installs a custom [`Subscriber`]
 //!    once per process (tests use this to capture events).
@@ -104,11 +105,17 @@ pub struct CapturedEvent {
 }
 
 /// The default [`Subscriber`]: keeps the last [`RING_CAPACITY`] events
-/// at `Info` and above in a ring buffer (inspectable via
-/// [`recent_events`]) and writes to stderr when `PAM_LOG` enables the
-/// event's level.
+/// in a ring buffer (inspectable via [`recent_events`], served at
+/// `/events`, and captured into flight dumps) and writes to stderr when
+/// `PAM_LOG` enables the event's level.
+///
+/// The ring captures `Info` and above by default; the `PAM_LOG_RING`
+/// environment variable (`error|warn|info|debug|trace`) overrides that
+/// cutoff, so `Debug`-level span closes become capturable without
+/// recompiling.
 pub struct DefaultSubscriber {
     stderr_level: Option<Level>,
+    ring_level: Level,
     ring: Mutex<VecDeque<CapturedEvent>>,
 }
 
@@ -119,6 +126,10 @@ impl DefaultSubscriber {
     fn from_env() -> Self {
         DefaultSubscriber {
             stderr_level: std::env::var("PAM_LOG").ok().and_then(|s| Level::parse(&s)),
+            ring_level: std::env::var("PAM_LOG_RING")
+                .ok()
+                .and_then(|s| Level::parse(&s))
+                .unwrap_or(Level::Info),
             ring: Mutex::new(VecDeque::with_capacity(RING_CAPACITY)),
         }
     }
@@ -135,14 +146,14 @@ impl DefaultSubscriber {
 
 impl Subscriber for DefaultSubscriber {
     fn enabled(&self, level: Level) -> bool {
-        level <= Level::Info || self.stderr_level.is_some_and(|max| level <= max)
+        level <= self.ring_level || self.stderr_level.is_some_and(|max| level <= max)
     }
 
     fn event(&self, level: Level, target: &str, message: &str) {
         if self.stderr_level.is_some_and(|max| level <= max) {
             eprintln!("[{level:5} {target}] {message}");
         }
-        if level <= Level::Info {
+        if level <= self.ring_level {
             let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
             if ring.len() == RING_CAPACITY {
                 ring.pop_front();
@@ -224,10 +235,16 @@ pub fn dispatch(level: Level, target: &str, message: &str) {
 }
 
 /// The last events captured by the default subscriber's ring buffer
-/// (`Info` and above), oldest first. Empty if a custom subscriber was
-/// installed instead of the default one.
+/// (level via `PAM_LOG_RING`, `Info` and above by default), oldest
+/// first. Empty if a custom subscriber was installed instead of the
+/// default one, or if no subscriber has been installed yet — before
+/// installation no event can have been captured, so there is nothing
+/// to report (and forcing installation here would steal the slot from
+/// a custom subscriber about to be registered).
 pub fn recent_events() -> Vec<CapturedEvent> {
-    let _ = subscriber(); // force installation so DEFAULT settles
+    if SUBSCRIBER.get().is_none() {
+        return Vec::new();
+    }
     DEFAULT.get().map(|d| d.recent()).unwrap_or_default()
 }
 
@@ -279,13 +296,18 @@ macro_rules! span {
     };
 }
 
+/// Shared across this crate's unit-test modules: subscriber state is
+/// process-global, so *every* test that touches it (directly or via
+/// [`recent_events`]) must route through one capture subscriber,
+/// installed exactly once before any event fires.
 #[cfg(test)]
-mod tests {
+pub(crate) mod testsupport {
     use super::*;
 
-    // Subscriber state is process-global, so these tests install one
-    // capture subscriber up front and share it.
-    struct Capture(Mutex<Vec<(Level, String, String)>>, Mutex<Vec<String>>);
+    pub(crate) struct Capture(
+        pub(crate) Mutex<Vec<(Level, String, String)>>,
+        pub(crate) Mutex<Vec<String>>,
+    );
 
     impl Subscriber for Capture {
         fn enabled(&self, level: Level) -> bool {
@@ -302,7 +324,7 @@ mod tests {
         }
     }
 
-    fn capture() -> &'static Capture {
+    pub(crate) fn capture() -> &'static Capture {
         static CAP: OnceLock<&'static Capture> = OnceLock::new();
         CAP.get_or_init(|| {
             let cap: &'static Capture = Box::leak(Box::new(Capture(
@@ -322,12 +344,18 @@ mod tests {
                 }
             }
             // Ignore the error: another test binary path may have
-            // installed first; in this test binary we install before any
-            // event fires.
+            // installed first; in this test binary every subscriber
+            //-touching test calls capture() before any event fires.
             let _ = set_subscriber(Arc::new(Fwd(cap)));
             cap
         })
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testsupport::capture;
+    use super::*;
 
     #[test]
     fn events_respect_the_gate_and_format_lazily() {
@@ -352,6 +380,27 @@ mod tests {
             let _s = span!("pam_test::scope");
         }
         assert!(cap.1.lock().unwrap().iter().any(|t| t == "pam_test::scope"));
+    }
+
+    #[test]
+    fn pam_log_ring_overrides_the_ring_cutoff() {
+        // Construct the subscriber directly (not via the global
+        // installer) so the env override is observable regardless of
+        // which subscriber won the process-wide installation race.
+        std::env::set_var("PAM_LOG_RING", "debug");
+        let sub = DefaultSubscriber::from_env();
+        std::env::remove_var("PAM_LOG_RING");
+        assert!(sub.enabled(Level::Debug), "debug must pass the ring gate");
+        sub.event(Level::Debug, "pam_test", "span closed after 1ms");
+        sub.event(Level::Trace, "pam_test", "below the cutoff");
+        let recent = sub.recent();
+        assert!(recent.iter().any(|e| e.level == Level::Debug));
+        assert!(!recent.iter().any(|e| e.level == Level::Trace));
+
+        // Without the override the ring stays Info+.
+        let sub = DefaultSubscriber::from_env();
+        sub.event(Level::Debug, "pam_test", "filtered");
+        assert!(sub.recent().is_empty());
     }
 
     #[test]

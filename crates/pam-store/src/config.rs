@@ -89,6 +89,16 @@ pub struct DurabilityConfig {
     /// insurance: a corrupt newest checkpoint falls back to the previous
     /// one plus a longer WAL replay.
     pub keep_checkpoints: usize,
+    /// Bind a live telemetry endpoint (`pam_obs::ObsServer`) on this
+    /// address at open — e.g. `"127.0.0.1:9184"`, or port `0` to pick a
+    /// free port (read it back with `DurableStore::obs_addr`). The server
+    /// serves `/metrics`, `/metrics.json`, `/events`, `/health`, and
+    /// `/trace` for this store and shuts down when the store drops.
+    /// `None` (the default): no listener.
+    ///
+    /// A [`crate::DurableShardedStore`] binds **one** aggregated endpoint
+    /// for the whole store, not one per shard.
+    pub obs_addr: Option<String>,
 }
 
 impl Default for DurabilityConfig {
@@ -99,6 +109,7 @@ impl Default for DurabilityConfig {
             checkpoint_every_bytes: Some(64 << 20),
             checkpoint_interval: None,
             keep_checkpoints: 2,
+            obs_addr: None,
         }
     }
 }

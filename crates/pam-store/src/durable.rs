@@ -31,7 +31,7 @@ use crate::stats::{DurabilityStats, StoreStats};
 use crate::store::VersionedStore;
 use pam::balance::Balance;
 use pam::{AugMap, AugSpec, WeightBalanced};
-use pam_obs::{event, Histogram, Level};
+use pam_obs::{event, flight, Health, Histogram, Level, ObsServer, TelemetrySource};
 use pam_wal::wal::WalObs;
 use pam_wal::{checkpoint, manifest, record, Codec, DirLock, GlobalStamp, Wal, WalConfig};
 use std::collections::{BTreeMap, BTreeSet};
@@ -282,6 +282,10 @@ where
     /// mutex away from the committer.
     wal_obs: Arc<WalObs>,
     last_ckpt_at: Mutex<Option<Instant>>,
+    /// The background checkpointer's most recent failure (cleared by its
+    /// next success): surfaces as `Health::Degraded` on `/health` before
+    /// an unbounded WAL becomes an outage.
+    last_ckpt_error: Mutex<Option<String>>,
     _spec: std::marker::PhantomData<fn(S)>,
 }
 
@@ -292,6 +296,13 @@ where
 {
     fn lock_wal(&self) -> std::sync::MutexGuard<'_, Wal> {
         self.wal.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn last_ckpt_error(&self) -> Option<String> {
+        self.last_ckpt_error
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
     }
 
     fn durability_stats(&self) -> DurabilityStats {
@@ -410,6 +421,10 @@ where
     S::K: Codec,
     S::V: Codec,
 {
+    /// Declared first: the telemetry server's source closures hold store
+    /// and hook handles, so the server must shut down (and drain its
+    /// in-flight scrapes) before the store below begins its teardown.
+    obs: Option<ObsServer>,
     store: Arc<VersionedStore<S, B>>,
     hook: Arc<WalHook<S>>,
     config: DurabilityConfig,
@@ -417,6 +432,9 @@ where
     recovery: RecoveryInfo,
     stop: Arc<StopSignal>,
     checkpointer: Option<std::thread::JoinHandle<()>>,
+    /// Stays registered through the drain: a panic while the final
+    /// epochs flush still leaves its black box next to the WAL.
+    _dump_dir: Option<flight::DumpDirGuard>,
     /// Declared last: released only after the store above has drained
     /// its final epochs into the WAL.
     _lock: DirLock,
@@ -588,6 +606,7 @@ where
         );
 
         // 3. hand the recovered map to a fresh pipeline with the WAL hook
+        let standalone = tracker.is_none();
         let wal_obs = wal.obs();
         let hook = Arc::new(WalHook::<S> {
             wal: Mutex::new(wal),
@@ -599,6 +618,7 @@ where
             counters: DurCounters::default(),
             wal_obs,
             last_ckpt_at: Mutex::new(None),
+            last_ckpt_error: Mutex::new(None),
             _spec: std::marker::PhantomData,
         });
         let store = Arc::new(VersionedStore::with_commit_hook(
@@ -629,7 +649,31 @@ where
             None
         };
 
+        // 5. observability: register the WAL dir for flight dumps (the
+        //    sharded store registers its root directory once instead of
+        //    per shard), and bind the live telemetry endpoint if asked.
+        let dump_dir = standalone.then(|| flight::register_dump_dir(&dir));
+        let obs = match &durability.obs_addr {
+            Some(addr) => {
+                let (st, hk) = (store.clone(), hook.clone());
+                let (st2, hk2) = (store.clone(), hook.clone());
+                let source = TelemetrySource {
+                    export: Box::new(move |reg| {
+                        let mut s = st.stats();
+                        s.durability = hk.durability_stats();
+                        s.export_into(reg);
+                    }),
+                    health: Box::new(move || durable_health(st2.health(), hk2.last_ckpt_error())),
+                };
+                Some(ObsServer::bind(addr.as_str(), source).map_err(|e| {
+                    io::Error::new(e.kind(), format!("binding obs_addr {addr}: {e}"))
+                })?)
+            }
+            None => None,
+        };
+
         Ok(DurableStore {
+            obs,
             store,
             hook,
             config: durability,
@@ -644,6 +688,7 @@ where
             },
             stop,
             checkpointer,
+            _dump_dir: dump_dir,
             _lock: lock,
         })
     }
@@ -691,6 +736,31 @@ where
         let mut stats = self.store.stats();
         stats.durability = self.hook.durability_stats();
         stats
+    }
+
+    /// Liveness including durability (shadows [`VersionedStore::health`]):
+    /// `Poisoned` with the original WAL error after a fail-stop,
+    /// `Degraded` while the background checkpointer keeps failing,
+    /// `Healthy` otherwise.
+    pub fn health(&self) -> Health {
+        durable_health(self.store.health(), self.hook.last_ckpt_error())
+    }
+
+    /// The live telemetry endpoint's bound address, when
+    /// [`DurabilityConfig::obs_addr`] was configured (resolves port 0).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(|o| o.local_addr())
+    }
+}
+
+/// Fold the pipeline's fail-stop verdict with the background
+/// checkpointer's: poisoned beats degraded beats healthy.
+fn durable_health(store: Health, ckpt_error: Option<String>) -> Health {
+    match ckpt_error {
+        Some(e) => store.worse(Health::Degraded(format!(
+            "background checkpoint failing: {e}"
+        ))),
+        None => store,
     }
 }
 
@@ -845,10 +915,28 @@ fn run_checkpointer<S: AugSpec, B: Balance>(
             continue;
         }
         drop(g);
-        if let Err(e) = do_checkpoint(store, hook, dir, config) {
-            // a failed checkpoint is not fatal: the WAL still has
-            // everything; surface the problem and retry next tick
-            eprintln!("pam-store: background checkpoint failed: {e}");
+        match do_checkpoint(store, hook, dir, config) {
+            Ok(_) => {
+                *hook
+                    .last_ckpt_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = None;
+            }
+            Err(e) => {
+                // a failed checkpoint is not fatal: the WAL still has
+                // everything; surface the problem (stderr, the event
+                // ring, and `/health` as Degraded) and retry next tick
+                eprintln!("pam-store: background checkpoint failed: {e}");
+                event!(
+                    Level::Warn,
+                    "pam_store::checkpoint",
+                    "background checkpoint failed: {e}"
+                );
+                *hook
+                    .last_ckpt_error
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner) = Some(e.to_string());
+            }
         }
         g = stop.stop.lock().unwrap_or_else(PoisonError::into_inner);
     }
@@ -958,13 +1046,22 @@ where
     S::K: Codec + ShardKey,
     S::V: Codec,
 {
-    /// Declared first: drops its shard handles before the `DurableStore`s
-    /// below join their checkpointers and drain their pipelines.
+    /// Declared first: the telemetry server's source closures hold
+    /// sharded-store and hook handles, so the server must shut down
+    /// before the shards below begin their teardown.
+    obs: Option<ObsServer>,
+    /// Declared before `shards`: drops its shard handles before the
+    /// `DurableStore`s below join their checkpointers and drain their
+    /// pipelines.
     sharded: Arc<ShardedStore<S, B>>,
     shards: Vec<DurableStore<S, B>>,
     tracker: Arc<GlobalTracker>,
     recovery: Vec<RecoveryInfo>,
     dir: PathBuf,
+    /// The root directory receives the flight dump for the whole store
+    /// (one black box, not one per shard); stays registered through the
+    /// shards' drain.
+    _dump_dir: flight::DumpDirGuard,
     /// Declared last: the directory stays locked until every shard has
     /// shut down.
     _lock: DirLock,
@@ -1111,13 +1208,19 @@ where
         // the discarded batches. The parallel driver keeps the results
         // in shard order; the first error wins (already-opened shards
         // shut down cleanly when dropped).
+        // Shards never bind their own telemetry endpoint: one aggregated
+        // server (below) covers the whole store.
+        let shard_durability = DurabilityConfig {
+            obs_addr: None,
+            ..durability.clone()
+        };
         let shards = (0..want as usize)
             .into_par_iter()
             .map(|i| {
                 DurableStore::open_with(
                     manifest::shard_dir(&dir, i),
                     config.store.clone(),
-                    durability.clone(),
+                    shard_durability.clone(),
                     Some(tracker.clone()),
                     &discard,
                 )
@@ -1141,12 +1244,43 @@ where
             shards.iter().map(|s| s.handle()).collect(),
             GlobalClock::tracked(tracker.clone()),
         ));
+
+        // Observability: the root directory gets the flight dump, and one
+        // aggregated telemetry endpoint serves the whole store (per-shard
+        // stats folded + fence overlay, worst shard health wins).
+        let dump_dir = flight::register_dump_dir(&dir);
+        let obs = match &durability.obs_addr {
+            Some(addr) => {
+                let hooks: Vec<Arc<WalHook<S>>> = shards.iter().map(|s| s.hook.clone()).collect();
+                let (sh, hooks2) = (sharded.clone(), hooks.clone());
+                let sh2 = sharded.clone();
+                let source = TelemetrySource {
+                    export: Box::new(move |reg| {
+                        let mut per = sh.stats_per_shard();
+                        for (s, h) in per.iter_mut().zip(&hooks) {
+                            s.durability = h.durability_stats();
+                        }
+                        let mut agg = StoreStats::aggregate(per.iter());
+                        sh.overlay_fence_stats(&mut agg);
+                        agg.export_into(reg);
+                    }),
+                    health: Box::new(move || sharded_health(&sh2, &hooks2)),
+                };
+                Some(ObsServer::bind(addr.as_str(), source).map_err(|e| {
+                    io::Error::new(e.kind(), format!("binding obs_addr {addr}: {e}"))
+                })?)
+            }
+            None => None,
+        };
+
         Ok(DurableShardedStore {
+            obs,
             sharded,
             shards,
             tracker,
             recovery,
             dir,
+            _dump_dir: dump_dir,
             _lock: lock,
         })
     }
@@ -1201,16 +1335,55 @@ where
     }
 
     /// Store-wide statistics with durability counters aggregated across
-    /// shards (see [`StoreStats::aggregate`] for the folding rules).
+    /// shards (see [`StoreStats::aggregate`] for the folding rules),
+    /// overlaid with the sharded-layer fence metrics.
     pub fn stats(&self) -> StoreStats {
         let per = self.stats_per_shard();
-        StoreStats::aggregate(per.iter())
+        let mut s = StoreStats::aggregate(per.iter());
+        self.sharded.overlay_fence_stats(&mut s);
+        s
     }
 
     /// Per-shard statistics including each shard's durability counters.
     pub fn stats_per_shard(&self) -> Vec<StoreStats> {
         self.shards.iter().map(|s| s.stats()).collect()
     }
+
+    /// The worst health over all shards, durability included: a poisoned
+    /// shard's WAL error (prefixed with its index) beats a failing
+    /// background checkpointer's `Degraded`, which beats `Healthy`.
+    pub fn health(&self) -> Health {
+        let hooks: Vec<Arc<WalHook<S>>> = self.shards.iter().map(|s| s.hook.clone()).collect();
+        sharded_health(&self.sharded, &hooks)
+    }
+
+    /// The live telemetry endpoint's bound address, when
+    /// [`DurabilityConfig::obs_addr`] was configured (resolves port 0).
+    pub fn obs_addr(&self) -> Option<std::net::SocketAddr> {
+        self.obs.as_ref().map(|o| o.local_addr())
+    }
+}
+
+/// The sharded health fold shared by [`DurableShardedStore::health`] and
+/// its telemetry source: worst shard wins, checkpointer failures surface
+/// as `Degraded` with the shard index prefixed.
+fn sharded_health<S: AugSpec, B: Balance>(
+    sharded: &ShardedStore<S, B>,
+    hooks: &[Arc<WalHook<S>>],
+) -> Health
+where
+    S::K: Codec + ShardKey,
+    S::V: Codec,
+{
+    let mut health = sharded.health();
+    for (i, hook) in hooks.iter().enumerate() {
+        if let Some(e) = hook.last_ckpt_error() {
+            health = health.worse(Health::Degraded(format!(
+                "shard {i}: background checkpoint failing: {e}"
+            )));
+        }
+    }
+    health
 }
 
 impl<S: AugSpec, B: Balance> std::ops::Deref for DurableShardedStore<S, B>

@@ -91,6 +91,7 @@ mod store;
 pub use config::{DurabilityConfig, ShardedConfig, StoreConfig};
 pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo, RecoveryTimings};
 pub use op::{NormalizedBatch, WriteOp};
+pub use pam_obs::Health;
 pub use pam_wal::{Codec, GlobalStamp, SyncPolicy};
 pub use pipeline::{CommitHook, CommitTicket};
 pub use registry::{PinnedVersion, VersionId, VersionInfo};

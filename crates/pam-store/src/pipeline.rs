@@ -38,8 +38,10 @@ use crate::registry::Registry;
 use crate::stats::{CommitTiming, StatsInner};
 use pam::balance::Balance;
 use pam::{AugSpec, SharedMap};
+use pam_obs::{event, flight, EpochTrace, FlightRecorder, Level};
 use pam_wal::GlobalStamp;
 use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
 
@@ -114,8 +116,11 @@ struct PipeState<S: AugSpec> {
     /// Global sequence counter for LWW ordering.
     next_seq: u64,
     shutdown: bool,
-    /// Set when the commit hook failed: the store is fail-stopped.
-    poisoned: bool,
+    /// Set when the commit hook failed: the store is fail-stopped. Holds
+    /// the original hook error so every later panic, the `/health`
+    /// endpoint, and the flight dump can name the root cause instead of
+    /// a generic "a commit hook failed".
+    poisoned: Option<String>,
     /// While true, `submit` blocks (the committer keeps draining): the
     /// quiesce point sharded snapshots use as their epoch barrier.
     barrier: bool,
@@ -135,10 +140,18 @@ pub(crate) struct Pipeline<S: AugSpec> {
     /// Shared with the owning store: the committer and `admit()` record
     /// into it directly.
     stats: Arc<StatsInner>,
+    /// Track id (shard index) stamped onto the [`EpochTrace`]s this
+    /// pipeline records into the process flight ring; 0 for unsharded
+    /// stores, set by the sharded store at assembly time.
+    trace_shard: AtomicU32,
 }
 
 impl<S: AugSpec> Pipeline<S> {
     pub fn new(max_batch: usize, stats: Arc<StatsInner>) -> Self {
+        // Settle the flight-recorder anchor before the first segment
+        // Instant exists, or early epochs' window timestamps would clamp
+        // to zero (see `pam_obs::flight`).
+        let _ = flight::anchor();
         Pipeline {
             max_batch: max_batch.max(1),
             stats,
@@ -149,17 +162,38 @@ impl<S: AugSpec> Pipeline<S> {
                 committed_version: 0,
                 next_seq: 0,
                 shutdown: false,
-                poisoned: false,
+                poisoned: None,
                 barrier: false,
             }),
             work: Condvar::new(),
             done: Condvar::new(),
             gate: Condvar::new(),
+            trace_shard: AtomicU32::new(0),
         }
+    }
+
+    /// Stamp all future flight-ring traces with `shard` (the sharded
+    /// store labels each member pipeline with its index so the Chrome
+    /// export gets one track per shard).
+    pub fn set_trace_shard(&self, shard: u32) {
+        self.trace_shard.store(shard, Ordering::Relaxed);
+    }
+
+    /// The original commit-hook error if the store fail-stopped, `None`
+    /// while healthy.
+    pub fn poison_reason(&self) -> Option<String> {
+        self.lock().poisoned.clone()
     }
 
     fn lock(&self) -> MutexGuard<'_, PipeState<S>> {
         self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Panic with the stored root cause if the store is poisoned.
+    fn check_poison(g: &PipeState<S>) {
+        if let Some(reason) = &g.poisoned {
+            panic!("store poisoned: {reason}");
+        }
     }
 
     /// Park while a snapshot barrier is up, then check liveness.
@@ -175,7 +209,7 @@ impl<S: AugSpec> Pipeline<S> {
             }
             self.stats.record_fence_wait(parked.elapsed());
         }
-        assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
+        Self::check_poison(&g);
         assert!(!g.shutdown, "store is shutting down");
         g
     }
@@ -304,7 +338,7 @@ impl<S: AugSpec> Pipeline<S> {
         }
         self.work.notify_one();
         while g.committed_epoch < target {
-            assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
+            Self::check_poison(&g);
             g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
         }
         g.committed_version
@@ -381,8 +415,9 @@ impl<S: AugSpec> Pipeline<S> {
             let seg = g.queue.pop_front().expect("front segment present");
             drop(g);
             let (epoch, global, batch) = (seg.epoch, seg.global, seg.ops);
+            let opened_at = seg.opened_at;
             // Window occupancy: segment creation → drained by us.
-            let window = seg.opened_at.elapsed();
+            let window = opened_at.elapsed();
 
             let t0 = Instant::now();
             let normalized = normalize::<S>(batch);
@@ -394,11 +429,20 @@ impl<S: AugSpec> Pipeline<S> {
             // fail-stops the store.
             if let Some(h) = hook {
                 if let Err(e) = h.log_epoch(epoch, global, &normalized) {
-                    eprintln!(
-                        "pam-store: commit hook failed for epoch {epoch}: {e}; poisoning store"
+                    let reason = format!("commit hook (WAL) failed for epoch {epoch}: {e}");
+                    eprintln!("pam-store: {reason}; poisoning store");
+                    event!(
+                        Level::Error,
+                        "pam_store::pipeline",
+                        "{reason}; poisoning store"
                     );
+                    // Leave the black box next to the WAL before any
+                    // waiter panics: the dump names this epoch as the
+                    // root cause (first-wins, so a later panic hook
+                    // firing for a cascading waiter changes nothing).
+                    flight::dump_registered(&reason, Some(epoch));
                     let mut g = self.lock();
-                    g.poisoned = true;
+                    g.poisoned = Some(reason);
                     g.shutdown = true;
                     g.queue.clear();
                     self.done.notify_all();
@@ -444,6 +488,23 @@ impl<S: AugSpec> Pipeline<S> {
                     publish: t_published - t_applied,
                 },
             );
+            // Flight recorder: one stage timeline per committed epoch in
+            // the process-global ring (served at `/trace`, dumped on
+            // poison/panic). Outside the pipeline lock — one short mutex
+            // push per *epoch*, not per operation.
+            FlightRecorder::global().record(EpochTrace {
+                shard: self.trace_shard.load(Ordering::Relaxed),
+                epoch,
+                global_epoch: global.map(|s| s.epoch),
+                raw_ops: raw_ops as u64,
+                applied_ops: batch_len as u64,
+                open_ns: flight::instant_ns(opened_at),
+                drain_ns: flight::instant_ns(t0),
+                normalize_ns: (t_normalized - t0).as_nanos() as u64,
+                wal_log_ns: (t_logged - t_normalized).as_nanos() as u64,
+                apply_ns: (t_applied - t_logged).as_nanos() as u64,
+                publish_ns: (t_published - t_applied).as_nanos() as u64,
+            });
 
             g = self.lock();
             g.committed_epoch = epoch;
@@ -471,7 +532,7 @@ impl<S: AugSpec> CommitTicket<S> {
     pub fn wait(&self) -> u64 {
         let mut g = self.pipe.lock();
         while g.committed_epoch < self.epoch {
-            assert!(!g.poisoned, "store poisoned: a commit hook (WAL) failed");
+            Pipeline::check_poison(&g);
             g = self
                 .pipe
                 .done

@@ -402,6 +402,12 @@ where
         clock: GlobalClock,
     ) -> Self {
         assert!(!shards.is_empty(), "a sharded store needs >= 1 shard");
+        // Label every member pipeline with its shard index so the
+        // flight-recorder ring (and its Chrome export) gets one track
+        // per shard.
+        for (i, s) in shards.iter().enumerate() {
+            s.pipeline().set_trace_shard(i as u32);
+        }
         ShardedStore {
             shards,
             snapshot_gate: Mutex::new(()),
@@ -680,10 +686,36 @@ where
     pub fn stats(&self) -> StoreStats {
         let per: Vec<StoreStats> = self.stats_per_shard();
         let mut s = StoreStats::aggregate(per.iter());
+        self.overlay_fence_stats(&mut s);
+        s
+    }
+
+    /// Overlay the sharded-layer fence metrics onto an aggregated
+    /// snapshot (shared with the durable wrapper, whose `stats()`
+    /// aggregates shard + durability stats itself).
+    pub(crate) fn overlay_fence_stats(&self, s: &mut StoreStats) {
         s.fence_wait = self.obs.fence_wait.snapshot();
         s.snapshots_taken = self.obs.snapshots_taken.load(Ordering::Relaxed);
         s.fence_write_acquisitions = self.obs.fence_write_acquisitions.load(Ordering::Relaxed);
-        s
+    }
+
+    /// The worst health over all shards: the first poisoned shard's
+    /// reason wins, prefixed with its index.
+    pub fn health(&self) -> pam_obs::Health {
+        let mut health = pam_obs::Health::Healthy;
+        for (i, s) in self.shards.iter().enumerate() {
+            let h = match s.health() {
+                pam_obs::Health::Poisoned(r) => {
+                    pam_obs::Health::Poisoned(format!("shard {i}: {r}"))
+                }
+                pam_obs::Health::Degraded(r) => {
+                    pam_obs::Health::Degraded(format!("shard {i}: {r}"))
+                }
+                pam_obs::Health::Healthy => pam_obs::Health::Healthy,
+            };
+            health = health.worse(h);
+        }
+        health
     }
 
     /// Per-shard statistics, shard order (spot imbalanced partitions).

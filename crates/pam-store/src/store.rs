@@ -267,6 +267,16 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
         )
     }
 
+    /// Liveness of the commit pipeline: [`pam_obs::Health::Poisoned`]
+    /// (with the original commit-hook error) after a fail-stop,
+    /// `Healthy` otherwise. Served at the telemetry server's `/health`.
+    pub fn health(&self) -> pam_obs::Health {
+        match self.inner.pipeline.poison_reason() {
+            Some(reason) => pam_obs::Health::Poisoned(reason),
+            None => pam_obs::Health::Healthy,
+        }
+    }
+
     /// Exact heap bytes reachable from *all* live versions together.
     /// Shared nodes count once — the measurable benefit of persistence.
     pub fn memory_bytes(&self) -> usize {
