@@ -38,6 +38,15 @@
 //! per-shard sealed epochs + all-slice ack) and the epoch-fenced
 //! `snapshot()` cost, per shard count.
 //!
+//! With `--remote ADDR` the driver leaves the in-process store behind
+//! entirely and drives a live `pam-serve` process over TCP: for each
+//! connection count in `--conns N[,M,...]` (default 1,2,4) it measures
+//! acked-put, read, and 16-key-batch round-trip p50/p99/p999, and the
+//! get phase re-reads every acked put as an exact read-back check.
+//! `--json <path>` dumps the rows; the server's store metrics live in
+//! the server process (scrape its `--obs-addr`), so `--prom` is
+//! rejected here.
+//!
 //! With `--contend` (optionally `--shards N[,M,...]`) the driver
 //! measures the **fence-contention tail**: acked put p50/p99/p999 alone
 //! vs. under a concurrent epoch-fenced `snapshot()` loop (EXPERIMENTS
@@ -52,8 +61,8 @@ use pam_obs::{
     chrome_trace, FlightRecorder, Histogram, MetricsRegistry, ObsServer, TelemetrySource,
 };
 use pam_store::{
-    DurabilityConfig, DurableStore, Health, ShardedConfig, ShardedStore, StoreConfig, StoreStats,
-    SyncPolicy, VersionedStore,
+    DurabilityConfig, DurableStore, Health, ShardedConfig, ShardedStore, StoreConfig, StoreRead,
+    StoreStats, StoreWrite, SyncPolicy, VersionedStore,
 };
 use std::io::Write as _;
 use std::sync::{Arc, Mutex, OnceLock};
@@ -110,38 +119,37 @@ trait KvTarget: Send + Sync + 'static {
     fn kv_health(&self) -> Health;
 }
 
-/// Both store types expose identically named inherent methods; one macro
-/// body keeps the drive loop's op mapping from diverging between them.
-macro_rules! impl_kv_target {
-    ($($t:ty),*) => {$(
-        impl KvTarget for $t {
-            fn kv_get(&self, k: &u64) -> Option<u64> {
-                self.get(k)
-            }
-            fn kv_put(&self, k: u64, v: u64) {
-                self.put(k, v);
-            }
-            fn kv_scan_count(&self, lo: u64, hi: u64) -> usize {
-                let mut n = 0;
-                self.range_for_each(&lo, &hi, |_, _| n += 1);
-                n
-            }
-            fn kv_sum(&self, lo: u64, hi: u64) -> u64 {
-                self.aug_range(&lo, &hi)
-            }
-            fn kv_flush(&self) {
-                self.flush();
-            }
-            fn kv_stats(&self) -> StoreStats {
-                self.stats()
-            }
-            fn kv_health(&self) -> Health {
-                self.health()
-            }
-        }
-    )*};
+/// One blanket impl over the unified store API (`pam_store::api`): every
+/// flavor — versioned, sharded, durable, durable-sharded — is drivable by
+/// the same loop, with no per-type macro body to keep in sync.
+impl<T> KvTarget for T
+where
+    T: StoreRead<SumAug<u64, u64>> + StoreWrite<SumAug<u64, u64>> + Send + Sync + 'static,
+{
+    fn kv_get(&self, k: &u64) -> Option<u64> {
+        StoreRead::get(self, k)
+    }
+    fn kv_put(&self, k: u64, v: u64) {
+        StoreWrite::put(self, k, v);
+    }
+    fn kv_scan_count(&self, lo: u64, hi: u64) -> usize {
+        let mut n = 0;
+        StoreRead::range_for_each(self, &lo, &hi, &mut |_, _| n += 1);
+        n
+    }
+    fn kv_sum(&self, lo: u64, hi: u64) -> u64 {
+        StoreRead::aug_range(self, &lo, &hi)
+    }
+    fn kv_flush(&self) {
+        StoreWrite::flush(self);
+    }
+    fn kv_stats(&self) -> StoreStats {
+        StoreRead::stats(self)
+    }
+    fn kv_health(&self) -> Health {
+        StoreRead::health(self)
+    }
 }
-impl_kv_target!(Store, Sharded);
 
 // -- live telemetry (`--obs-addr`) -----------------------------------------
 
@@ -562,6 +570,200 @@ fn write_xbatch_json(path: &str, rows: &[XbatchRow], preload: usize, ops: usize)
     println!("\nwrote {path}");
 }
 
+/// One row of the `--remote` sweep (also what `--json` serializes).
+struct RemoteRow {
+    conns: usize,
+    put: pam_obs::HistogramSnapshot,
+    get: pam_obs::HistogramSnapshot,
+    batch: pam_obs::HistogramSnapshot,
+    puts_per_sec: f64,
+}
+
+/// The `--remote ADDR` sweep: drive a live `pam-serve` process over TCP
+/// and measure what the wire adds — acked-put, read, and 16-key-batch
+/// round-trip percentiles per connection count. Every connection owns a
+/// disjoint key prefix, so the get phase doubles as an exact read-back
+/// verification of every acked put.
+fn run_remote(addr: &str, conn_counts: &[usize], ops: usize) -> Vec<RemoteRow> {
+    const BATCH_KEYS: u64 = 16;
+    // disjoint per-connection prefixes: puts under [t], batches under
+    // [0x80|t] — read-back checks are exact, not probabilistic
+    let key = |t: usize, i: u64| -> Vec<u8> {
+        let mut k = vec![t as u8];
+        k.extend_from_slice(&i.to_be_bytes());
+        k
+    };
+    let bkey = |t: usize, i: u64| -> Vec<u8> {
+        let mut k = vec![0x80 | t as u8];
+        k.extend_from_slice(&i.to_be_bytes());
+        k
+    };
+    let value = |t: usize, i: u64| format!("v{t}-{i}").into_bytes();
+
+    let mut rows = Vec::new();
+    let mut table = Table::new(&[
+        "conns",
+        "acked kputs/s",
+        "put µs p50/p99/p999",
+        "get µs p50/p99/p999",
+        "batch-16 µs p50/p99/p999",
+    ]);
+    for &conns in conn_counts {
+        let per_conn = (ops / conns).max(1) as u64;
+        let batches = (per_conn / BATCH_KEYS).max(1);
+
+        // phase 1: acked puts. A barrier releases every connection at
+        // once so the wall clock spans only overlapping traffic; each
+        // recorded latency is a full acked round trip (request → group
+        // commit → ack frame).
+        let put_hist = Arc::new(Histogram::new());
+        let barrier = Arc::new(std::sync::Barrier::new(conns + 1));
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let addr = addr.to_string();
+                let hist = Arc::clone(&put_hist);
+                let barrier = Arc::clone(&barrier);
+                std::thread::spawn(move || {
+                    let mut c = pam_serve::Client::connect(addr.as_str()).expect("connect");
+                    barrier.wait();
+                    for i in 0..per_conn {
+                        let t0 = std::time::Instant::now();
+                        c.put(&key(t, i), &value(t, i)).expect("acked put");
+                        hist.record_duration(t0.elapsed());
+                    }
+                })
+            })
+            .collect();
+        barrier.wait();
+        let t0 = std::time::Instant::now();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let put_secs = t0.elapsed().as_secs_f64();
+
+        // phase 2: reads — and the read-back proof that every put the
+        // server acked is visible
+        let get_hist = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let addr = addr.to_string();
+                let hist = Arc::clone(&get_hist);
+                std::thread::spawn(move || {
+                    let mut c = pam_serve::Client::connect(addr.as_str()).expect("connect");
+                    for i in 0..per_conn {
+                        let t0 = std::time::Instant::now();
+                        let got = c.get(&key(t, i)).expect("remote get");
+                        hist.record_duration(t0.elapsed());
+                        assert_eq!(got, Some(value(t, i)), "acked put not readable back");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // phase 3: acked 16-key batches (cross-shard on a sharded server:
+        // global epoch stamp + all-slice ack, now with a wire round trip)
+        let batch_hist = Arc::new(Histogram::new());
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let addr = addr.to_string();
+                let hist = Arc::clone(&batch_hist);
+                std::thread::spawn(move || {
+                    let mut c = pam_serve::Client::connect(addr.as_str()).expect("connect");
+                    for b in 0..batches {
+                        let ops: Vec<pam_serve::WireOp> = (0..BATCH_KEYS)
+                            .map(|j| {
+                                pam_serve::WireOp::Put(bkey(t, b * BATCH_KEYS + j), value(t, b))
+                            })
+                            .collect();
+                        let t0 = std::time::Instant::now();
+                        c.batch(ops).expect("acked batch");
+                        hist.record_duration(t0.elapsed());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        let (put, get, batch) = (
+            put_hist.snapshot(),
+            get_hist.snapshot(),
+            batch_hist.snapshot(),
+        );
+        let puts_per_sec = (per_conn * conns as u64) as f64 / put_secs;
+        table.row(vec![
+            conns.to_string(),
+            format!("{:.1}", puts_per_sec / 1e3),
+            fmt_quantiles_us(&put),
+            fmt_quantiles_us(&get),
+            fmt_quantiles_us(&batch),
+        ]);
+        rows.push(RemoteRow {
+            conns,
+            put,
+            get,
+            batch,
+            puts_per_sec,
+        });
+    }
+    table.print();
+    println!(
+        "\n(each put/batch latency is a full wire round trip ending in a \
+         group-commit ack; the get phase re-reads every acked put and \
+         asserts the value — server-side store metrics are scraped from \
+         the server's --obs-addr, not reported here)"
+    );
+    rows
+}
+
+/// Write the remote-sweep rows as JSON (hand-rolled: offline workspace).
+/// `"metrics"` is `null` by design: the store lives in the server
+/// process, so its registry is scraped from the *server's* `--obs-addr`.
+fn write_remote_json(path: &str, rows: &[RemoteRow], ops: usize) {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"ycsb-remote\",\n");
+    out.push_str(&format!("  \"pam_scale\": {},\n", scale()));
+    out.push_str(&format!("  \"acked_ops\": {ops},\n"));
+    out.push_str("  \"results\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"conns\": {}, \"puts_per_sec\": {:.1}, \
+             \"put_p50_us\": {:.3}, \"put_p99_us\": {:.3}, \"put_p999_us\": {:.3}, \
+             \"get_p50_us\": {:.3}, \"get_p99_us\": {:.3}, \"get_p999_us\": {:.3}, \
+             \"batch16_p50_us\": {:.3}, \"batch16_p99_us\": {:.3}, \
+             \"batch16_p999_us\": {:.3}}}{}\n",
+            r.conns,
+            r.puts_per_sec,
+            r.put.p50() as f64 / 1e3,
+            r.put.p99() as f64 / 1e3,
+            r.put.p999() as f64 / 1e3,
+            r.get.p50() as f64 / 1e3,
+            r.get.p99() as f64 / 1e3,
+            r.get.p999() as f64 / 1e3,
+            r.batch.p50() as f64 / 1e3,
+            r.batch.p99() as f64 / 1e3,
+            r.batch.p999() as f64 / 1e3,
+            if i + 1 == rows.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"metrics\": null\n");
+    out.push_str("}\n");
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).expect("create json output dir");
+        }
+    }
+    let mut f = std::fs::File::create(path).expect("create json output file");
+    f.write_all(out.as_bytes()).expect("write json output");
+    println!("\nwrote {path}");
+}
+
 /// One row of the `--contend` comparison (also what `--json` serializes).
 struct ContendRow {
     shards: usize,
@@ -899,6 +1101,44 @@ fn main() {
         trace_out: path_arg(&args, "--trace-out").map(String::from),
     };
 
+    // `--remote ADDR`: leave the in-process store behind and drive a
+    // live `pam-serve` over TCP, sweeping `--conns` connection counts.
+    if let Some(addr) = path_arg(&args, "--remote") {
+        if args.iter().any(|a| a == "--prom") {
+            eprintln!(
+                "--prom is not supported with --remote (the store's metrics \
+                 live in the server process — scrape its --obs-addr instead)"
+            );
+            std::process::exit(2);
+        }
+        let conns: Vec<usize> = {
+            let spec = args
+                .iter()
+                .position(|a| a == "--conns")
+                .and_then(|i| args.get(i + 1).map(String::as_str))
+                .unwrap_or("1,2,4");
+            spec.split(',')
+                .map(|s| match s.trim().parse() {
+                    Ok(n) if n >= 1 => n,
+                    _ => {
+                        eprintln!("bad --conns value {s:?} (want positive counts, e.g. 1,2,4)");
+                        std::process::exit(2);
+                    }
+                })
+                .collect()
+        };
+        let acked_ops = scaled(8_000);
+        println!(
+            "remote target {addr}, {acked_ops} acked ops per phase, \
+             connection sweep {conns:?}\n"
+        );
+        let rows = run_remote(addr, &conns, acked_ops);
+        if let Some(path) = json_path(&args) {
+            write_remote_json(path, &rows, acked_ops);
+        }
+        return;
+    }
+
     // `--contend`: acked put latency under a concurrent epoch-fenced
     // snapshot loop — the fence-contention tail (EXPERIMENTS §7).
     if args.iter().any(|a| a == "--contend") {
@@ -966,7 +1206,10 @@ fn main() {
     // silently dropping the flag elsewhere would leave a CI artifact
     // step with no file
     if args.iter().any(|a| a == "--json" || a == "--prom") {
-        eprintln!("--json / --prom are only supported with --shards / --xbatch / --contend");
+        eprintln!(
+            "--json / --prom are only supported with --shards / --xbatch / \
+             --contend / --remote (--remote takes --json only)"
+        );
         std::process::exit(2);
     }
 

@@ -1,0 +1,38 @@
+//! # pam-serve — a network front end over the unified `Store` API
+//!
+//! PAM's headline result (Sun, Ferizovic & Blelloch, PPoPP 2018) is that
+//! batched bulk operations over a purely functional tree scale with
+//! parallelism. This crate is the production embodiment of that claim: a
+//! TCP server whose request path funnels every connection's writes into
+//! the store's **group-commit pipeline** — thousands of concurrent
+//! writers coalesce into few epochs, each applied with one work-optimal
+//! `multi_insert` — while reads run lock-free off O(1) pinned snapshots
+//! (the multi-version access pattern of the augmented-maps queries
+//! paper, arXiv 1803.08621).
+//!
+//! * [`wire`] — the length-prefixed binary protocol, reusing the WAL's
+//!   frame layout (`[len | crc32 | payload]`) and [`pam_wal::Codec`]
+//!   varint encoding, with hostile-input caps the on-disk reader does
+//!   not need.
+//! * [`server`] — a hand-rolled threaded accept loop (std `TcpListener`,
+//!   bounded worker pool — the `pam_obs::ObsServer` idiom, no async
+//!   runtime), generic over [`pam_store::StoreRead`] +
+//!   [`pam_store::StoreWrite`]; includes the graceful-drain protocol.
+//! * [`client`] — a small blocking client used by `ycsb --remote` and
+//!   the integration tests.
+//!
+//! The binary (`pam-serve`) serves a
+//! [`pam_store::DurableShardedStore`]`<NoAug<Vec<u8>, Vec<u8>>>`: opaque
+//! byte keys/values, per-shard WALs, cross-shard atomic batches, and an
+//! optional `--obs-addr` telemetry endpoint. It drains gracefully when
+//! its stdin reaches EOF.
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::{Ack, Client};
+pub use server::{serve, ServeConfig, Server};
+pub use wire::{Request, Response, WireOp};

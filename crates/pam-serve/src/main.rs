@@ -1,0 +1,120 @@
+//! The `pam-serve` binary: a durable sharded store behind TCP.
+//!
+//! ```text
+//! pam-serve --dir DIR [--addr 127.0.0.1:7878] [--shards 4] [--workers 4]
+//!           [--sync each|none|every:N|bytes:N] [--batch-window-us 200]
+//!           [--obs-addr ADDR]
+//! ```
+//!
+//! Prints `pam-serve listening on ADDR` once serving (and `obs listening
+//! on ADDR` when telemetry is bound) — scripts bind port 0 and read the
+//! real address back from stdout. Runs until stdin reaches EOF, then
+//! drains gracefully (stop accepting, finish + ack in-flight requests,
+//! flush every epoch, drop pins) and prints `pam-serve drained`.
+
+use pam::NoAug;
+use pam_serve::{serve, ServeConfig};
+use pam_store::{DurabilityConfig, DurableShardedStore, ShardedConfig, SyncPolicy};
+use std::io::{self, Read};
+use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
+
+type Spec = NoAug<Vec<u8>, Vec<u8>>;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn parse_sync(s: &str) -> Result<SyncPolicy, String> {
+    match s {
+        "each" => Ok(SyncPolicy::SyncEachEpoch),
+        "none" => Ok(SyncPolicy::NoSync),
+        _ => {
+            if let Some(n) = s.strip_prefix("every:") {
+                n.parse()
+                    .map(SyncPolicy::SyncEveryN)
+                    .map_err(|e| format!("--sync every:N: {e}"))
+            } else if let Some(n) = s.strip_prefix("bytes:") {
+                n.parse()
+                    .map(SyncPolicy::SyncEveryBytes)
+                    .map_err(|e| format!("--sync bytes:N: {e}"))
+            } else {
+                Err(format!("unknown --sync policy: {s}"))
+            }
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().collect();
+    let dir = flag(&args, "--dir").ok_or("--dir DIR is required")?;
+    let addr = flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into());
+    let shards: usize = flag(&args, "--shards")
+        .map(|s| s.parse().map_err(|e| format!("--shards: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let workers: usize = flag(&args, "--workers")
+        .map(|s| s.parse().map_err(|e| format!("--workers: {e}")))
+        .transpose()?
+        .unwrap_or(4);
+    let window_us: u64 = flag(&args, "--batch-window-us")
+        .map(|s| s.parse().map_err(|e| format!("--batch-window-us: {e}")))
+        .transpose()?
+        .unwrap_or(200);
+    let sync = flag(&args, "--sync")
+        .map(|s| parse_sync(&s))
+        .transpose()?
+        .unwrap_or(SyncPolicy::SyncEachEpoch);
+
+    let cfg = ShardedConfig::builder()
+        .shards(shards)
+        .batch_window(Duration::from_micros(window_us))
+        .build();
+    let mut dur = DurabilityConfig::builder().sync(sync);
+    if let Some(obs) = flag(&args, "--obs-addr") {
+        dur = dur.obs_addr(obs);
+    }
+
+    let store = Arc::new(
+        DurableShardedStore::<Spec>::open(&dir, cfg, dur.build())
+            .map_err(|e| format!("open {dir}: {e}"))?,
+    );
+    let mut server = serve(
+        Arc::clone(&store),
+        addr.as_str(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    )
+    .map_err(|e| format!("bind {addr}: {e}"))?;
+
+    println!("pam-serve listening on {}", server.local_addr());
+    if let Some(obs) = store.obs_addr() {
+        println!("obs listening on {obs}");
+    }
+
+    // Serve until our stdin reaches EOF (the supervisor closing the pipe
+    // is the shutdown signal — same trick as `cat`), then drain.
+    let mut sink = [0u8; 4096];
+    let mut stdin = io::stdin().lock();
+    while matches!(stdin.read(&mut sink), Ok(n) if n > 0) {}
+    drop(stdin);
+
+    println!("pam-serve draining");
+    server.drain();
+    drop(server);
+    drop(store); // closes WALs, telemetry endpoint, releases the dir lock
+    println!("pam-serve drained");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("pam-serve: {e}");
+        exit(1);
+    }
+}

@@ -1,0 +1,366 @@
+//! The threaded accept loop and request dispatcher.
+//!
+//! Same shape as `pam_obs::ObsServer`: a `std::net::TcpListener`, a named
+//! acceptor thread, and a shutdown flag woken by a self-connect — no async
+//! runtime. Accepted connections flow through a bounded channel to a fixed
+//! pool of worker threads; each worker serves one connection to completion
+//! (requests on a connection are strictly ordered, which is what gives a
+//! session read-your-writes against the live store: its `put` ack returns
+//! only after the epoch is published).
+//!
+//! The server is generic over the unified store API
+//! ([`StoreRead`] + [`StoreWrite`]), so the same dispatcher serves an
+//! in-memory [`pam_store::ShardedStore`] in tests and a
+//! [`pam_store::DurableShardedStore`] in production.
+//!
+//! ## Drain protocol
+//!
+//! [`Server::drain`] (also run on drop):
+//! 1. set the drain flag and self-connect to pop the acceptor out of
+//!    `accept()` — no new connections from here on;
+//! 2. half-close (`Shutdown::Read`) every live connection: a worker
+//!    blocked in a read sees EOF and exits after finishing — and
+//!    *replying to* — its in-flight request;
+//! 3. join the workers, then flush the store (every accepted epoch
+//!    commits — and, on a durable store, hits the log) and drop all
+//!    named snapshot pins so the version registry can prune.
+
+use crate::wire::{
+    decode_message, read_frame_capped, write_message, Request, Response, WireOp, MAX_FRAME,
+    MAX_SCAN,
+};
+use pam::AugSpec;
+use pam_store::api::{StoreRead, StoreSnapshot, StoreWrite, WriteTicket};
+use pam_store::WriteOp;
+use std::collections::HashMap;
+use std::io;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{sync_channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::{self, JoinHandle};
+
+/// Server tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads (each serves one connection at a time, so this is
+    /// also the concurrent-connection limit; further accepted
+    /// connections queue).
+    pub workers: usize,
+    /// Accepted connections that may queue for a free worker before the
+    /// acceptor blocks.
+    pub backlog: usize,
+    /// Maximum accepted frame payload in bytes (see
+    /// [`crate::wire::read_frame_capped`]).
+    pub max_frame: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 4,
+            backlog: 64,
+            max_frame: MAX_FRAME,
+        }
+    }
+}
+
+/// A running server. Dropping it drains gracefully ([`Server::drain`]).
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    on_drain: Option<Box<dyn FnOnce() + Send>>,
+}
+
+/// State shared between the acceptor, the workers, and `drain`.
+struct Shared {
+    draining: AtomicBool,
+    /// Live connections by id (a `try_clone` of each worker's stream),
+    /// so drain can half-close readers that are blocked mid-`read`.
+    conns: Mutex<HashMap<u64, TcpStream>>,
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bind `addr` and serve `store` until [`Server::drain`] (or drop).
+///
+/// Writes feed the store's group-commit pipeline — concurrent
+/// connections' puts coalesce into shared epochs — and each is acked
+/// only once its ticket resolves. Reads run lock-free off pinned
+/// snapshots. `Pin`/`UsePin` give sessions a named epoch-fenced snapshot
+/// for repeatable reads.
+///
+/// # Errors
+///
+/// Propagates the bind failure.
+pub fn serve<S, T>(store: Arc<T>, addr: impl ToSocketAddrs, cfg: ServeConfig) -> io::Result<Server>
+where
+    S: AugSpec<K = Vec<u8>, V = Vec<u8>>,
+    T: StoreRead<S> + StoreWrite<S> + Send + Sync + 'static,
+    T::Snapshot: Send + Sync + 'static,
+{
+    let listener = TcpListener::bind(addr)?;
+    let local = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        draining: AtomicBool::new(false),
+        conns: Mutex::new(HashMap::new()),
+    });
+    let pins: Arc<Mutex<HashMap<String, Arc<T::Snapshot>>>> = Arc::new(Mutex::new(HashMap::new()));
+
+    let (tx, rx) = sync_channel::<(u64, TcpStream)>(cfg.backlog.max(1));
+    let rx = Arc::new(Mutex::new(rx));
+
+    let workers = (0..cfg.workers.max(1))
+        .map(|i| {
+            let rx = Arc::clone(&rx);
+            let store = Arc::clone(&store);
+            let shared = Arc::clone(&shared);
+            let pins = Arc::clone(&pins);
+            let max_frame = cfg.max_frame;
+            thread::Builder::new()
+                .name(format!("pam-serve-worker-{i}"))
+                .spawn(move || worker_loop(rx, store, shared, pins, max_frame))
+                .expect("spawn pam-serve worker")
+        })
+        .collect();
+
+    let acceptor = {
+        let shared = Arc::clone(&shared);
+        thread::Builder::new()
+            .name("pam-serve-accept".into())
+            .spawn(move || {
+                let mut next_id = 0u64;
+                // `tx` lives (only) here: when the acceptor exits, the
+                // channel closes and idle workers wake up and exit.
+                for stream in listener.incoming() {
+                    if shared.draining.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    let id = next_id;
+                    next_id += 1;
+                    if let Ok(clone) = stream.try_clone() {
+                        lock(&shared.conns).insert(id, clone);
+                    }
+                    if tx.send((id, stream)).is_err() {
+                        break;
+                    }
+                }
+            })
+            .expect("spawn pam-serve acceptor")
+    };
+
+    let on_drain: Box<dyn FnOnce() + Send> = {
+        let pins = Arc::clone(&pins);
+        Box::new(move || {
+            store.flush();
+            lock(&pins).clear();
+        })
+    };
+
+    Ok(Server {
+        addr: local,
+        shared,
+        acceptor: Some(acceptor),
+        workers,
+        on_drain: Some(on_drain),
+    })
+}
+
+impl Server {
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Gracefully drain: stop accepting, let in-flight requests finish
+    /// and be acked, flush every submitted epoch, drop all named pins.
+    /// Idempotent; also runs on drop.
+    pub fn drain(&mut self) {
+        let Some(acceptor) = self.acceptor.take() else {
+            return;
+        };
+        self.shared.draining.store(true, Ordering::SeqCst);
+        // pop the acceptor out of accept()
+        let _ = TcpStream::connect(self.addr);
+        let _ = acceptor.join();
+        // half-close live connections: blocked reads see EOF, in-flight
+        // responses can still be written
+        for stream in lock(&self.shared.conns).values() {
+            let _ = stream.shutdown(Shutdown::Read);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+        if let Some(f) = self.on_drain.take() {
+            f();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.drain();
+    }
+}
+
+fn worker_loop<S, T>(
+    rx: Arc<Mutex<Receiver<(u64, TcpStream)>>>,
+    store: Arc<T>,
+    shared: Arc<Shared>,
+    pins: Arc<Mutex<HashMap<String, Arc<T::Snapshot>>>>,
+    max_frame: usize,
+) where
+    S: AugSpec<K = Vec<u8>, V = Vec<u8>>,
+    T: StoreRead<S> + StoreWrite<S>,
+{
+    loop {
+        // hold the receiver lock only for the dequeue, not the serve
+        let next = lock(&rx).recv();
+        let Ok((id, stream)) = next else { break };
+        serve_connection(&*store, &pins, stream, max_frame);
+        lock(&shared.conns).remove(&id);
+    }
+}
+
+/// Serve one connection to completion: read a frame, decode, dispatch,
+/// reply — until clean EOF, a protocol error (answered with
+/// [`Response::Err`], then the connection closes), or drain.
+fn serve_connection<S, T>(
+    store: &T,
+    pins: &Mutex<HashMap<String, Arc<T::Snapshot>>>,
+    mut stream: TcpStream,
+    max_frame: usize,
+) where
+    S: AugSpec<K = Vec<u8>, V = Vec<u8>>,
+    T: StoreRead<S> + StoreWrite<S>,
+{
+    let _ = stream.set_nodelay(true);
+    let mut session: Option<Arc<T::Snapshot>> = None;
+    loop {
+        match read_frame_capped(&mut stream, max_frame) {
+            Ok(None) => break,
+            Ok(Some(payload)) => {
+                let reply = match decode_message::<Request>(&payload) {
+                    Ok(req) => {
+                        // a panicking dispatch (e.g. a poisoned store's
+                        // ticket) must not take the worker thread down
+                        catch_unwind(AssertUnwindSafe(|| {
+                            dispatch(store, pins, &mut session, req)
+                        }))
+                        .unwrap_or_else(|_| Response::Err("internal error".into()))
+                    }
+                    Err(e) => {
+                        let _ = write_message(&mut stream, &Response::Err(e.msg.into()));
+                        break;
+                    }
+                };
+                if write_message(&mut stream, &reply).is_err() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                // hostile or corrupt framing: answer cleanly, then close
+                let _ = write_message(&mut stream, &Response::Err(e.to_string()));
+                break;
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+fn dispatch<S, T>(
+    store: &T,
+    pins: &Mutex<HashMap<String, Arc<T::Snapshot>>>,
+    session: &mut Option<Arc<T::Snapshot>>,
+    req: Request,
+) -> Response
+where
+    S: AugSpec<K = Vec<u8>, V = Vec<u8>>,
+    T: StoreRead<S> + StoreWrite<S>,
+{
+    match req {
+        Request::Ping => Response::Pong,
+        Request::Get(key) => Response::Value(match session {
+            Some(snap) => snap.get(&key),
+            None => store.get(&key),
+        }),
+        Request::GetMany(keys) => Response::Values(match session {
+            Some(snap) => snap.get_many(&keys),
+            None => store.get_many(&keys),
+        }),
+        Request::Scan { lo, hi, limit } => {
+            let limit = limit.min(MAX_SCAN) as usize;
+            let mut entries = Vec::new();
+            {
+                let mut collect = |k: &Vec<u8>, v: &Vec<u8>| {
+                    if entries.len() < limit {
+                        entries.push((k.clone(), v.clone()));
+                    }
+                };
+                match session {
+                    Some(snap) => snap.range_for_each(&lo, &hi, &mut collect),
+                    None => store.range_for_each(&lo, &hi, &mut collect),
+                }
+            }
+            Response::Entries(entries)
+        }
+        Request::Len => Response::Count(match session {
+            Some(snap) => snap.len() as u64,
+            None => store.len() as u64,
+        }),
+        Request::Put(key, value) => acked(store.put(key, value)),
+        Request::Delete(key) => acked(store.delete(key)),
+        Request::Batch(ops) => {
+            let ops: Vec<WriteOp<S>> = ops
+                .into_iter()
+                .map(|op| match op {
+                    WireOp::Put(k, v) => WriteOp::Put(k, v),
+                    WireOp::Delete(k) => WriteOp::Delete(k),
+                })
+                .collect();
+            acked(store.write_batch(ops))
+        }
+        Request::Pin(name) => {
+            let snap = Arc::new(store.snapshot());
+            let epoch = snap.snapshot_epoch();
+            lock(pins).insert(name, Arc::clone(&snap));
+            *session = Some(snap);
+            Response::Pinned(epoch)
+        }
+        Request::UsePin(name) => match lock(pins).get(&name) {
+            Some(snap) => {
+                let epoch = snap.snapshot_epoch();
+                *session = Some(Arc::clone(snap));
+                Response::Pinned(epoch)
+            }
+            None => Response::Err(format!("unknown pin: {name}")),
+        },
+        Request::Unpin(name) => {
+            if lock(pins).remove(&name).is_some() {
+                Response::Ok
+            } else {
+                Response::Err(format!("unknown pin: {name}"))
+            }
+        }
+        Request::Release => {
+            *session = None;
+            Response::Ok
+        }
+    }
+}
+
+/// Block on the ticket — the write is committed, published, and (on a
+/// durable store) logged per the sync policy — then ack it.
+fn acked(ticket: impl WriteTicket) -> Response {
+    let version = ticket.wait_committed();
+    Response::Acked {
+        version,
+        global_epoch: ticket.global_epoch(),
+    }
+}

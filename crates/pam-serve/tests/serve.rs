@@ -1,0 +1,212 @@
+//! End-to-end tests: a live server over TCP, real clients, group-commit
+//! acks, session pins, and the graceful-drain protocol.
+
+use pam::NoAug;
+use pam_serve::{serve, Client, ServeConfig, Server, WireOp};
+use pam_store::{DurabilityConfig, DurableShardedStore, ShardedConfig, ShardedStore};
+use std::net::SocketAddr;
+use std::sync::Arc;
+use std::time::Duration;
+
+type Spec = NoAug<Vec<u8>, Vec<u8>>;
+
+fn eager_store(shards: usize) -> Arc<ShardedStore<Spec>> {
+    Arc::new(ShardedStore::with_config(
+        ShardedConfig::builder()
+            .shards(shards)
+            .batch_window(Duration::ZERO)
+            .build(),
+    ))
+}
+
+fn start(store: Arc<ShardedStore<Spec>>) -> (Server, SocketAddr) {
+    let server = serve(store, "127.0.0.1:0", ServeConfig::default()).expect("bind");
+    let addr = server.local_addr();
+    (server, addr)
+}
+
+fn key(i: u64) -> Vec<u8> {
+    i.to_be_bytes().to_vec()
+}
+
+#[test]
+fn puts_gets_batches_and_scans_round_trip() {
+    let store = eager_store(4);
+    let (_server, addr) = start(Arc::clone(&store));
+    let mut c = Client::connect(addr).unwrap();
+
+    c.ping().unwrap();
+    assert_eq!(c.len().unwrap(), 0);
+    assert_eq!(c.get(b"missing").unwrap(), None);
+
+    let ack = c.put(&key(1), b"one").unwrap();
+    assert!(ack.version >= 1);
+    assert_eq!(ack.global_epoch, None, "single put takes the fast path");
+    assert_eq!(c.get(&key(1)).unwrap(), Some(b"one".to_vec()));
+
+    // a batch wide enough to span shards carries a global epoch stamp
+    let ops: Vec<WireOp> = (10..42)
+        .map(|i| WireOp::Put(key(i), format!("v{i}").into_bytes()))
+        .collect();
+    let ack = c.batch(ops).unwrap();
+    assert!(
+        ack.global_epoch.is_some(),
+        "multi-shard batch must be stamped"
+    );
+    assert_eq!(c.len().unwrap(), 33);
+
+    assert_eq!(
+        c.get_many(&[key(10), key(999), key(41)]).unwrap(),
+        vec![Some(b"v10".to_vec()), None, Some(b"v41".to_vec())]
+    );
+
+    // scans come back merged in key order
+    let entries = c.scan(&key(0), &key(u64::MAX), 1 << 16).unwrap();
+    assert_eq!(entries.len(), 33);
+    assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+    let limited = c.scan(&key(0), &key(u64::MAX), 5).unwrap();
+    assert_eq!(limited.len(), 5);
+
+    c.delete(&key(1)).unwrap();
+    assert_eq!(c.get(&key(1)).unwrap(), None);
+    assert_eq!(c.len().unwrap(), 32);
+
+    // mixed batch: put + delete atomically
+    c.batch(vec![
+        WireOp::Put(key(100), b"hundred".to_vec()),
+        WireOp::Delete(key(10)),
+    ])
+    .unwrap();
+    assert_eq!(c.get(&key(100)).unwrap(), Some(b"hundred".to_vec()));
+    assert_eq!(c.get(&key(10)).unwrap(), None);
+}
+
+#[test]
+fn named_pins_freeze_reads_until_release() {
+    let store = eager_store(2);
+    let (_server, addr) = start(Arc::clone(&store));
+    let mut writer = Client::connect(addr).unwrap();
+    let mut reader = Client::connect(addr).unwrap();
+
+    writer.put(b"k", b"v1").unwrap();
+    let epoch = writer.pin("cut").unwrap();
+
+    // another session joins the same named snapshot
+    assert_eq!(reader.use_pin("cut").unwrap(), epoch);
+
+    // live store moves on; both pinned sessions keep the old view
+    writer.release().unwrap();
+    writer.put(b"k", b"v2").unwrap();
+    assert_eq!(writer.get(b"k").unwrap(), Some(b"v2".to_vec()));
+    assert_eq!(reader.get(b"k").unwrap(), Some(b"v1".to_vec()));
+    assert_eq!(reader.len().unwrap(), 1);
+
+    // scans and multi-gets also read the pinned cut
+    assert_eq!(
+        reader.get_many(&[b"k".to_vec()]).unwrap(),
+        vec![Some(b"v1".to_vec())]
+    );
+    assert_eq!(
+        reader.scan(b"", b"\xff\xff", 100).unwrap(),
+        vec![(b"k".to_vec(), b"v1".to_vec())]
+    );
+
+    // releasing returns the session to the live store
+    reader.release().unwrap();
+    assert_eq!(reader.get(b"k").unwrap(), Some(b"v2".to_vec()));
+
+    // unpin drops the name; rejoining fails cleanly
+    writer.unpin("cut").unwrap();
+    assert!(reader.use_pin("cut").is_err());
+    assert!(writer.unpin("cut").is_err(), "double unpin is an error");
+    assert!(
+        reader.ping().is_ok(),
+        "error replies keep the session alive"
+    );
+}
+
+#[test]
+fn concurrent_clients_coalesce_into_the_group_commit_pipeline() {
+    let store = Arc::new(ShardedStore::<Spec>::with_config(
+        ShardedConfig::builder()
+            .shards(2)
+            .batch_window(Duration::from_micros(200))
+            .build(),
+    ));
+    let (_server, addr) = start(Arc::clone(&store));
+
+    let threads: Vec<_> = (0..4u64)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut c = Client::connect(addr).unwrap();
+                for i in 0..50u64 {
+                    let k = key(t * 1000 + i);
+                    let ack = c.put(&k, b"x").unwrap();
+                    assert!(ack.version >= 1);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+
+    let mut c = Client::connect(addr).unwrap();
+    assert_eq!(c.len().unwrap(), 200, "every acked put is published");
+    // acks rode the pipeline: commits can never exceed raw ops, and the
+    // stats surface proves the writes flowed through it
+    let stats = store.stats();
+    assert_eq!(stats.raw_ops, 200);
+    assert!(stats.commits <= stats.raw_ops);
+}
+
+#[test]
+fn drain_stops_accepting_and_flushes_acked_writes() {
+    let dir = std::env::temp_dir().join(format!("pam-serve-drain-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let open = || {
+        DurableShardedStore::<Spec>::open(
+            &dir,
+            ShardedConfig::builder()
+                .shards(2)
+                .batch_window(Duration::ZERO)
+                .build(),
+            DurabilityConfig::default(),
+        )
+        .expect("open durable store")
+    };
+
+    let store = Arc::new(open());
+    let mut server = serve(Arc::clone(&store), "127.0.0.1:0", ServeConfig::default()).unwrap();
+    let addr = server.local_addr();
+
+    let mut c = Client::connect(addr).unwrap();
+    for i in 0..100u64 {
+        c.put(&key(i), format!("v{i}").as_bytes()).unwrap();
+    }
+
+    // graceful drain: existing session dies cleanly, new connections are
+    // refused, every acked epoch is flushed
+    server.drain();
+    assert!(c.ping().is_err(), "drained server closes the session");
+    assert!(
+        Client::connect(addr).and_then(|mut c| c.ping()).is_err(),
+        "drained server accepts no new connections"
+    );
+    drop(server);
+    drop(c);
+    drop(store);
+
+    let store = open();
+    assert_eq!(store.len(), 100);
+    for i in 0..100u64 {
+        assert_eq!(
+            store.get(&key(i)),
+            Some(format!("v{i}").into_bytes()),
+            "acked write {i} must survive a graceful drain"
+        );
+    }
+    drop(store);
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,4 +1,26 @@
 //! Store tuning knobs.
+//!
+//! Each config type offers a fluent builder — the supported way to
+//! deviate from the defaults:
+//!
+//! ```
+//! use pam_store::{DurabilityConfig, ShardedConfig};
+//! use pam_wal::SyncPolicy;
+//!
+//! let cfg = ShardedConfig::builder()
+//!     .shards(4)
+//!     .batch_window(std::time::Duration::from_micros(100))
+//!     .build();
+//! let dur = DurabilityConfig::builder()
+//!     .sync(SyncPolicy::SyncEveryN(8))
+//!     .obs_addr("127.0.0.1:0")
+//!     .build();
+//! # let _ = (cfg, dur);
+//! ```
+//!
+//! The structs keep public fields and `Default` impls as a
+//! backward-compatibility shim for existing field-mutation call sites;
+//! the handful of pre-builder convenience constructors are deprecated.
 
 use pam_wal::SyncPolicy;
 use std::time::Duration;
@@ -111,5 +133,267 @@ impl Default for DurabilityConfig {
             keep_checkpoints: 2,
             obs_addr: None,
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Builders
+// ---------------------------------------------------------------------------
+
+impl StoreConfig {
+    /// Start a [`StoreConfigBuilder`] seeded with the defaults.
+    pub fn builder() -> StoreConfigBuilder {
+        StoreConfigBuilder {
+            cfg: StoreConfig::default(),
+        }
+    }
+
+    /// Defaults with a custom group-commit window.
+    #[deprecated(note = "use StoreConfig::builder().batch_window(..).build()")]
+    pub fn with_batch_window(window: Duration) -> Self {
+        StoreConfig {
+            batch_window: window,
+            ..StoreConfig::default()
+        }
+    }
+}
+
+/// Fluent builder for [`StoreConfig`]; see the module docs for an example.
+#[derive(Clone, Debug, Default)]
+pub struct StoreConfigBuilder {
+    cfg: StoreConfig,
+}
+
+impl StoreConfigBuilder {
+    /// Set the group-commit window (see [`StoreConfig::batch_window`]).
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.cfg.batch_window = window;
+        self
+    }
+
+    /// Set the epoch-drain operation cap (see [`StoreConfig::max_batch`]).
+    pub fn max_batch(mut self, ops: usize) -> Self {
+        self.cfg.max_batch = ops;
+        self
+    }
+
+    /// Set how many unpinned versions the registry retains (see
+    /// [`StoreConfig::keep_versions`]).
+    pub fn keep_versions(mut self, n: usize) -> Self {
+        self.cfg.keep_versions = n;
+        self
+    }
+
+    /// Finish, yielding the [`StoreConfig`].
+    pub fn build(self) -> StoreConfig {
+        self.cfg
+    }
+}
+
+impl ShardedConfig {
+    /// Start a [`ShardedConfigBuilder`] seeded with the defaults.
+    pub fn builder() -> ShardedConfigBuilder {
+        ShardedConfigBuilder {
+            cfg: ShardedConfig::default(),
+        }
+    }
+
+    /// Defaults with a custom shard count.
+    #[deprecated(note = "use ShardedConfig::builder().shards(..).build()")]
+    pub fn with_shards(shards: usize) -> Self {
+        ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        }
+    }
+}
+
+/// Fluent builder for [`ShardedConfig`]: the shard count plus the
+/// per-shard [`StoreConfig`] knobs, flattened for convenience.
+#[derive(Clone, Debug, Default)]
+pub struct ShardedConfigBuilder {
+    cfg: ShardedConfig,
+}
+
+impl ShardedConfigBuilder {
+    /// Set the number of hash shards (see [`ShardedConfig::shards`]).
+    pub fn shards(mut self, n: usize) -> Self {
+        self.cfg.shards = n;
+        self
+    }
+
+    /// Replace the per-shard tuning wholesale.
+    pub fn store(mut self, store: StoreConfig) -> Self {
+        self.cfg.store = store;
+        self
+    }
+
+    /// Set every shard's group-commit window (see
+    /// [`StoreConfig::batch_window`]).
+    pub fn batch_window(mut self, window: Duration) -> Self {
+        self.cfg.store.batch_window = window;
+        self
+    }
+
+    /// Set every shard's epoch-drain cap (see [`StoreConfig::max_batch`]).
+    pub fn max_batch(mut self, ops: usize) -> Self {
+        self.cfg.store.max_batch = ops;
+        self
+    }
+
+    /// Set every shard's retained-version count (see
+    /// [`StoreConfig::keep_versions`]).
+    pub fn keep_versions(mut self, n: usize) -> Self {
+        self.cfg.store.keep_versions = n;
+        self
+    }
+
+    /// Finish, yielding the [`ShardedConfig`].
+    pub fn build(self) -> ShardedConfig {
+        self.cfg
+    }
+}
+
+impl DurabilityConfig {
+    /// Start a [`DurabilityConfigBuilder`] seeded with the defaults.
+    pub fn builder() -> DurabilityConfigBuilder {
+        DurabilityConfigBuilder {
+            cfg: DurabilityConfig::default(),
+        }
+    }
+
+    /// Defaults with a custom [`SyncPolicy`].
+    #[deprecated(note = "use DurabilityConfig::builder().sync(..).build()")]
+    pub fn with_sync(sync: SyncPolicy) -> Self {
+        DurabilityConfig {
+            sync,
+            ..DurabilityConfig::default()
+        }
+    }
+}
+
+/// Fluent builder for [`DurabilityConfig`]; see the module docs for an
+/// example.
+#[derive(Clone, Debug, Default)]
+pub struct DurabilityConfigBuilder {
+    cfg: DurabilityConfig,
+}
+
+impl DurabilityConfigBuilder {
+    /// Set the WAL fsync cadence (see [`DurabilityConfig::sync`]).
+    pub fn sync(mut self, sync: SyncPolicy) -> Self {
+        self.cfg.sync = sync;
+        self
+    }
+
+    /// Set the WAL segment rotation threshold (see
+    /// [`DurabilityConfig::segment_bytes`]).
+    pub fn segment_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.segment_bytes = bytes;
+        self
+    }
+
+    /// Checkpoint automatically every `bytes` of WAL growth (see
+    /// [`DurabilityConfig::checkpoint_every_bytes`]).
+    pub fn checkpoint_every_bytes(mut self, bytes: u64) -> Self {
+        self.cfg.checkpoint_every_bytes = Some(bytes);
+        self
+    }
+
+    /// Also checkpoint on a wall-clock cadence (see
+    /// [`DurabilityConfig::checkpoint_interval`]).
+    pub fn checkpoint_interval(mut self, every: Duration) -> Self {
+        self.cfg.checkpoint_interval = Some(every);
+        self
+    }
+
+    /// Disable automatic checkpoints; only explicit `checkpoint()` calls
+    /// write one.
+    pub fn manual_checkpoints_only(mut self) -> Self {
+        self.cfg.checkpoint_every_bytes = None;
+        self.cfg.checkpoint_interval = None;
+        self
+    }
+
+    /// Set how many checkpoint files to retain (see
+    /// [`DurabilityConfig::keep_checkpoints`]).
+    pub fn keep_checkpoints(mut self, n: usize) -> Self {
+        self.cfg.keep_checkpoints = n;
+        self
+    }
+
+    /// Bind a live telemetry endpoint at open (see
+    /// [`DurabilityConfig::obs_addr`]).
+    pub fn obs_addr(mut self, addr: impl Into<String>) -> Self {
+        self.cfg.obs_addr = Some(addr.into());
+        self
+    }
+
+    /// Finish, yielding the [`DurabilityConfig`].
+    pub fn build(self) -> DurabilityConfig {
+        self.cfg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_cover_every_knob() {
+        let cfg = ShardedConfig::builder()
+            .shards(8)
+            .batch_window(Duration::from_micros(50))
+            .max_batch(512)
+            .keep_versions(3)
+            .build();
+        assert_eq!(cfg.shards, 8);
+        assert_eq!(cfg.store.batch_window, Duration::from_micros(50));
+        assert_eq!(cfg.store.max_batch, 512);
+        assert_eq!(cfg.store.keep_versions, 3);
+
+        let dur = DurabilityConfig::builder()
+            .sync(SyncPolicy::SyncEveryN(8))
+            .segment_bytes(1 << 20)
+            .checkpoint_every_bytes(4 << 20)
+            .checkpoint_interval(Duration::from_secs(30))
+            .keep_checkpoints(5)
+            .obs_addr("127.0.0.1:0")
+            .build();
+        assert!(matches!(dur.sync, SyncPolicy::SyncEveryN(8)));
+        assert_eq!(dur.segment_bytes, 1 << 20);
+        assert_eq!(dur.checkpoint_every_bytes, Some(4 << 20));
+        assert_eq!(dur.checkpoint_interval, Some(Duration::from_secs(30)));
+        assert_eq!(dur.keep_checkpoints, 5);
+        assert_eq!(dur.obs_addr.as_deref(), Some("127.0.0.1:0"));
+
+        let manual = DurabilityConfig::builder()
+            .manual_checkpoints_only()
+            .build();
+        assert_eq!(manual.checkpoint_every_bytes, None);
+        assert_eq!(manual.checkpoint_interval, None);
+
+        let store = StoreConfig::builder()
+            .batch_window(Duration::ZERO)
+            .max_batch(64)
+            .keep_versions(2)
+            .build();
+        assert_eq!(store.batch_window, Duration::ZERO);
+        assert_eq!(store.max_batch, 64);
+        assert_eq!(store.keep_versions, 2);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_work() {
+        assert_eq!(
+            StoreConfig::with_batch_window(Duration::ZERO).batch_window,
+            Duration::ZERO
+        );
+        assert_eq!(ShardedConfig::with_shards(2).shards, 2);
+        assert!(matches!(
+            DurabilityConfig::with_sync(SyncPolicy::NoSync).sync,
+            SyncPolicy::NoSync
+        ));
     }
 }

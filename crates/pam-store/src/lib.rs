@@ -54,11 +54,11 @@
 //! use pam::SumAug;
 //! use std::time::Duration;
 //!
-//! let store: VersionedStore<SumAug<u64, u64>> =
-//!     VersionedStore::with_config(StoreConfig {
-//!         batch_window: Duration::from_micros(100),
-//!         ..StoreConfig::default()
-//!     });
+//! let store: VersionedStore<SumAug<u64, u64>> = VersionedStore::with_config(
+//!     StoreConfig::builder()
+//!         .batch_window(Duration::from_micros(100))
+//!         .build(),
+//! );
 //!
 //! // writers get a ticket; the committer batches concurrent writes
 //! let t = store.put(1, 10);
@@ -79,6 +79,7 @@
 
 #![warn(missing_docs)]
 
+pub mod api;
 mod config;
 pub mod durable;
 pub mod op;
@@ -88,7 +89,11 @@ pub mod shard;
 pub mod stats;
 mod store;
 
-pub use config::{DurabilityConfig, ShardedConfig, StoreConfig};
+pub use api::{StoreRead, StoreSnapshot, StoreWrite, WriteTicket};
+pub use config::{
+    DurabilityConfig, DurabilityConfigBuilder, ShardedConfig, ShardedConfigBuilder, StoreConfig,
+    StoreConfigBuilder,
+};
 pub use durable::{DurableShardedStore, DurableStore, RecoveryInfo, RecoveryTimings};
 pub use op::{NormalizedBatch, WriteOp};
 pub use pam_obs::Health;

@@ -425,7 +425,7 @@ where
 
     /// The shard index `key` routes to.
     pub fn shard_of(&self, key: &S::K) -> usize {
-        (key.shard_hash() % self.shards.len() as u64) as usize
+        crate::api::route(key.shard_hash(), self.shards.len())
     }
 
     /// Direct handle to one shard's store (diagnostics, per-shard stats).
@@ -542,27 +542,7 @@ where
     /// snapshot (per-shard consistent); for a cut that is consistent
     /// *across* shards, use [`Self::snapshot`] + [`ShardedSnapshot::get_many`].
     pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
-        let n = self.shards.len();
-        let mut index_of: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
-        for (i, k) in keys.iter().enumerate() {
-            index_of[self.shard_of(k)].push(i);
-        }
-        let mut out: Vec<Option<S::V>> = vec![None; keys.len()];
-        for (shard, idxs) in index_of.iter_mut().enumerate() {
-            if idxs.is_empty() {
-                continue;
-            }
-            // pin once and probe by reference (no key clones), in sorted
-            // key order so successive lookups share their upper tree path
-            // — the same discipline as `VersionedStore::get_many`
-            let pin = self.shards[shard].pin();
-            let map = pin.map();
-            idxs.sort_by(|&a, &b| S::compare(&keys[a], &keys[b]));
-            for &i in idxs.iter() {
-                out[i] = map.get(&keys[i]).cloned();
-            }
-        }
-        out
+        crate::api::scatter_gather_get_many(self.shards.len(), keys, |i| self.shards[i].pin())
     }
 
     /// All entries with keys in `[lo, hi]`, merged across shards in key
@@ -774,6 +754,16 @@ impl<S: AugSpec> ShardedTicket<S> {
     pub fn global_epoch(&self) -> Option<u64> {
         self.global
     }
+
+    /// Wrap one shard's [`CommitTicket`] as a (stampless) sharded
+    /// acknowledgement — the `crate::api` write traits route
+    /// single-key writes through this.
+    pub(crate) fn single(ticket: CommitTicket<S>) -> Self {
+        ShardedTicket {
+            tickets: vec![ticket],
+            global: None,
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -813,14 +803,15 @@ where
 
     /// The value at `key` in the snapshot.
     pub fn get(&self, key: &S::K) -> Option<S::V> {
-        let shard = (key.shard_hash() % self.pins.len() as u64) as usize;
+        let shard = crate::api::route(key.shard_hash(), self.pins.len());
         self.pins[shard].map().get(key).cloned()
     }
 
     /// The values at several keys (input order) — all from this one
-    /// consistent cut.
+    /// consistent cut, probed with the same scatter/sorted-gather
+    /// discipline as the live stores (see `crate::api`).
     pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
-        keys.iter().map(|k| self.get(k)).collect()
+        crate::api::scatter_gather_get_many(self.pins.len(), keys, |i| self.pins[i].clone())
     }
 
     /// Total entries in the snapshot.

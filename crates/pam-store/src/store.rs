@@ -159,13 +159,9 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
     /// upper tree path in cache. Results come back in input order.
     pub fn get_many(&self, keys: &[S::K]) -> Vec<Option<S::V>> {
         let pin = self.pin();
-        let map = pin.map();
         let mut order: Vec<usize> = (0..keys.len()).collect();
-        order.sort_by(|&a, &b| S::compare(&keys[a], &keys[b]));
         let mut out: Vec<Option<S::V>> = vec![None; keys.len()];
-        for i in order {
-            out[i] = map.get(&keys[i]).cloned();
-        }
+        crate::api::gather_in_key_order(pin.map(), keys, &mut order, &mut out);
         out
     }
 
