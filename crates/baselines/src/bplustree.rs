@@ -92,11 +92,21 @@ impl Default for BPlusTree {
     }
 }
 
+/// The single creation site for node locks: every tree node's `RwLock`
+/// is born here, so they all share one lock class. The dynamic
+/// lock-order detector in the parking_lot shim exempts same-class
+/// nesting, which is exactly the crabbing invariant (parent locked
+/// before child) this tree relies on; distinct per-split creation sites
+/// would instead look like cross-class cycles.
+fn new_node(n: BpNode) -> NodeRef {
+    Arc::new(RwLock::new(n))
+}
+
 impl BPlusTree {
     /// An empty tree.
     pub fn new() -> Self {
         BPlusTree {
-            root: RwLock::new(Arc::new(RwLock::new(BpNode::empty_leaf()))),
+            root: RwLock::new(new_node(BpNode::empty_leaf())),
             version: AtomicU64::new(0),
             len: AtomicUsize::new(0),
         }
@@ -104,6 +114,7 @@ impl BPlusTree {
 
     /// Number of keys.
     pub fn len(&self) -> usize {
+        // relaxed: statistics counter; no data is published through it
         self.len.load(Ordering::Relaxed)
     }
 
@@ -147,9 +158,9 @@ impl BPlusTree {
         let (sep, right) = g.split();
         let new_root = BpNode::Internal {
             keys: vec![sep],
-            kids: vec![root_arc.clone(), Arc::new(RwLock::new(right))],
+            kids: vec![root_arc.clone(), new_node(right)],
         };
-        *rootptr = Arc::new(RwLock::new(new_root));
+        *rootptr = new_node(new_root);
         self.version.fetch_add(1, Ordering::Release);
     }
 
@@ -178,6 +189,8 @@ impl BPlusTree {
                     }
                     keys.insert(idx, key);
                     vals.insert(idx, val);
+                    // relaxed: count-only; correctness is carried by the
+                    // node locks, not by this counter
                     self.len.fetch_add(1, Ordering::Relaxed);
                     return true;
                 }
@@ -189,7 +202,7 @@ impl BPlusTree {
                         // preemptive split under the parent lock (parent
                         // is non-full by the crabbing invariant)
                         let (sep, right) = cg.split();
-                        let right_ref = Arc::new(RwLock::new(right));
+                        let right_ref = new_node(right);
                         keys.insert(idx, sep);
                         kids.insert(idx + 1, right_ref.clone());
                         if key >= sep {

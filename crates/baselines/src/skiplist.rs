@@ -46,6 +46,7 @@ pub struct SkipList {
 // SAFETY: all shared mutation goes through atomics; nodes are never freed
 // while the list is alive.
 unsafe impl Send for SkipList {}
+// SAFETY: same argument as Send above — atomics only, no reclamation.
 unsafe impl Sync for SkipList {}
 
 impl Default for SkipList {
@@ -67,6 +68,8 @@ impl SkipList {
     /// Geometric tower height (p = 1/2), from a stateless hash of a
     /// fetch-add counter.
     fn random_height(&self) -> usize {
+        // relaxed: only distinctness of the counter values matters; the
+        // heights they hash to need no cross-thread ordering
         let mut x = self.seed.fetch_add(0x9e3779b97f4a7c15, Ordering::Relaxed);
         x = (x ^ (x >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
         x = (x ^ (x >> 27)).wrapping_mul(0x94d049bb133111eb);
@@ -86,14 +89,19 @@ impl SkipList {
         for lvl in (0..MAX_LEVEL).rev() {
             // SAFETY: pred is head or a published node; nodes are never freed.
             let mut cur = unsafe { (&(*pred).next)[lvl].load(Ordering::Acquire) };
+            // SAFETY: cur was non-null-checked and read from a published
+            // node's next pointer; published nodes are never freed.
             while !cur.is_null() && unsafe { (*cur).key } < key {
                 pred = cur;
+                // SAFETY: cur is published and non-null (loop condition).
                 cur = unsafe { (&(*cur).next)[lvl].load(Ordering::Acquire) };
             }
             preds[lvl] = pred;
             succs[lvl] = cur;
         }
         let candidate = succs[0];
+        // SAFETY: candidate is non-null (checked) and came off a
+        // published next pointer; nodes are never freed.
         if !candidate.is_null() && unsafe { (*candidate).key } == key {
             candidate
         } else {
@@ -116,7 +124,11 @@ impl SkipList {
             }
             let node = Node::alloc(key, val, height);
             // pre-link the tower before publishing
+            // SAFETY: node is freshly allocated and still exclusively
+            // ours (not yet published to any other thread).
             for (lvl, n) in unsafe { &(*node).next }.iter().enumerate() {
+                // relaxed: the node is unpublished; the release CAS
+                // below makes these pre-links visible with it
                 n.store(succs[lvl], Ordering::Relaxed);
             }
             // publish at level 0 (the linearization point)
@@ -136,6 +148,8 @@ impl SkipList {
                 drop(unsafe { Box::from_raw(node) });
                 continue;
             }
+            // relaxed: statistics counter; publication happened at the
+            // level-0 CAS above
             self.len.fetch_add(1, Ordering::Relaxed);
             // best-effort upper levels
             for lvl in 1..height {
@@ -144,6 +158,8 @@ impl SkipList {
                     let succ = succs[lvl];
                     // SAFETY: node is published; stores race benignly.
                     unsafe { (&(*node).next)[lvl].store(succ, Ordering::Release) };
+                    // SAFETY: pred is head or a published node (find()
+                    // only yields those); never freed while list lives.
                     let ok = unsafe {
                         (&(*pred).next)[lvl]
                             .compare_exchange(succ, node, Ordering::AcqRel, Ordering::Acquire)
@@ -166,12 +182,17 @@ impl SkipList {
         for lvl in (0..MAX_LEVEL).rev() {
             // SAFETY: see `find`.
             let mut cur = unsafe { (&(*pred).next)[lvl].load(Ordering::Acquire) };
+            // SAFETY: cur is non-null (loop condition) and published;
+            // published nodes are never freed while the list is alive.
             while !cur.is_null() && unsafe { (*cur).key } < key {
                 pred = cur;
+                // SAFETY: cur is published and non-null (loop condition).
                 cur = unsafe { (&(*cur).next)[lvl].load(Ordering::Acquire) };
             }
+            // SAFETY: non-null check precedes the deref; same
+            // published-node argument as above for both accesses.
             if !cur.is_null() && unsafe { (*cur).key } == key {
-                return Some(unsafe { (*cur).val.load(Ordering::Acquire) });
+                return Some(unsafe { (*cur).val.load(Ordering::Acquire) }); // SAFETY: see above
             }
         }
         None
@@ -179,6 +200,7 @@ impl SkipList {
 
     /// Number of keys.
     pub fn len(&self) -> usize {
+        // relaxed: statistics read; no data hangs off this counter
         self.len.load(Ordering::Relaxed)
     }
 
@@ -194,6 +216,7 @@ impl SkipList {
         // SAFETY: level-0 chain of published nodes.
         let mut cur = unsafe { (&(*self.head).next)[0].load(Ordering::Acquire) };
         while !cur.is_null() {
+            // SAFETY: cur is non-null and published; reads are atomic.
             unsafe {
                 out.push(((*cur).key, (*cur).val.load(Ordering::Acquire)));
                 cur = (&(*cur).next)[0].load(Ordering::Acquire);
@@ -209,7 +232,11 @@ impl Drop for SkipList {
         let mut cur = self.head;
         while !cur.is_null() {
             // SAFETY: exclusive ownership; each node freed exactly once.
+            // relaxed: &mut self means no other thread exists to race —
+            // the load is effectively non-atomic
             let next = unsafe { (&(*cur).next)[0].load(Ordering::Relaxed) };
+            // SAFETY: cur came from Box::into_raw in Node::alloc and,
+            // with &mut self, nothing can reach it after this free.
             drop(unsafe { Box::from_raw(cur) });
             cur = next;
         }

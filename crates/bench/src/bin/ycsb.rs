@@ -820,12 +820,15 @@ fn run_contend(counts: &[usize], preload: usize, ops: usize) -> Vec<ContendRow> 
             let s = store.clone();
             let stop = stop.clone();
             std::thread::spawn(move || {
+                // relaxed: shutdown flag only — seeing it late costs one
+                // extra snapshot loop, and join() below synchronizes
                 while !stop.load(std::sync::atomic::Ordering::Relaxed) {
                     let _snap = s.snapshot();
                 }
             })
         };
         let contended = acked_puts(1);
+        // relaxed: see the loop above; join() provides the ordering
         stop.store(true, std::sync::atomic::Ordering::Relaxed);
         snapper.join().unwrap();
 

@@ -1,0 +1,456 @@
+//! Masking lexer: the 20% of a Rust lexer the rules need.
+//!
+//! [`SourceMap::new`] walks the source once with a small state machine
+//! and produces, per line, (a) the *masked* code — every comment, string
+//! literal, and char literal replaced by spaces, byte-for-byte, so
+//! column positions survive — and (b) the concatenated comment text.
+//! Rules then scan the masked lines, where any `unsafe` or `.unwrap(`
+//! they find is guaranteed to be a real token and not prose inside a
+//! string, and look up justifications in the comment side-table.
+//!
+//! The fiddly cases this gets right (and the fixture tests pin down):
+//! raw strings `r"…"` / `r#"…"#` with arbitrary `#` depth and `b`/`br`
+//! prefixes, *nested* block comments, char literals vs lifetimes
+//! (`'a'` vs `<'a>`), and `#[cfg(test)] mod … { … }` spans, which are
+//! excluded from the panic/relaxed/errors rules by brace tracking.
+
+/// Per-line view of a masked source file. Lines are 0-indexed here;
+/// findings add 1 at the edge.
+pub struct SourceMap {
+    /// Code with comments/strings/chars blanked to spaces.
+    pub masked: Vec<String>,
+    /// Comment text on each line (`//`, `///`, `/* … */` content,
+    /// including the markers), empty if none.
+    pub comments: Vec<String>,
+    /// Whether the line sits inside a `#[cfg(test)] mod … { … }` span.
+    pub is_test: Vec<bool>,
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum State {
+    Code,
+    LineComment,
+    /// Block comments nest in Rust; the depth rides along.
+    BlockComment(u32),
+    Str,
+    /// Raw string, closing delimiter is `"` followed by this many `#`.
+    RawStr(u32),
+    Char,
+}
+
+impl SourceMap {
+    pub fn new(source: &str) -> Self {
+        let (masked_flat, comments_flat) = mask(source);
+        let masked: Vec<String> = masked_flat.lines().map(str::to_owned).collect();
+        let comments: Vec<String> = comments_flat.lines().map(str::to_owned).collect();
+        // `str::lines` drops a trailing empty line inconsistently with
+        // our per-line tables; pad the shorter to the longer.
+        let n = masked.len().max(comments.len());
+        let mut map = SourceMap {
+            is_test: vec![false; n],
+            masked: pad(masked, n),
+            comments: pad(comments, n),
+        };
+        map.mark_cfg_test_spans();
+        map
+    }
+
+    /// True if `marker` appears in the comments on `line` or in the
+    /// contiguous run of comment-only / attribute-only / blank lines
+    /// immediately above it — the "justification block" every
+    /// comment-driven rule shares.
+    pub fn has_marker(&self, line: usize, marker: &str) -> bool {
+        if self.comments.get(line).is_some_and(|c| c.contains(marker)) {
+            return true;
+        }
+        let mut i = line;
+        while i > 0 {
+            i -= 1;
+            let code = self.masked[i].trim();
+            let annotation_only = code.is_empty() || code.starts_with('#') || code == ")]";
+            if !annotation_only {
+                return false;
+            }
+            if self.comments[i].contains(marker) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Byte span scanning on the masked text: every `(line, col)` where
+    /// `word` occurs as a whole identifier.
+    pub fn word_occurrences(&self, word: &str) -> Vec<(usize, usize)> {
+        let mut hits = Vec::new();
+        for (ln, line) in self.masked.iter().enumerate() {
+            let bytes = line.as_bytes();
+            let mut from = 0;
+            while let Some(off) = line[from..].find(word) {
+                let start = from + off;
+                let end = start + word.len();
+                let pre_ok = start == 0 || !is_ident(bytes[start - 1]);
+                let post_ok = end >= bytes.len() || !is_ident(bytes[end]);
+                if pre_ok && post_ok {
+                    hits.push((ln, start));
+                }
+                from = end;
+            }
+        }
+        hits
+    }
+
+    /// After `col` on `line`, is the next non-space char `want`? Used to
+    /// tell `read_frame(` from a bare path mention.
+    pub fn next_char_is(&self, line: usize, col: usize, want: u8) -> bool {
+        let bytes = self.masked[line].as_bytes();
+        let mut i = col;
+        while i < bytes.len() && bytes[i] == b' ' {
+            i += 1;
+        }
+        i < bytes.len() && bytes[i] == want
+    }
+
+    /// `(start_line, end_line)` spans (inclusive) of every `fn` body,
+    /// found by brace matching on the masked text. Nested items stay
+    /// inside their parent's span, which is what the lock-order rule
+    /// wants: a closure acquiring locks still runs "in" the function.
+    pub fn fn_spans(&self) -> Vec<(usize, usize)> {
+        let mut spans = Vec::new();
+        for (ln, col) in self.word_occurrences("fn") {
+            // An item fn is `fn name…`; a bare `fn(` / `fn()` is a
+            // function-pointer *type* (e.g. `PhantomData<fn(S)>`).
+            let after = self.masked[ln][col + 2..].trim_start();
+            if !after
+                .bytes()
+                .next()
+                .is_some_and(|b| b == b'_' || b.is_ascii_alphabetic())
+            {
+                continue;
+            }
+            if let Some(end) = self.body_end(ln, col) {
+                spans.push((ln, end));
+            }
+        }
+        spans
+    }
+
+    /// From the token at `(line, col)`, find the `{` that opens the
+    /// following body and return the line of its matching `}`. `None`
+    /// for bodiless declarations (trait methods ending in `;`).
+    fn body_end(&self, line: usize, col: usize) -> Option<usize> {
+        let mut depth = 0usize;
+        let mut opened = false;
+        let mut ln = line;
+        let mut start = col;
+        while ln < self.masked.len() {
+            for &b in &self.masked[ln].as_bytes()[start.min(self.masked[ln].len())..] {
+                match b {
+                    b';' if !opened => return None,
+                    b'{' => {
+                        opened = true;
+                        depth += 1;
+                    }
+                    // A `}` before the body opened closes the item's
+                    // *enclosing* scope — there is no body here.
+                    b'}' if !opened => return None,
+                    b'}' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            return Some(ln);
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            ln += 1;
+            start = 0;
+        }
+        None
+    }
+
+    fn mark_cfg_test_spans(&mut self) {
+        // Find `#[cfg(test)]` on its own (attributes survive masking),
+        // then the `mod` it decorates, then that mod's brace span.
+        let flat: Vec<String> = self.masked.clone();
+        for (ln, text) in flat.iter().enumerate() {
+            let Some(col) = text.find("#[cfg(test)]") else {
+                continue;
+            };
+            // Scan forward for the next `mod` token; give up at the
+            // first non-attribute code in between (the cfg guards
+            // something else, e.g. a single fn — still test code, so
+            // span it too).
+            if let Some((mod_ln, mod_col)) = self.next_item_token(ln, col) {
+                if let Some(end) = self.body_end(mod_ln, mod_col) {
+                    for t in &mut self.is_test[ln..=end] {
+                        *t = true;
+                    }
+                }
+            }
+        }
+    }
+
+    /// The `(line, col)` of the first item keyword after an attribute at
+    /// `(ln, col)` — skipping further attributes and blank lines.
+    fn next_item_token(&self, ln: usize, col: usize) -> Option<(usize, usize)> {
+        let mut line = ln;
+        let mut start = col + "#[cfg(test)]".len();
+        while line < self.masked.len() {
+            let rest = &self.masked[line][start.min(self.masked[line].len())..];
+            let trimmed = rest.trim_start();
+            if !trimmed.is_empty() && !trimmed.starts_with("#[") {
+                let col = start + (rest.len() - trimmed.len());
+                return Some((line, col));
+            }
+            line += 1;
+            start = 0;
+        }
+        None
+    }
+}
+
+fn pad(mut v: Vec<String>, n: usize) -> Vec<String> {
+    while v.len() < n {
+        v.push(String::new());
+    }
+    v
+}
+
+fn is_ident(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+/// Count the `#`s after `r`/`br` and confirm a `"` follows: the raw
+/// string's hash depth, or `None` if this `r` isn't a raw string.
+fn raw_hashes(bytes: &[u8], after_r: usize) -> Option<u32> {
+    let mut i = after_r;
+    let mut hashes = 0;
+    while bytes.get(i) == Some(&b'#') {
+        hashes += 1;
+        i += 1;
+    }
+    (bytes.get(i) == Some(&b'"')).then_some(hashes)
+}
+
+/// One pass over `source`: returns (masked code, comment text), both
+/// the same length as the input with newlines preserved.
+fn mask(source: &str) -> (String, String) {
+    let bytes = source.as_bytes();
+    let mut code = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::with_capacity(bytes.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            // Newlines land in both streams whatever the state, so the
+            // line tables stay aligned. A line comment also ends here.
+            if state == State::LineComment {
+                state = State::Code;
+            }
+            code.push(b'\n');
+            comments.push(b'\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Code => {
+                let next = bytes.get(i + 1).copied();
+                match b {
+                    b'/' if next == Some(b'/') => {
+                        state = State::LineComment;
+                        code.push(b' ');
+                        comments.push(b'/');
+                    }
+                    b'/' if next == Some(b'*') => {
+                        state = State::BlockComment(1);
+                        code.push(b' ');
+                        code.push(b' ');
+                        comments.push(b'/');
+                        comments.push(b'*');
+                        i += 1;
+                    }
+                    b'"' => {
+                        state = State::Str;
+                        code.push(b' ');
+                        comments.push(b' ');
+                    }
+                    b'r' | b'b' if !prev_ident(bytes, i) => {
+                        // r"…", r#"…"#, b"…", br#"…"#, b'…'
+                        let (skip, next_state) = raw_or_byte(bytes, i);
+                        for _ in 0..skip {
+                            code.push(b' ');
+                            comments.push(b' ');
+                        }
+                        if skip == 0 {
+                            code.push(b);
+                            comments.push(b' ');
+                            i += 1;
+                            continue;
+                        }
+                        state = next_state;
+                        i += skip;
+                        continue;
+                    }
+                    b'\'' => {
+                        if is_char_literal(bytes, i) {
+                            state = State::Char;
+                        }
+                        // else: a lifetime — keep the quote masked out
+                        // either way, it's never part of a rule token.
+                        code.push(b' ');
+                        comments.push(b' ');
+                    }
+                    _ => {
+                        code.push(b);
+                        comments.push(b' ');
+                    }
+                }
+            }
+            State::LineComment => {
+                code.push(b' ');
+                comments.push(b);
+            }
+            State::BlockComment(depth) => {
+                let next = bytes.get(i + 1).copied();
+                if b == b'*' && next == Some(b'/') {
+                    state = if depth == 1 {
+                        State::Code
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    code.push(b' ');
+                    code.push(b' ');
+                    comments.push(b'*');
+                    comments.push(b'/');
+                    i += 2;
+                    continue;
+                }
+                if b == b'/' && next == Some(b'*') {
+                    state = State::BlockComment(depth + 1);
+                    code.push(b' ');
+                    code.push(b' ');
+                    comments.push(b'/');
+                    comments.push(b'*');
+                    i += 2;
+                    continue;
+                }
+                code.push(b' ');
+                comments.push(b);
+            }
+            State::Str => {
+                if b == b'\\' {
+                    code.push(b' ');
+                    comments.push(b' ');
+                    if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                        code.push(b' ');
+                        comments.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                } else {
+                    if b == b'"' {
+                        state = State::Code;
+                    }
+                    code.push(b' ');
+                    comments.push(b' ');
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    let mut ok = true;
+                    for k in 0..hashes as usize {
+                        if bytes.get(i + 1 + k) != Some(&b'#') {
+                            ok = false;
+                            break;
+                        }
+                    }
+                    if ok {
+                        state = State::Code;
+                        for _ in 0..=hashes as usize {
+                            code.push(b' ');
+                            comments.push(b' ');
+                        }
+                        i += 1 + hashes as usize;
+                        continue;
+                    }
+                }
+                code.push(b' ');
+                comments.push(b' ');
+            }
+            State::Char => {
+                if b == b'\\' {
+                    code.push(b' ');
+                    comments.push(b' ');
+                    if i + 1 < bytes.len() && bytes[i + 1] != b'\n' {
+                        code.push(b' ');
+                        comments.push(b' ');
+                        i += 2;
+                        continue;
+                    }
+                } else {
+                    if b == b'\'' {
+                        state = State::Code;
+                    }
+                    code.push(b' ');
+                    comments.push(b' ');
+                }
+            }
+        }
+        i += 1;
+    }
+    // SourceMap padding handles ragged tails; safety of from_utf8 is by
+    // construction (we only ever emit ASCII or bytes copied from valid
+    // UTF-8 at character boundaries — multibyte chars only occur inside
+    // strings/comments, where each byte maps to itself or a space...
+    // except a multibyte char in masked *code* position can't occur:
+    // Rust identifiers here are ASCII, and non-ASCII in code would be
+    // copied verbatim keeping the original byte sequence intact).
+    (
+        String::from_utf8(code).expect("mask preserves UTF-8"),
+        String::from_utf8(comments).expect("mask preserves UTF-8"),
+    )
+}
+
+fn prev_ident(bytes: &[u8], i: usize) -> bool {
+    i > 0 && is_ident(bytes[i - 1])
+}
+
+/// At a `r`/`b` in code position: how many bytes to swallow into the
+/// literal prefix, and the state to enter. `(0, _)` means "just an
+/// identifier char, not a literal prefix".
+fn raw_or_byte(bytes: &[u8], i: usize) -> (usize, State) {
+    match bytes[i] {
+        b'r' => {
+            if let Some(h) = raw_hashes(bytes, i + 1) {
+                // r##" → consume r, hashes, and the opening quote
+                (1 + h as usize + 1, State::RawStr(h))
+            } else {
+                (0, State::Code)
+            }
+        }
+        b'b' => match bytes.get(i + 1) {
+            Some(b'"') => (2, State::Str),
+            Some(b'\'') => (2, State::Char),
+            Some(b'r') => {
+                if let Some(h) = raw_hashes(bytes, i + 2) {
+                    (2 + h as usize + 1, State::RawStr(h))
+                } else {
+                    (0, State::Code)
+                }
+            }
+            _ => (0, State::Code),
+        },
+        _ => (0, State::Code),
+    }
+}
+
+/// Disambiguate `'x'` / `'\n'` (char literal) from `'a` (lifetime) at a
+/// quote in code position.
+fn is_char_literal(bytes: &[u8], i: usize) -> bool {
+    match bytes.get(i + 1) {
+        Some(b'\\') => true,
+        Some(_) => bytes.get(i + 2) == Some(&b'\''),
+        None => false,
+    }
+}

@@ -1,0 +1,183 @@
+//! Zero-dependency static lint pass for this workspace.
+//!
+//! `pam-lint` enforces the concurrency and error-handling discipline
+//! documented in ARCHITECTURE.md §11 without pulling `syn`/`quote` into
+//! an offline build: a hand-rolled lexer *masks* the source (blanks out
+//! comments, strings, and char literals while preserving byte offsets
+//! and line structure), and line-oriented rules then scan the masked
+//! text where every remaining token is real code. Comment text is kept
+//! per line on the side, because most rules are of the form "this
+//! construct needs a justifying comment".
+//!
+//! Rules:
+//!
+//! 1. `unsafe-block` — every `unsafe` needs a `// SAFETY:` comment (or
+//!    a `# Safety` rustdoc section) on the same line or the contiguous
+//!    comment/attribute block above it.
+//! 2. `relaxed-ordering` — every `Ordering::Relaxed` outside the
+//!    pam-obs histogram hot path needs a `// relaxed:` justification.
+//! 3. `panic-path` — no `.unwrap()` / `.expect(..)` / `panic!` in
+//!    non-test code of pam-serve, pam-wal, pam-store; escape hatch is
+//!    `// lint: allow(panic) <reason>`.
+//! 4. `errors-doc` — `pub fn … -> Result` in pam-store/pam-wal needs an
+//!    `# Errors` rustdoc section.
+//! 5. `lock-order` — within one function, named locks from LOCKS.toml
+//!    must be acquired in ascending rank order (textually — guards may
+//!    be dropped early, hence `// lint: allow(lock-order) <reason>`).
+//! 6. `uncapped-read-frame` — direct `read_frame(..)` calls outside
+//!    pam-wal must be `read_frame_capped` (bounded allocation against
+//!    hostile length fields).
+
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+pub mod lexer;
+pub mod locks;
+pub mod rules;
+
+pub use lexer::SourceMap;
+pub use locks::LockEntry;
+
+/// One lint violation.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// File the violation is in (as given to the linter).
+    pub file: PathBuf,
+    /// 1-based line number.
+    pub line: usize,
+    /// Stable rule identifier, e.g. `lock-order`.
+    pub rule: &'static str,
+    /// Human-readable description including the fix.
+    pub msg: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] {}",
+            self.file.display(),
+            self.line,
+            self.rule,
+            self.msg
+        )
+    }
+}
+
+/// Rule scoping. Paths are matched as `/`-normalized substrings, so the
+/// linter behaves identically from the workspace root or a crate dir.
+pub struct Config {
+    /// Lock ranking table (see `LOCKS.toml`).
+    pub locks: Vec<LockEntry>,
+    /// Files where bare `Ordering::Relaxed` is expected (hot-path
+    /// counters whose slots are independent by construction).
+    pub relaxed_allowlist: Vec<String>,
+    /// Crates whose non-test code must not panic.
+    pub panic_scope: Vec<String>,
+    /// Crates whose `pub fn … -> Result` APIs need `# Errors` docs.
+    pub errors_doc_scope: Vec<String>,
+    /// Paths allowed to call the uncapped `read_frame` (its home crate).
+    pub read_frame_exempt: Vec<String>,
+    /// When set (explicit file arguments, fixture tests), the
+    /// crate-scoped rules apply to *every* given file instead of only
+    /// files under their scope paths.
+    pub all_files_in_scope: bool,
+}
+
+impl Config {
+    /// The workspace's shipped configuration, with `locks` parsed from
+    /// the given LOCKS.toml text.
+    ///
+    /// # Errors
+    ///
+    /// Returns the LOCKS.toml parse error, if any.
+    pub fn workspace(locks_toml: &str) -> Result<Self, String> {
+        Ok(Self {
+            locks: locks::parse(locks_toml)?,
+            relaxed_allowlist: vec![
+                "crates/pam-obs/src/hist.rs".into(),
+                "crates/pam-obs/src/metrics.rs".into(),
+            ],
+            panic_scope: vec![
+                "crates/pam-serve/src/".into(),
+                "crates/pam-wal/src/".into(),
+                "crates/pam-store/src/".into(),
+            ],
+            errors_doc_scope: vec!["crates/pam-store/src/".into(), "crates/pam-wal/src/".into()],
+            read_frame_exempt: vec!["crates/pam-wal/src/".into()],
+            all_files_in_scope: false,
+        })
+    }
+}
+
+/// The LOCKS.toml shipped with the linter (the workspace lock table).
+pub const DEFAULT_LOCKS_TOML: &str = include_str!("../LOCKS.toml");
+
+fn norm(path: &Path) -> String {
+    let s = path.to_string_lossy().replace('\\', "/");
+    s
+}
+
+pub(crate) fn in_scope(path: &str, scopes: &[String]) -> bool {
+    scopes.iter().any(|s| path.contains(s.as_str()))
+}
+
+/// Lint one file's contents. `path` is used for findings and scoping.
+pub fn lint_file(path: &Path, source: &str, config: &Config) -> Vec<Finding> {
+    let map = lexer::SourceMap::new(source);
+    let p = norm(path);
+    let mut out = Vec::new();
+    rules::unsafe_blocks(path, &p, &map, &mut out);
+    rules::relaxed_orderings(path, &p, &map, config, &mut out);
+    rules::panic_paths(path, &p, &map, config, &mut out);
+    rules::errors_docs(path, &p, &map, config, &mut out);
+    rules::lock_order(path, &p, &map, config, &mut out);
+    rules::uncapped_read_frame(path, &p, &map, config, &mut out);
+    out.sort_by_key(|f| f.line);
+    out
+}
+
+/// Recursively collect the `.rs` files under `root` that the workspace
+/// pass lints: skips build output (`target/`), VCS metadata, and the
+/// linter's own deliberately-violating fixtures.
+pub fn collect_workspace_files(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        for entry in std::fs::read_dir(&dir)? {
+            let entry = entry?;
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if entry.file_type()?.is_dir() {
+                if name == "target" || name == "fixtures" || name.starts_with('.') {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".rs") {
+                files.push(path);
+            }
+        }
+    }
+    files.sort();
+    Ok(files)
+}
+
+/// Lint every workspace file under `root` with the shipped config.
+///
+/// # Errors
+///
+/// Propagates file-read errors as displayable strings (missing files,
+/// permission problems); lint findings are the `Ok` payload.
+pub fn lint_workspace(root: &Path, config: &Config) -> Result<Vec<Finding>, String> {
+    let mut out = Vec::new();
+    let files =
+        collect_workspace_files(root).map_err(|e| format!("walk {}: {e}", root.display()))?;
+    for file in files {
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("read {}: {e}", file.display()))?;
+        let rel = file.strip_prefix(root).unwrap_or(&file);
+        out.extend(lint_file(rel, &source, config));
+    }
+    Ok(out)
+}

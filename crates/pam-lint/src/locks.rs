@@ -1,0 +1,125 @@
+//! LOCKS.toml: the workspace's global lock-ordering table.
+//!
+//! The file is a list of `[[lock]]` tables with three keys — `name`
+//! (the field the lock lives in), `file` (a path substring scoping the
+//! name, since `state` means different locks in pipeline.rs and
+//! durable.rs), and `rank` (lower = outer: a lock may only be acquired
+//! while holding locks of *lower* rank). Parsed by hand — the subset of
+//! TOML used is one table header and `key = value` lines — because the
+//! linter is zero-dependency by design.
+
+/// One row of the lock table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockEntry {
+    /// Field name the lock is acquired through (`.name.lock()` etc.).
+    pub name: String,
+    /// Path substring the name is scoped to.
+    pub file: String,
+    /// Global rank; acquire in ascending order.
+    pub rank: u32,
+}
+
+/// Parse the LOCKS.toml subset.
+///
+/// # Errors
+///
+/// A displayable message naming the offending line for anything outside
+/// the `[[lock]]` / `key = value` / comment grammar, and for entries
+/// missing one of the three required keys.
+pub fn parse(text: &str) -> Result<Vec<LockEntry>, String> {
+    let mut entries = Vec::new();
+    let mut current: Option<(Option<String>, Option<String>, Option<u32>)> = None;
+    for (ln, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        let err = |msg: &str| format!("LOCKS.toml line {}: {msg}", ln + 1);
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line == "[[lock]]" {
+            finish(&mut current, &mut entries).map_err(|m| err(&m))?;
+            current = Some((None, None, None));
+            continue;
+        }
+        let Some((key, value)) = line.split_once('=') else {
+            return Err(err("expected `[[lock]]` or `key = value`"));
+        };
+        let Some(entry) = current.as_mut() else {
+            return Err(err("key outside a [[lock]] table"));
+        };
+        let value = value.split('#').next().unwrap_or(value).trim();
+        match key.trim() {
+            "name" => entry.0 = Some(unquote(value).map_err(|m| err(&m))?),
+            "file" => entry.1 = Some(unquote(value).map_err(|m| err(&m))?),
+            "rank" => {
+                entry.2 = Some(value.parse().map_err(|_| err("rank must be an integer"))?);
+            }
+            other => return Err(err(&format!("unknown key `{other}`"))),
+        }
+    }
+    finish(&mut current, &mut entries)?;
+    Ok(entries)
+}
+
+fn finish(
+    current: &mut Option<(Option<String>, Option<String>, Option<u32>)>,
+    entries: &mut Vec<LockEntry>,
+) -> Result<(), String> {
+    if let Some((name, file, rank)) = current.take() {
+        entries.push(LockEntry {
+            name: name.ok_or("lock entry missing `name`")?,
+            file: file.ok_or("lock entry missing `file`")?,
+            rank: rank.ok_or("lock entry missing `rank`")?,
+        });
+    }
+    Ok(())
+}
+
+fn unquote(value: &str) -> Result<String, String> {
+    let inner = value
+        .strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| format!("expected a quoted string, got `{value}`"))?;
+    Ok(inner.to_owned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_shipped_table() {
+        let entries = parse(crate::DEFAULT_LOCKS_TOML).expect("shipped LOCKS.toml parses");
+        assert!(entries.len() >= 10, "expected a real table");
+        // names are unique per file
+        for (i, a) in entries.iter().enumerate() {
+            for b in &entries[i + 1..] {
+                assert!(
+                    !(a.name == b.name && a.file == b.file),
+                    "duplicate lock {}@{}",
+                    a.name,
+                    a.file
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_tables() {
+        assert!(parse("name = \"x\"").is_err(), "key outside table");
+        assert!(parse("[[lock]]\nname = \"x\"").is_err(), "missing keys");
+        assert!(
+            parse("[[lock]]\nname = \"x\"\nfile = \"f\"\nrank = \"ten\"").is_err(),
+            "non-integer rank"
+        );
+        let ok = parse("# comment\n[[lock]]\nname = \"a\"\nfile = \"f.rs\"\nrank = 10 # outer\n")
+            .expect("minimal table");
+        assert_eq!(
+            ok,
+            vec![LockEntry {
+                name: "a".into(),
+                file: "f.rs".into(),
+                rank: 10
+            }]
+        );
+    }
+}

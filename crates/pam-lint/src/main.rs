@@ -1,0 +1,111 @@
+//! `pam-lint [--deny] [--report PATH] [--locks PATH] [paths…]`
+//!
+//! With no paths: walks the workspace from the current directory and
+//! applies each rule in its shipped scope (LOCKS.toml files, the
+//! serving-path crates, …). With explicit file paths: lints exactly
+//! those files with *every* rule in scope — this is what the fixture
+//! tests drive.
+//!
+//! Exit status: 0 when clean (or when only reporting), 1 on findings
+//! under `--deny`, 2 on usage/config errors.
+
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pam_lint::{lint_file, lint_workspace, Config, Finding, DEFAULT_LOCKS_TOML};
+
+struct Args {
+    deny: bool,
+    report: Option<PathBuf>,
+    locks: Option<PathBuf>,
+    paths: Vec<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        deny: false,
+        report: None,
+        locks: None,
+        paths: Vec::new(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--deny" => args.deny = true,
+            "--report" => {
+                args.report = Some(it.next().ok_or("--report needs a path")?.into());
+            }
+            "--locks" => {
+                args.locks = Some(it.next().ok_or("--locks needs a path")?.into());
+            }
+            "--help" | "-h" => {
+                return Err(
+                    "usage: pam-lint [--deny] [--report PATH] [--locks PATH] [paths…]".to_string(),
+                );
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag `{other}` (see --help)"));
+            }
+            other => args.paths.push(other.into()),
+        }
+    }
+    Ok(args)
+}
+
+fn run() -> Result<Vec<Finding>, String> {
+    let args = parse_args()?;
+    let locks_toml = match &args.locks {
+        Some(path) => {
+            std::fs::read_to_string(path).map_err(|e| format!("read {}: {e}", path.display()))?
+        }
+        None => DEFAULT_LOCKS_TOML.to_string(),
+    };
+    let mut config = Config::workspace(&locks_toml)?;
+    let findings = if args.paths.is_empty() {
+        let root = std::env::current_dir().map_err(|e| format!("current dir: {e}"))?;
+        lint_workspace(&root, &config)?
+    } else {
+        config.all_files_in_scope = true;
+        let mut out = Vec::new();
+        for path in &args.paths {
+            let source = std::fs::read_to_string(path)
+                .map_err(|e| format!("read {}: {e}", path.display()))?;
+            out.extend(lint_file(path, &source, &config));
+        }
+        out
+    };
+    let mut rendered = String::new();
+    for f in &findings {
+        rendered.push_str(&f.to_string());
+        rendered.push('\n');
+    }
+    if findings.is_empty() {
+        rendered.push_str("pam-lint: clean\n");
+    } else {
+        rendered.push_str(&format!("pam-lint: {} finding(s)\n", findings.len()));
+    }
+    print!("{rendered}");
+    if let Some(report) = &args.report {
+        let mut file = std::fs::File::create(report)
+            .map_err(|e| format!("create {}: {e}", report.display()))?;
+        file.write_all(rendered.as_bytes())
+            .map_err(|e| format!("write {}: {e}", report.display()))?;
+    }
+    if args.deny {
+        Ok(findings)
+    } else {
+        Ok(Vec::new())
+    }
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(findings) if findings.is_empty() => ExitCode::SUCCESS,
+        Ok(_) => ExitCode::FAILURE,
+        Err(msg) => {
+            eprintln!("pam-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

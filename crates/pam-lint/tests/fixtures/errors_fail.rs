@@ -1,0 +1,8 @@
+// Fixture: FAILS errors-doc — public fallible API lacking the
+// required rustdoc failure-modes section. (This header must not spell
+// the marker itself: the walk-up would find it.)
+
+/// Parses a widget id.
+pub fn parse_id(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad id".to_string())
+}

@@ -1,0 +1,21 @@
+// Fixture: PASSES errors-doc — documented public API; infallible and
+// crate-private fns need no section.
+
+/// Parses a widget id.
+///
+/// # Errors
+///
+/// Fails when `s` is not a decimal integer.
+pub fn parse_id(s: &str) -> Result<u32, String> {
+    s.parse().map_err(|_| "bad id".to_string())
+}
+
+/// Infallible: no section required.
+pub fn double(x: u32) -> u32 {
+    x * 2
+}
+
+// Not public API: `pub(crate)` is out of scope for the rule.
+pub(crate) fn internal(s: &str) -> Result<u32, String> {
+    parse_id(s)
+}

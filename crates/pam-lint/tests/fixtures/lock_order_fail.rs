@@ -1,0 +1,14 @@
+// Fixture: FAILS lock-order — acquires `outer` (rank 10) while the
+// higher-ranked `inner` (rank 20) acquisition site precedes it.
+
+pub struct Pair {
+    outer: std::sync::Mutex<()>,
+    inner: std::sync::Mutex<()>,
+}
+
+impl Pair {
+    pub fn inverted(&self) {
+        let _i = self.inner.lock();
+        let _o = self.outer.lock();
+    }
+}

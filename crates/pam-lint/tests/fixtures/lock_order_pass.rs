@@ -1,0 +1,32 @@
+// Fixture: PASSES lock-order — ascending acquisition, an allow-comment
+// escape, and a rustfmt-wrapped chain the scanner must reassemble.
+
+pub struct Pair {
+    outer: std::sync::Mutex<()>,
+    inner: std::sync::Mutex<()>,
+}
+
+impl Pair {
+    pub fn ordered(&self) {
+        let _o = self.outer.lock();
+        let _i = self.inner.lock();
+    }
+
+    pub fn wrapped(&self) {
+        let _o = self
+            .outer
+            .lock();
+        let _i = self
+            .inner
+            .lock();
+    }
+
+    pub fn justified(&self) {
+        {
+            let _i = self.inner.lock();
+        }
+        // lint: allow(lock-order) the inner guard is scoped above and
+        // already dropped before outer is taken
+        let _o = self.outer.lock();
+    }
+}

@@ -1,0 +1,5 @@
+// Fixture: FAILS panic-path — bare unwrap in non-test code.
+
+pub fn brittle(v: Option<u32>) -> u32 {
+    v.unwrap()
+}

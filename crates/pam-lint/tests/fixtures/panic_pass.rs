@@ -1,0 +1,24 @@
+// Fixture: PASSES panic-path — allow-comment escape, test-module
+// exemption, and decoys (strings, comments, unwrap_or-family).
+
+pub fn resilient(v: Option<u32>) -> u32 {
+    let _s = "call .unwrap() and panic!(now)"; // only prose
+    let _r = r"and .expect(the spanish inquisition)";
+    let or = v.unwrap_or(7); // unwrap_or is not unwrap
+    let or2 = v.unwrap_or_else(|| 9);
+    // lint: allow(panic) fixture demonstrating a justified invariant
+    let n = v.expect("fixture invariant");
+    or + or2 + n
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_unwrap_and_panic() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+        if v.is_none() {
+            panic!("unreachable");
+        }
+    }
+}

@@ -1,0 +1,17 @@
+// Fixture: FAILS uncapped-read-frame — calls read_frame outside
+// pam-wal instead of read_frame_capped.
+
+use pam_wal::frame;
+
+/// Drains every frame from `r`.
+///
+/// # Errors
+///
+/// Propagates I/O and framing errors.
+pub fn read_all(r: &mut impl std::io::Read) -> std::io::Result<Vec<Vec<u8>>> {
+    let mut out = Vec::new();
+    while let Some(p) = frame::read_frame(r)? {
+        out.push(p);
+    }
+    Ok(out)
+}

@@ -1,0 +1,21 @@
+// Fixture: PASSES uncapped-read-frame — uses the capped reader; bare
+// read_frame only appears in masked positions (comments, strings).
+
+use pam_wal::frame;
+
+const CAP: usize = 1 << 20;
+
+/// Drains every frame from `r`, rejecting frames larger than `CAP`.
+/// The uncapped read_frame(..) helper is mentioned here only in prose.
+///
+/// # Errors
+///
+/// Propagates I/O and framing errors.
+pub fn read_all(r: &mut impl std::io::Read) -> std::io::Result<Vec<Vec<u8>>> {
+    let _doc = "read_frame( inside a string is not a call site";
+    let mut out = Vec::new();
+    while let Some(p) = frame::read_frame_capped(r, CAP)? {
+        out.push(p);
+    }
+    Ok(out)
+}

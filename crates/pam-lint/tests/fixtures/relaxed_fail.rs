@@ -1,0 +1,7 @@
+// Fixture: FAILS relaxed-ordering — bare Relaxed in non-test code.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    c.fetch_add(1, Ordering::Relaxed);
+}

@@ -1,0 +1,21 @@
+// Fixture: PASSES relaxed-ordering — justified in real code, exempt in
+// a #[cfg(test)] module.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub fn bump(c: &AtomicU64) {
+    // relaxed: monitoring counter; nothing synchronizes through it
+    c.fetch_add(1, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tests_need_no_justification() {
+        let c = AtomicU64::new(0);
+        c.fetch_add(1, Ordering::Relaxed);
+        assert_eq!(c.load(Ordering::Relaxed), 1);
+    }
+}

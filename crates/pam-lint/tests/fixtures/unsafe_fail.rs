@@ -1,0 +1,5 @@
+// Fixture: FAILS unsafe-block — no SAFETY comment anywhere near.
+
+pub fn undocumented(p: *const u8) -> u8 {
+    unsafe { *p }
+}

@@ -1,0 +1,30 @@
+// Fixture: PASSES unsafe-block — documented unsafes plus lexer decoys
+// that must not be mistaken for code.
+
+/// Mentions of unsafe inside strings and comments are masked out.
+pub fn decoys() -> u8 {
+    let _block = "unsafe { not_code() }";
+    let _raw = r#"unsafe " still the same string "#;
+    let _byte_raw = br##"unsafe { nor this } "# nor here "##;
+    let _nested = 1; /* outer /* inner unsafe */ still one comment */
+    let _char = 'u';
+    let _quote_char = '\'';
+    let _lifetime: &'static str = "x";
+    0
+}
+
+// SAFETY: the pointer comes from a live reference below; alignment and
+// validity hold by construction.
+pub unsafe fn documented(p: *const u8) -> u8 {
+    unsafe { *p } // SAFETY: caller upholds the contract above
+}
+
+/// Reads a byte.
+///
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn doc_safety(p: *const u8) -> u8 {
+    // SAFETY: contract documented on the fn.
+    unsafe { *p }
+}

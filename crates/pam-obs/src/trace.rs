@@ -198,6 +198,8 @@ fn compute_gate() -> u8 {
             gate = l as u8;
         }
     }
+    // relaxed: the gate is a monotone cache — a racing reader at worst
+    // recomputes or formats one event it could have skipped
     GATE.store(gate.max(1), Ordering::Relaxed); // 1 = "computed, all off" floor
     gate.max(1)
 }
@@ -206,6 +208,8 @@ fn compute_gate() -> u8 {
 /// load on the fast path; the macros call this before formatting.
 #[inline]
 pub fn enabled(level: Level) -> bool {
+    // relaxed: hot-path hint only; see compute_gate — a stale value
+    // never produces wrong output, only a skippable recompute
     let gate = GATE.load(Ordering::Relaxed);
     let gate = if gate == 0 { compute_gate() } else { gate };
     level as u8 <= gate
@@ -220,6 +224,8 @@ pub fn enabled(level: Level) -> bool {
 pub fn set_subscriber(sub: Arc<dyn Subscriber>) -> Result<(), Arc<dyn Subscriber>> {
     match SUBSCRIBER.set(sub) {
         Ok(()) => {
+            // relaxed: 0 just invalidates the cache; readers recompute
+            // through the OnceLock, which supplies the ordering
             GATE.store(0, Ordering::Relaxed);
             Ok(())
         }

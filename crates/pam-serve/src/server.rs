@@ -32,13 +32,14 @@ use crate::wire::{
 use pam::AugSpec;
 use pam_store::api::{StoreRead, StoreSnapshot, StoreWrite, WriteTicket};
 use pam_store::WriteOp;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io;
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 
 /// Server tuning knobs.
@@ -83,10 +84,6 @@ struct Shared {
     conns: Mutex<HashMap<u64, TcpStream>>,
 }
 
-fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
-}
-
 /// Bind `addr` and serve `store` until [`Server::drain`] (or drop).
 ///
 /// Writes feed the store's group-commit pipeline — concurrent
@@ -125,9 +122,8 @@ where
             thread::Builder::new()
                 .name(format!("pam-serve-worker-{i}"))
                 .spawn(move || worker_loop(rx, store, shared, pins, max_frame))
-                .expect("spawn pam-serve worker")
         })
-        .collect();
+        .collect::<io::Result<Vec<_>>>()?;
 
     let acceptor = {
         let shared = Arc::clone(&shared);
@@ -145,21 +141,22 @@ where
                     let id = next_id;
                     next_id += 1;
                     if let Ok(clone) = stream.try_clone() {
-                        lock(&shared.conns).insert(id, clone);
+                        shared.conns.lock().insert(id, clone);
                     }
                     if tx.send((id, stream)).is_err() {
                         break;
                     }
                 }
-            })
-            .expect("spawn pam-serve acceptor")
+            })?
+        // a failed spawn drops `tx` with this scope, so the already
+        // spawned workers wake on the closed channel and exit
     };
 
     let on_drain: Box<dyn FnOnce() + Send> = {
         let pins = Arc::clone(&pins);
         Box::new(move || {
             store.flush();
-            lock(&pins).clear();
+            pins.lock().clear();
         })
     };
 
@@ -191,7 +188,7 @@ impl Server {
         let _ = acceptor.join();
         // half-close live connections: blocked reads see EOF, in-flight
         // responses can still be written
-        for stream in lock(&self.shared.conns).values() {
+        for stream in self.shared.conns.lock().values() {
             let _ = stream.shutdown(Shutdown::Read);
         }
         for h in self.workers.drain(..) {
@@ -221,10 +218,10 @@ fn worker_loop<S, T>(
 {
     loop {
         // hold the receiver lock only for the dequeue, not the serve
-        let next = lock(&rx).recv();
+        let next = rx.lock().recv();
         let Ok((id, stream)) = next else { break };
         serve_connection(&*store, &pins, stream, max_frame);
-        lock(&shared.conns).remove(&id);
+        shared.conns.lock().remove(&id);
     }
 }
 
@@ -329,11 +326,11 @@ where
         Request::Pin(name) => {
             let snap = Arc::new(store.snapshot());
             let epoch = snap.snapshot_epoch();
-            lock(pins).insert(name, Arc::clone(&snap));
+            pins.lock().insert(name, Arc::clone(&snap));
             *session = Some(snap);
             Response::Pinned(epoch)
         }
-        Request::UsePin(name) => match lock(pins).get(&name) {
+        Request::UsePin(name) => match pins.lock().get(&name) {
             Some(snap) => {
                 let epoch = snap.snapshot_epoch();
                 *session = Some(Arc::clone(snap));
@@ -342,7 +339,7 @@ where
             None => Response::Err(format!("unknown pin: {name}")),
         },
         Request::Unpin(name) => {
-            if lock(pins).remove(&name).is_some() {
+            if pins.lock().remove(&name).is_some() {
                 Response::Ok
             } else {
                 Response::Err(format!("unknown pin: {name}"))

@@ -16,7 +16,7 @@
 
 use pam_wal::frame::{self, HEADER_LEN};
 use pam_wal::{put_varint, Codec, CodecError, Reader};
-use std::io::{self, Read, Write};
+use std::io::{self, Write};
 
 /// Default maximum frame payload accepted from a peer (16 MiB). Generous
 /// for batches, small enough that a hostile length prefix cannot balloon
@@ -305,47 +305,12 @@ pub fn write_message<W: Write, M: Codec>(w: &mut W, msg: &M) -> io::Result<()> {
     w.flush()
 }
 
-/// Read one frame, enforcing `cap` on the announced payload length
-/// **before allocating** (unlike the WAL's trusted reader). Returns
-/// `Ok(None)` on clean EOF at a frame boundary.
-///
-/// # Errors
-///
-/// `InvalidData` for a torn header ("torn frame header"), truncated
-/// payload ("torn frame"), over-cap length ("frame length over limit"),
-/// or CRC mismatch ("bad frame crc"); other kinds propagate from the
-/// reader.
-pub fn read_frame_capped<R: Read>(r: &mut R, cap: usize) -> io::Result<Option<Vec<u8>>> {
-    let invalid = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg.to_string());
-    let mut header = [0u8; HEADER_LEN];
-    let mut got = 0;
-    while got < HEADER_LEN {
-        match r.read(&mut header[got..]) {
-            Ok(0) if got == 0 => return Ok(None),
-            Ok(0) => return Err(invalid("torn frame header")),
-            Ok(n) => got += n,
-            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-            Err(e) => return Err(e),
-        }
-    }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-    let crc = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
-    if len > cap {
-        return Err(invalid("frame length over limit"));
-    }
-    let mut payload = vec![0u8; len];
-    r.read_exact(&mut payload).map_err(|e| {
-        if e.kind() == io::ErrorKind::UnexpectedEof {
-            invalid("torn frame")
-        } else {
-            e
-        }
-    })?;
-    if frame::crc32(&payload) != crc {
-        return Err(invalid("bad frame crc"));
-    }
-    Ok(Some(payload))
-}
+/// The hostile-peer frame reader, now shared workspace-wide from
+/// [`pam_wal::frame`]: enforces the cap on the announced payload length
+/// **before allocating**. The server passes [`MAX_FRAME`] (or the
+/// configured `ServeConfig::max_frame`) so a malicious 4 GiB length
+/// field costs a closed connection, not an allocation.
+pub use pam_wal::frame::read_frame_capped;
 
 /// Decode one complete message from a frame payload, rejecting trailing
 /// bytes (a well-formed frame holds exactly one message).

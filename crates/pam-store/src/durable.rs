@@ -34,11 +34,12 @@ use pam::{AugMap, AugSpec, WeightBalanced};
 use pam_obs::{event, flight, Health, Histogram, Level, ObsServer, TelemetrySource};
 use pam_wal::wal::WalObs;
 use pam_wal::{checkpoint, manifest, record, Codec, DirLock, GlobalStamp, Wal, WalConfig};
+use parking_lot::{Condvar, Mutex};
 use std::collections::{BTreeMap, BTreeSet};
 use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// What [`DurableStore::open`] found on disk.
@@ -164,16 +165,12 @@ impl GlobalTracker {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, TrackerState> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Mint the next global epoch and record it as outstanding. The
     /// stamp and the outstanding entry are created atomically — a
     /// watermark read can never observe the stamp as "decided" before
     /// its slices are logged.
     pub(crate) fn stamp(&self, participants: u32) -> GlobalStamp {
-        let mut s = self.lock();
+        let mut s = self.state.lock();
         let epoch = s.next_stamp;
         crate::shard::check_clock_epoch(epoch);
         s.next_stamp += 1;
@@ -186,12 +183,12 @@ impl GlobalTracker {
 
     /// The most recently minted global epoch.
     pub(crate) fn last_stamped(&self) -> u64 {
-        self.lock().next_stamp - 1
+        self.state.lock().next_stamp - 1
     }
 
     /// One participant's slice of batch `g` is durable in its WAL.
     fn logged(&self, g: u64) {
-        let mut s = self.lock();
+        let mut s = self.state.lock();
         if let Some(remaining) = s.outstanding.get_mut(&g) {
             *remaining -= 1;
             if *remaining == 0 {
@@ -202,7 +199,7 @@ impl GlobalTracker {
 
     /// Largest `W` with every global epoch `<= W` fully logged.
     fn watermark(&self) -> u64 {
-        watermark_of(&self.lock())
+        watermark_of(&self.state.lock())
     }
 
     /// Rewrite the manifest with the current watermark (no-op when it
@@ -214,12 +211,9 @@ impl GlobalTracker {
         // and each writer reads it *after* acquiring the persist mutex,
         // so the on-disk value stays monotone — while stamp()/logged()
         // on the commit path never wait behind a manifest fsync.
-        let _serialize = self
-            .persist_mutex
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _serialize = self.persist_mutex.lock();
         let (w, discarded) = {
-            let s = self.lock();
+            let s = self.state.lock();
             let w = watermark_of(&s);
             if w == s.persisted {
                 return Ok(());
@@ -227,7 +221,7 @@ impl GlobalTracker {
             (w, s.discarded.clone())
         };
         manifest::write(&self.dir, self.shards, w, &discarded)?;
-        let mut s = self.lock();
+        let mut s = self.state.lock();
         s.persisted = s.persisted.max(w);
         Ok(())
     }
@@ -294,37 +288,30 @@ where
     S::K: Codec,
     S::V: Codec,
 {
-    fn lock_wal(&self) -> std::sync::MutexGuard<'_, Wal> {
-        self.wal.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     fn last_ckpt_error(&self) -> Option<String> {
-        self.last_ckpt_error
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .clone()
+        self.last_ckpt_error.lock().clone()
     }
 
     fn durability_stats(&self) -> DurabilityStats {
-        let segments = self.lock_wal().segments() as u64;
+        let segments = self.wal.lock().segments() as u64;
         DurabilityStats {
+            // relaxed: a monitoring snapshot — each counter is
+            // independently meaningful and slight skew between them is
+            // inherent to sampling live writers (all loads below alike)
             wal_records: self.counters.records.load(Ordering::Relaxed),
-            wal_bytes: self.counters.bytes.load(Ordering::Relaxed),
-            wal_fsyncs: self.counters.fsyncs.load(Ordering::Relaxed),
+            wal_bytes: self.counters.bytes.load(Ordering::Relaxed), // relaxed: see above
+            wal_fsyncs: self.counters.fsyncs.load(Ordering::Relaxed), // relaxed: see above
             wal_segments: segments,
             wal_rotations: self.wal_obs.rotations(),
             wal_append: self.wal_obs.append_nanos.snapshot(),
             wal_fsync: self.wal_obs.fsync_nanos.snapshot(),
-            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed),
-            checkpoint_bytes: self.counters.ckpt_bytes.load(Ordering::Relaxed),
+            checkpoints: self.counters.checkpoints.load(Ordering::Relaxed), // relaxed: see above
+            checkpoint_bytes: self.counters.ckpt_bytes.load(Ordering::Relaxed), // relaxed: see above
             checkpoint: self.counters.ckpt_nanos.snapshot(),
             checkpoint_pin_hold: self.counters.ckpt_pin_nanos.snapshot(),
+            // relaxed: see above
             last_checkpoint_epoch: self.counters.last_ckpt_epoch.load(Ordering::Relaxed),
-            last_checkpoint_age: self
-                .last_ckpt_at
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .map(|at| at.elapsed()),
+            last_checkpoint_age: self.last_ckpt_at.lock().map(|at| at.elapsed()),
         }
     }
 }
@@ -344,10 +331,12 @@ where
         record::encode_epoch_body(&batch.puts, &batch.deletes, &mut body);
         let wal_epoch = self.base + epoch;
         let synced = {
-            let mut wal = self.lock_wal();
+            let mut wal = self.wal.lock();
             let info = wal.append(wal_epoch, global, &body)?;
+            // relaxed: monitoring counters; durability is carried by the
+            // append + sync above, not by these
             self.counters.records.fetch_add(1, Ordering::Relaxed);
-            self.counters.bytes.fetch_add(info.bytes, Ordering::Relaxed);
+            self.counters.bytes.fetch_add(info.bytes, Ordering::Relaxed); // relaxed: see above
             let mut synced = info.synced;
             // A cross-shard slice is force-synced regardless of the
             // configured policy: `tracker.logged()` below advances the
@@ -365,16 +354,16 @@ where
             synced
         };
         if synced {
+            // relaxed: monitoring counter only
             self.counters.fsyncs.fetch_add(1, Ordering::Relaxed);
         }
         if let (Some(tracker), Some(stamp)) = (&self.tracker, global) {
             // Record the slice as pending *before* reporting it logged:
             // a checkpoint that races us must either see the pending
             // entry or see the batch already decided.
-            self.pending
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .insert(wal_epoch, stamp.epoch);
+            // lint: allow(lock-order) the wal guard above is scoped to
+            // the `synced` block and already dropped here
+            self.pending.lock().insert(wal_epoch, stamp.epoch);
             tracker.logged(stamp.epoch);
         }
         Ok(())
@@ -642,8 +631,7 @@ where
             Some(
                 std::thread::Builder::new()
                     .name("pam-store-checkpointer".into())
-                    .spawn(move || run_checkpointer(&store2, &hook2, &stop2, &dir2, &cfg2))
-                    .expect("spawn checkpointer thread"),
+                    .spawn(move || run_checkpointer(&store2, &hook2, &stop2, &dir2, &cfg2))?,
             )
         } else {
             None
@@ -777,10 +765,7 @@ where
 {
     // One checkpoint at a time: a manual call racing the background
     // thread must not interleave into the same temp file.
-    let _serialize = hook
-        .ckpt_mutex
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner);
+    let _serialize = hook.ckpt_mutex.lock();
     // Read the published epoch *before* pinning: every epoch <= `epoch`
     // is then guaranteed inside the pin (versions publish in epoch
     // order). The pin may contain later epochs too — harmless, replay is
@@ -798,13 +783,7 @@ where
         // until the watermark passes every stamp that can be in the pin.
         // Every such stamp is in `pending` right now: slices log before
         // they publish, and pruning only removes already-decided ones.
-        let gate = hook
-            .pending
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner)
-            .values()
-            .copied()
-            .max();
+        let gate = hook.pending.lock().values().copied().max();
         if let Some(newest_stamp) = gate {
             let deadline = Instant::now() + DECISION_TIMEOUT;
             while tracker.watermark() < newest_stamp {
@@ -818,10 +797,7 @@ where
                 std::thread::sleep(Duration::from_millis(1));
             }
             let w = tracker.watermark();
-            hook.pending
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .retain(|_, g| *g > w);
+            hook.pending.lock().retain(|_, g| *g > w);
         }
     }
     let map = pin.map();
@@ -843,22 +819,26 @@ where
         // log only once its batch's decision is persisted.
         tracker.persist()?;
     }
-    hook.lock_wal().truncate_through(epoch)?;
+    hook.wal.lock().truncate_through(epoch)?;
+    // relaxed: checkpoint bookkeeping counters — the checkpointer is the
+    // only writer (ckpt_mutex) and readers tolerate sampling skew; the
+    // last_ckpt_epoch/bytes_at_last_ckpt pair only throttles the *next*
+    // checkpoint, where an off-by-one read is harmless
     hook.counters.checkpoints.fetch_add(1, Ordering::Relaxed);
     hook.counters
         .ckpt_bytes
+        // relaxed: see above
         .fetch_add(ckpt_bytes, Ordering::Relaxed);
     hook.counters
         .last_ckpt_epoch
+        // relaxed: see above
         .store(epoch, Ordering::Relaxed);
+    // relaxed: see above
     hook.counters.bytes_at_last_ckpt.store(
-        hook.counters.bytes.load(Ordering::Relaxed),
-        Ordering::Relaxed,
+        hook.counters.bytes.load(Ordering::Relaxed), // relaxed: see above
+        Ordering::Relaxed,                           // relaxed: see above
     );
-    *hook
-        .last_ckpt_at
-        .lock()
-        .unwrap_or_else(PoisonError::into_inner) = Some(Instant::now());
+    *hook.last_ckpt_at.lock() = Some(Instant::now());
     let took = ckpt_start.elapsed();
     hook.counters.ckpt_nanos.record_duration(took);
     event!(
@@ -881,33 +861,31 @@ fn run_checkpointer<S: AugSpec, B: Balance>(
 {
     let opened_at = Instant::now();
     let poll = Duration::from_millis(50);
-    let mut g = stop.stop.lock().unwrap_or_else(PoisonError::into_inner);
+    let mut g = stop.stop.lock();
     loop {
         if *g {
             return;
         }
-        let (ng, _) = stop
-            .cv
-            .wait_timeout(g, poll)
-            .unwrap_or_else(PoisonError::into_inner);
-        g = ng;
+        let _ = stop.cv.wait_timeout(&mut g, poll);
         if *g {
             return;
         }
 
         let published = hook.published.load(Ordering::Acquire);
+        // relaxed: freshness heuristics — a stale counter read at worst
+        // delays or repeats one checkpoint poll (all loads below alike)
         if published == hook.counters.last_ckpt_epoch.load(Ordering::Relaxed) {
             continue; // nothing new to checkpoint
         }
         let bytes_due = config.checkpoint_every_bytes.is_some_and(|threshold| {
+            // relaxed: see above
             hook.counters.bytes.load(Ordering::Relaxed)
-                - hook.counters.bytes_at_last_ckpt.load(Ordering::Relaxed)
+                - hook.counters.bytes_at_last_ckpt.load(Ordering::Relaxed) // relaxed: see above
                 >= threshold
         });
         let time_due = config.checkpoint_interval.is_some_and(|interval| {
             hook.last_ckpt_at
                 .lock()
-                .unwrap_or_else(PoisonError::into_inner)
                 .map_or(opened_at.elapsed(), |at| at.elapsed())
                 >= interval
         });
@@ -917,10 +895,7 @@ fn run_checkpointer<S: AugSpec, B: Balance>(
         drop(g);
         match do_checkpoint(store, hook, dir, config) {
             Ok(_) => {
-                *hook
-                    .last_ckpt_error
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = None;
+                *hook.last_ckpt_error.lock() = None;
             }
             Err(e) => {
                 // a failed checkpoint is not fatal: the WAL still has
@@ -932,13 +907,12 @@ fn run_checkpointer<S: AugSpec, B: Balance>(
                     "pam_store::checkpoint",
                     "background checkpoint failed: {e}"
                 );
-                *hook
-                    .last_ckpt_error
-                    .lock()
-                    .unwrap_or_else(PoisonError::into_inner) = Some(e.to_string());
+                *hook.last_ckpt_error.lock() = Some(e.to_string());
             }
         }
-        g = stop.stop.lock().unwrap_or_else(PoisonError::into_inner);
+        // lint: allow(lock-order) re-arming the poll loop: every
+        // checkpoint-side guard is dropped, nothing is held here
+        g = stop.stop.lock();
     }
 }
 
@@ -959,11 +933,7 @@ where
     S::V: Codec,
 {
     fn drop(&mut self) {
-        *self
-            .stop
-            .stop
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner) = true;
+        *self.stop.stop.lock() = true;
         self.stop.cv.notify_all();
         if let Some(h) = self.checkpointer.take() {
             let _ = h.join();

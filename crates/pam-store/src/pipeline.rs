@@ -40,9 +40,10 @@ use pam::balance::Balance;
 use pam::{AugSpec, SharedMap};
 use pam_obs::{event, flight, EpochTrace, FlightRecorder, Level};
 use pam_wal::GlobalStamp;
+use parking_lot::{Condvar, Mutex, MutexGuard};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// The committer's durability extension point (implemented by
@@ -176,22 +177,23 @@ impl<S: AugSpec> Pipeline<S> {
     /// store labels each member pipeline with its index so the Chrome
     /// export gets one track per shard).
     pub fn set_trace_shard(&self, shard: u32) {
+        // relaxed: a trace label set once at construction; readers only
+        // stamp diagnostics with it
         self.trace_shard.store(shard, Ordering::Relaxed);
     }
 
     /// The original commit-hook error if the store fail-stopped, `None`
     /// while healthy.
     pub fn poison_reason(&self) -> Option<String> {
-        self.lock().poisoned.clone()
-    }
-
-    fn lock(&self) -> MutexGuard<'_, PipeState<S>> {
-        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+        self.state.lock().poisoned.clone()
     }
 
     /// Panic with the stored root cause if the store is poisoned.
     fn check_poison(g: &PipeState<S>) {
         if let Some(reason) = &g.poisoned {
+            // lint: allow(panic) poisoning is the designed fail-stop:
+            // once a committer died mid-epoch, every subsequent call
+            // must refuse loudly rather than serve a half-applied state
             panic!("store poisoned: {reason}");
         }
     }
@@ -205,7 +207,7 @@ impl<S: AugSpec> Pipeline<S> {
         if g.barrier {
             let parked = Instant::now();
             while g.barrier {
-                g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+                self.gate.wait(&mut g);
             }
             self.stats.record_fence_wait(parked.elapsed());
         }
@@ -225,7 +227,7 @@ impl<S: AugSpec> Pipeline<S> {
         self: &Arc<Self>,
         ops: impl IntoIterator<Item = WriteOp<S>>,
     ) -> CommitTicket<S> {
-        let mut g = self.admit(self.lock());
+        let mut g = self.admit(self.state.lock());
         // Join the open segment at the back, or start one.
         let open_at_back = g.queue.back().is_some_and(|seg| !seg.sealed);
         if !open_at_back {
@@ -243,6 +245,9 @@ impl<S: AugSpec> Pipeline<S> {
         let was_empty;
         {
             let seq0 = g.next_seq;
+            // lint: allow(panic) the block above pushed a segment if the
+            // back was sealed or the queue empty — an open back segment
+            // is this function's loop invariant
             let seg = g.queue.back_mut().expect("open segment present");
             was_empty = seg.ops.is_empty();
             let mut seq = seq0;
@@ -253,8 +258,12 @@ impl<S: AugSpec> Pipeline<S> {
             }
             g.next_seq = seq;
         }
-        let seg_epoch = g.queue.back().expect("open segment present").epoch;
-        let seg_len = g.queue.back().expect("open segment present").ops.len();
+        let (seg_epoch, seg_len) = {
+            // lint: allow(panic) same invariant as above, still under the
+            // same state guard
+            let seg = g.queue.back().expect("open segment present");
+            (seg.epoch, seg.ops.len())
+        };
         // An empty submission is vacuously durable (epoch 0 counts as
         // always-committed). Drop a freshly created empty segment so the
         // committer never sees zero-op epochs.
@@ -297,7 +306,7 @@ impl<S: AugSpec> Pipeline<S> {
                 pipe: Arc::clone(self),
             };
         }
-        let mut g = self.admit(self.lock());
+        let mut g = self.admit(self.state.lock());
         let epoch = g.next_epoch;
         g.next_epoch += 1;
         let seq0 = g.next_seq;
@@ -325,7 +334,7 @@ impl<S: AugSpec> Pipeline<S> {
     /// Wait until everything enqueued so far is committed; returns the
     /// version that contains it.
     pub fn flush(&self) -> u64 {
-        let mut g = self.lock();
+        let mut g = self.state.lock();
         // An empty queue does NOT mean everything is durable: the
         // committer may have popped an epoch and still be applying it.
         // Wait for every epoch handed out so far.
@@ -339,14 +348,14 @@ impl<S: AugSpec> Pipeline<S> {
         self.work.notify_one();
         while g.committed_epoch < target {
             Self::check_poison(&g);
-            g = self.done.wait(g).unwrap_or_else(PoisonError::into_inner);
+            self.done.wait(&mut g);
         }
         g.committed_version
     }
 
     /// Ask the committer to exit once the queue is drained.
     pub fn begin_shutdown(&self) {
-        self.lock().shutdown = true;
+        self.state.lock().shutdown = true;
         self.work.notify_one();
     }
 
@@ -358,16 +367,16 @@ impl<S: AugSpec> Pipeline<S> {
     /// (The cross-shard half — no batch may be *half-submitted* when the
     /// barriers go up — is the sharded store's epoch fence.)
     pub fn begin_barrier(&self) {
-        let mut g = self.lock();
+        let mut g = self.state.lock();
         while g.barrier {
-            g = self.gate.wait(g).unwrap_or_else(PoisonError::into_inner);
+            self.gate.wait(&mut g);
         }
         g.barrier = true;
     }
 
     /// Lower the submit barrier and wake parked submitters.
     pub fn end_barrier(&self) {
-        self.lock().barrier = false;
+        self.state.lock().barrier = false;
         self.gate.notify_all();
     }
 
@@ -380,13 +389,13 @@ impl<S: AugSpec> Pipeline<S> {
         config: &StoreConfig,
         hook: Option<&dyn CommitHook<S>>,
     ) {
-        let mut g = self.lock();
+        let mut g = self.state.lock();
         loop {
             let Some(front) = g.queue.front() else {
                 if g.shutdown {
                     return;
                 }
-                g = self.work.wait(g).unwrap_or_else(PoisonError::into_inner);
+                self.work.wait(&mut g);
                 continue;
             };
             // Group-commit window: when the only queued segment is the
@@ -402,16 +411,14 @@ impl<S: AugSpec> Pipeline<S> {
                 && front.ops.len() < self.max_batch
                 && !g.shutdown
             {
-                let (ng, _timeout) = self
-                    .work
-                    .wait_timeout(g, config.batch_window)
-                    .unwrap_or_else(PoisonError::into_inner);
-                g = ng;
+                let _ = self.work.wait_timeout(&mut g, config.batch_window);
                 if g.queue.is_empty() {
                     continue; // spurious wakeup before any op landed
                 }
             }
             // Pop the front epoch atomically.
+            // lint: allow(panic) the wait loop above only exits when the
+            // queue has a sealed front segment (or shutdown returned)
             let seg = g.queue.pop_front().expect("front segment present");
             drop(g);
             let (epoch, global, batch) = (seg.epoch, seg.global, seg.ops);
@@ -441,7 +448,7 @@ impl<S: AugSpec> Pipeline<S> {
                     // root cause (first-wins, so a later panic hook
                     // firing for a cascading waiter changes nothing).
                     flight::dump_registered(&reason, Some(epoch));
-                    let mut g = self.lock();
+                    let mut g = self.state.lock();
                     g.poisoned = Some(reason);
                     g.shutdown = true;
                     g.queue.clear();
@@ -493,6 +500,7 @@ impl<S: AugSpec> Pipeline<S> {
             // poison/panic). Outside the pipeline lock — one short mutex
             // push per *epoch*, not per operation.
             FlightRecorder::global().record(EpochTrace {
+                // relaxed: diagnostics label, see set_trace_shard
                 shard: self.trace_shard.load(Ordering::Relaxed),
                 epoch,
                 global_epoch: global.map(|s| s.epoch),
@@ -506,7 +514,7 @@ impl<S: AugSpec> Pipeline<S> {
                 publish_ns: (t_published - t_applied).as_nanos() as u64,
             });
 
-            g = self.lock();
+            g = self.state.lock();
             g.committed_epoch = epoch;
             g.committed_version = version;
             self.done.notify_all();
@@ -530,20 +538,16 @@ impl<S: AugSpec> CommitTicket<S> {
     /// If the store was poisoned by a failed commit hook (the write may
     /// never become durable).
     pub fn wait(&self) -> u64 {
-        let mut g = self.pipe.lock();
+        let mut g = self.pipe.state.lock();
         while g.committed_epoch < self.epoch {
             Pipeline::check_poison(&g);
-            g = self
-                .pipe
-                .done
-                .wait(g)
-                .unwrap_or_else(PoisonError::into_inner);
+            self.pipe.done.wait(&mut g);
         }
         g.committed_version
     }
 
     /// Has the epoch committed yet (non-blocking)?
     pub fn is_done(&self) -> bool {
-        self.pipe.lock().committed_epoch >= self.epoch
+        self.pipe.state.lock().committed_epoch >= self.epoch
     }
 }

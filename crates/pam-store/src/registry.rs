@@ -14,9 +14,10 @@
 
 use pam::balance::Balance;
 use pam::{AugMap, AugSpec, WeightBalanced};
+use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::collections::VecDeque;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Monotonically increasing version number (0 = the store's initial map).
@@ -120,13 +121,9 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
         }
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, RegistryInner<S, B>> {
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
-    }
-
     /// Publish a new head version and prune old unpinned entries.
     pub fn publish(&self, id: VersionId, map: AugMap<S, B>, batch_len: usize) {
-        let mut g = self.lock();
+        let mut g = self.inner.lock();
         debug_assert!(g.versions.back().is_none_or(|b| b.id < id));
         g.versions.push_back(Arc::new(VersionEntry {
             id,
@@ -138,6 +135,7 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
         // `keep_versions` entries, anything externally pinned, and
         // anything tagged.
         while g.versions.len() > self.keep_versions {
+            // lint: allow(panic) the loop condition just proved len > 0
             let front = g.versions.front().expect("non-empty");
             let externally_pinned = Arc::strong_count(front) > 1 + tag_refs(&g.tags, front.id);
             if externally_pinned || g.tags.values().any(|t| t.id == front.id) {
@@ -150,15 +148,17 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
 
     /// Pin the current head.
     pub fn pin_head(&self) -> PinnedVersion<S, B> {
-        let g = self.lock();
+        let g = self.inner.lock();
         PinnedVersion {
+            // lint: allow(panic) publish() never leaves the registry
+            // empty — the seed version is installed at construction
             entry: g.versions.back().expect("registry never empty").clone(),
         }
     }
 
     /// Pin a specific (still live) version.
     pub fn pin_version(&self, id: VersionId) -> Option<PinnedVersion<S, B>> {
-        let g = self.lock();
+        let g = self.inner.lock();
         g.versions
             .iter()
             .rev()
@@ -172,7 +172,9 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
     /// Name the current head; the tag keeps the version alive until
     /// [`Registry::untag`]. Returns the tagged id.
     pub fn tag(&self, name: &str) -> VersionId {
-        let mut g = self.lock();
+        let mut g = self.inner.lock();
+        // lint: allow(panic) see pin_head: the registry holds at least
+        // the seed version for its whole lifetime
         let head = g.versions.back().expect("registry never empty").clone();
         let id = head.id;
         g.tags.insert(name.to_string(), head);
@@ -181,12 +183,12 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
 
     /// Remove a tag; returns the version it referred to.
     pub fn untag(&self, name: &str) -> Option<VersionId> {
-        self.lock().tags.remove(name).map(|e| e.id)
+        self.inner.lock().tags.remove(name).map(|e| e.id)
     }
 
     /// Pin the version a tag refers to.
     pub fn pin_tagged(&self, name: &str) -> Option<PinnedVersion<S, B>> {
-        let g = self.lock();
+        let g = self.inner.lock();
         g.tags.get(name).map(|entry| PinnedVersion {
             entry: entry.clone(),
         })
@@ -194,17 +196,17 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
 
     /// Number of live (registry-retained) versions.
     pub fn live_versions(&self) -> usize {
-        self.lock().versions.len()
+        self.inner.lock().versions.len()
     }
 
     /// Number of versions pruned so far.
     pub fn retired_versions(&self) -> u64 {
-        self.lock().retired
+        self.inner.lock().retired
     }
 
     /// Snapshot of the registry contents, oldest first.
     pub fn infos(&self) -> Vec<VersionInfo> {
-        let g = self.lock();
+        let g = self.inner.lock();
         g.versions
             .iter()
             .map(|e| {
@@ -226,7 +228,7 @@ impl<S: AugSpec, B: Balance> Registry<S, B> {
 
     /// Roots of every live version (for memory accounting).
     pub fn with_live_maps<R>(&self, f: impl FnOnce(&[&AugMap<S, B>]) -> R) -> R {
-        let g = self.lock();
+        let g = self.inner.lock();
         let maps: Vec<&AugMap<S, B>> = g
             .versions
             .iter()

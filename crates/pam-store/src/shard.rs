@@ -71,8 +71,9 @@ use pam::balance::Balance;
 use pam::{AugSpec, WeightBalanced};
 use pam_obs::Histogram;
 use pam_wal::GlobalStamp;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, PoisonError, RwLock};
+use std::sync::Arc;
 use std::time::Instant;
 
 // ---------------------------------------------------------------------------
@@ -251,6 +252,9 @@ impl GlobalClock {
     fn stamp(&self, participants: u32) -> GlobalStamp {
         match self {
             GlobalClock::Untracked(last) => {
+                // relaxed: uniqueness + monotonicity come from fetch_add
+                // atomicity alone; stamps order batches under the
+                // xbatch_gate mutex, which supplies the happens-before
                 let epoch = last.fetch_add(1, Ordering::Relaxed) + 1;
                 check_clock_epoch(epoch);
                 GlobalStamp {
@@ -265,6 +269,7 @@ impl GlobalClock {
     /// The most recently stamped global epoch (0: none yet).
     fn current(&self) -> u64 {
         match self {
+            // relaxed: monitoring read; a slightly stale epoch is fine
             GlobalClock::Untracked(last) => last.load(Ordering::Relaxed),
             GlobalClock::Tracked(t) => t.last_stamped(),
         }
@@ -501,12 +506,9 @@ where
         // submits: with the fence read held no barrier can be up, so
         // `submit_sealed` never blocks.
         let parked = Instant::now();
-        let _in_flight = self.fence.read().unwrap_or_else(PoisonError::into_inner);
+        let _in_flight = self.fence.read();
         self.obs.fence_wait.record_duration(parked.elapsed());
-        let _ordered = self
-            .xbatch_gate
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _ordered = self.xbatch_gate.lock();
         let stamp = self.clock.stamp(participants as u32);
         ShardedTicket {
             tickets: per_shard
@@ -612,19 +614,17 @@ where
     /// writers; for read paths that tolerate per-shard consistency,
     /// `get`/`get_many`/aug queries avoid them entirely.
     pub fn snapshot(&self) -> ShardedSnapshot<S, B> {
-        let _serialize = self
-            .snapshot_gate
-            .lock()
-            .unwrap_or_else(PoisonError::into_inner);
+        let _serialize = self.snapshot_gate.lock();
         // Write side of the epoch fence: once held, no cross-shard batch
         // is half-submitted anywhere.
         let parked = Instant::now();
-        let _fence = self.fence.write().unwrap_or_else(PoisonError::into_inner);
+        let _fence = self.fence.write();
         self.obs.fence_wait.record_duration(parked.elapsed());
         self.obs
             .fence_write_acquisitions
+            // relaxed: monitoring counters only (both below)
             .fetch_add(1, Ordering::Relaxed);
-        self.obs.snapshots_taken.fetch_add(1, Ordering::Relaxed);
+        self.obs.snapshots_taken.fetch_add(1, Ordering::Relaxed); // relaxed: see above
         let mut guard = BarrierGuard {
             shards: &self.shards,
             raised: 0,
@@ -675,7 +675,9 @@ where
     /// aggregates shard + durability stats itself).
     pub(crate) fn overlay_fence_stats(&self, s: &mut StoreStats) {
         s.fence_wait = self.obs.fence_wait.snapshot();
+        // relaxed: stats snapshot; sampling skew is inherent
         s.snapshots_taken = self.obs.snapshots_taken.load(Ordering::Relaxed);
+        // relaxed: see above
         s.fence_write_acquisitions = self.obs.fence_write_acquisitions.load(Ordering::Relaxed);
     }
 
@@ -890,6 +892,8 @@ fn merged_range_for_each<S: AugSpec, B: Balance>(
             let Some((k, _)) = head else { continue };
             best = match best {
                 Some(j) => {
+                    // lint: allow(panic) j was only stored after its
+                    // head matched `Some` in an earlier iteration
                     let (bk, _) = heads[j].as_ref().expect("best head present");
                     if S::compare(k, bk).is_lt() {
                         Some(i)
@@ -901,6 +905,8 @@ fn merged_range_for_each<S: AugSpec, B: Balance>(
             };
         }
         let Some(i) = best else { break };
+        // lint: allow(panic) `best` indexes a head the scan above saw
+        // as `Some`, and nothing has taken it since
         let (k, v) = heads[i].take().expect("chosen head present");
         f(k, v);
         heads[i] = iters[i].next();

@@ -57,11 +57,14 @@ pub(crate) struct StatsInner {
 
 impl StatsInner {
     pub fn record_commit(&self, raw_ops: usize, applied_ops: usize, timing: CommitTiming) {
+        // relaxed: throughput counters on the commit hot path — nothing
+        // reads them for synchronization, only stats() (all four below)
         self.commits.fetch_add(1, Ordering::Relaxed);
-        self.raw_ops.fetch_add(raw_ops as u64, Ordering::Relaxed);
+        self.raw_ops.fetch_add(raw_ops as u64, Ordering::Relaxed); // relaxed: see above
         self.applied_ops
+            // relaxed: see above
             .fetch_add(applied_ops as u64, Ordering::Relaxed);
-        self.max_batch.fetch_max(raw_ops as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(raw_ops as u64, Ordering::Relaxed); // relaxed: see above
         self.commit.record_duration(timing.total);
         self.commit_window.record_duration(timing.window);
         self.commit_normalize.record_duration(timing.normalize);
@@ -73,6 +76,7 @@ impl StatsInner {
     /// A writer parked in `admit()` while a snapshot barrier held the
     /// pipeline closed, for `took`.
     pub fn record_fence_wait(&self, took: Duration) {
+        // relaxed: monitoring counter only
         self.fence_waits.fetch_add(1, Ordering::Relaxed);
         self.barrier_wait.record_duration(took);
     }
@@ -200,11 +204,13 @@ impl StoreStats {
     ) -> Self {
         let commit = inner.commit.snapshot();
         StoreStats {
+            // relaxed: stats snapshot — counters are independent and
+            // tolerate sampling skew (all five below)
             commits: inner.commits.load(Ordering::Relaxed),
-            raw_ops: inner.raw_ops.load(Ordering::Relaxed),
-            applied_ops: inner.applied_ops.load(Ordering::Relaxed),
-            fence_waits: inner.fence_waits.load(Ordering::Relaxed),
-            max_batch: inner.max_batch.load(Ordering::Relaxed),
+            raw_ops: inner.raw_ops.load(Ordering::Relaxed), // relaxed: see above
+            applied_ops: inner.applied_ops.load(Ordering::Relaxed), // relaxed: see above
+            fence_waits: inner.fence_waits.load(Ordering::Relaxed), // relaxed: see above
+            max_batch: inner.max_batch.load(Ordering::Relaxed), // relaxed: see above
             mean_commit: Duration::from_nanos(commit.mean()),
             max_commit: Duration::from_nanos(commit.max()),
             commit,

@@ -84,6 +84,9 @@ impl<S: AugSpec, B: Balance> VersionedStore<S, B> {
                     worker.hook.as_deref(),
                 );
             })
+            // lint: allow(panic) construction-time failure with no
+            // caller to report to: a store without its committer thread
+            // cannot exist, and spawn only fails on resource exhaustion
             .expect("spawn committer thread");
         VersionedStore {
             inner,

@@ -204,7 +204,7 @@ fn load_file_with<K: Codec, V: Codec>(
     if &magic != CHECKPOINT_MAGIC {
         return Err(bad("bad magic"));
     }
-    let header = match frame::read_frame(&mut file) {
+    let header = match frame::read_frame_capped(&mut file, frame::MAX_PAYLOAD) {
         Ok(Some(p)) => p,
         Ok(None) => return Err(bad("bad header frame")),
         Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(bad("bad header frame")),
@@ -219,7 +219,7 @@ fn load_file_with<K: Codec, V: Codec>(
 
     let mut seen = 0u64;
     loop {
-        let payload = match frame::read_frame(&mut file) {
+        let payload = match frame::read_frame_capped(&mut file, frame::MAX_PAYLOAD) {
             Ok(Some(p)) => p,
             Ok(None) => break,
             Err(e) if e.kind() == io::ErrorKind::InvalidData => return Err(bad("bad chunk frame")),
@@ -289,6 +289,12 @@ pub type LoadedCheckpoint<K, V> = (u64, Vec<(K, V)>);
 /// sorted_entries)`. A corrupt newer checkpoint silently falls back to an
 /// older one (recovery then replays more WAL). Materializes the whole
 /// entry vector — prefer [`load_latest_with`] for large maps.
+///
+/// # Errors
+///
+/// Only real I/O errors (a failing device, permissions) surface;
+/// corruption is handled by falling back to the next-older checkpoint,
+/// and no loadable checkpoint at all is `Ok(None)`.
 pub fn load_latest<K: Codec, V: Codec>(dir: &Path) -> io::Result<Option<LoadedCheckpoint<K, V>>> {
     Ok(
         load_latest_with::<K, V, Vec<(K, V)>>(dir, Vec::new, |acc, mut chunk| {

@@ -61,6 +61,10 @@ impl<'a> Reader<'a> {
     }
 
     /// Consume exactly `n` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if fewer than `n` bytes remain.
     pub fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
             return Err(CodecError::new("unexpected end of input"));
@@ -71,11 +75,19 @@ impl<'a> Reader<'a> {
     }
 
     /// Consume one byte.
+    ///
+    /// # Errors
+    ///
+    /// Fails at end of input.
     pub fn byte(&mut self) -> Result<u8, CodecError> {
         Ok(self.take(1)?[0])
     }
 
     /// Consume a LEB128 varint.
+    ///
+    /// # Errors
+    ///
+    /// Fails on truncated input or an encoding exceeding `u64::MAX`.
     pub fn varint(&mut self) -> Result<u64, CodecError> {
         let mut out = 0u64;
         let mut shift = 0u32;
@@ -93,6 +105,11 @@ impl<'a> Reader<'a> {
     }
 
     /// Consume a varint and range-check it as a collection length.
+    ///
+    /// # Errors
+    ///
+    /// Fails on a malformed varint or a length larger than the
+    /// remaining input (an attacker-controlled allocation request).
     pub fn length(&mut self) -> Result<usize, CodecError> {
         let n = self.varint()?;
         if n > self.remaining() as u64 {
@@ -173,6 +190,7 @@ impl Codec for u128 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let b = r.take(16)?;
+        // lint: allow(panic) take(n) above returned exactly n bytes
         Ok(u128::from_le_bytes(b.try_into().expect("16 bytes")))
     }
 }
@@ -183,6 +201,7 @@ impl Codec for i128 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let b = r.take(16)?;
+        // lint: allow(panic) take(n) above returned exactly n bytes
         Ok(i128::from_le_bytes(b.try_into().expect("16 bytes")))
     }
 }
@@ -207,6 +226,7 @@ impl Codec for f64 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let b = r.take(8)?;
+        // lint: allow(panic) take(n) above returned exactly n bytes
         Ok(f64::from_le_bytes(b.try_into().expect("8 bytes")))
     }
 }
@@ -217,6 +237,7 @@ impl Codec for f32 {
     }
     fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
         let b = r.take(4)?;
+        // lint: allow(panic) take(n) above returned exactly n bytes
         Ok(f32::from_le_bytes(b.try_into().expect("4 bytes")))
     }
 }

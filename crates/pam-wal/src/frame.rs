@@ -89,11 +89,11 @@ pub fn next_frame(buf: &[u8]) -> Frame<'_> {
     if buf.len() < HEADER_LEN {
         return Frame::Torn;
     }
-    let len = u32::from_le_bytes(buf[0..4].try_into().expect("4 bytes")) as usize;
+    let len = le32(buf, 0) as usize;
     if len > MAX_PAYLOAD {
         return Frame::Corrupt;
     }
-    let want = u32::from_le_bytes(buf[4..8].try_into().expect("4 bytes"));
+    let want = le32(buf, 4);
     let Some(payload) = buf.get(HEADER_LEN..HEADER_LEN + len) else {
         return Frame::Torn;
     };
@@ -104,6 +104,12 @@ pub fn next_frame(buf: &[u8]) -> Frame<'_> {
         payload,
         consumed: HEADER_LEN + len,
     }
+}
+
+/// Infallible little-endian `u32` at `buf[at..at + 4]` (caller
+/// guarantees the bounds, checked above in every use).
+fn le32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
 }
 
 /// Fill `buf` from `r`, returning how many bytes were available. Unlike
@@ -123,13 +129,25 @@ fn read_up_to(r: &mut impl io::Read, buf: &mut [u8]) -> io::Result<usize> {
     Ok(filled)
 }
 
-/// Stream one frame out of `r` (the incremental sibling of
-/// [`next_frame`], same `[len | crc | payload]` validation). `Ok(None)`
-/// at a clean end-of-input; torn or corrupt frames are `InvalidData`.
-/// Real I/O errors (e.g. `EIO`) keep their kind — they mean a failing
-/// device, not a corrupt file, and callers with fallback-on-corruption
-/// logic (checkpoint loading) must be able to tell the two apart.
-pub fn read_frame(r: &mut impl io::Read) -> io::Result<Option<Vec<u8>>> {
+/// Stream one frame out of `r`, enforcing `cap` on the announced payload
+/// length **before allocating** — the reader for input that may be
+/// hostile (network peers) or oversized (damaged files). `Ok(None)` at a
+/// clean end-of-input at a frame boundary.
+///
+/// This is the reader every frame consumer outside pam-wal should use
+/// (`pam-lint` flags direct [`read_frame`] calls elsewhere); pick the
+/// cap to match what the peer is allowed to send, e.g. pam-serve's
+/// 16 MiB wire limit vs [`MAX_PAYLOAD`] for trusted local files.
+///
+/// # Errors
+///
+/// `InvalidData` for a torn header ("torn frame header"), over-cap
+/// length ("frame length over limit"), truncated payload ("torn frame"),
+/// or CRC mismatch ("bad frame crc"). Real I/O errors (e.g. `EIO`) keep
+/// their kind — they mean a failing device, not a corrupt file, and
+/// callers with fallback-on-corruption logic (checkpoint loading) must
+/// be able to tell the two apart.
+pub fn read_frame_capped(r: &mut impl io::Read, cap: usize) -> io::Result<Option<Vec<u8>>> {
     let bad = |msg: &str| io::Error::new(io::ErrorKind::InvalidData, msg);
     let mut header = [0u8; HEADER_LEN];
     match read_up_to(r, &mut header)? {
@@ -137,11 +155,11 @@ pub fn read_frame(r: &mut impl io::Read) -> io::Result<Option<Vec<u8>>> {
         n if n < header.len() => return Err(bad("torn frame header")),
         _ => {}
     }
-    let len = u32::from_le_bytes(header[0..4].try_into().expect("4 bytes")) as usize;
-    if len > MAX_PAYLOAD {
-        return Err(bad("frame length over MAX_PAYLOAD"));
+    let len = le32(&header, 0) as usize;
+    if len > cap {
+        return Err(bad("frame length over limit"));
     }
-    let want = u32::from_le_bytes(header[4..8].try_into().expect("4 bytes"));
+    let want = le32(&header, 4);
     let mut payload = vec![0u8; len];
     if read_up_to(r, &mut payload)? < len {
         return Err(bad("torn frame"));
@@ -150,6 +168,20 @@ pub fn read_frame(r: &mut impl io::Read) -> io::Result<Option<Vec<u8>>> {
         return Err(bad("bad frame crc"));
     }
     Ok(Some(payload))
+}
+
+/// Stream one frame out of `r` (the incremental sibling of
+/// [`next_frame`], same `[len | crc | payload]` validation), trusting
+/// the length field up to [`MAX_PAYLOAD`]. **WAL-internal**: anything
+/// reading frames from a network peer or a file of unknown provenance
+/// must call [`read_frame_capped`] with an appropriate cap instead —
+/// `pam-lint` enforces this outside pam-wal.
+///
+/// # Errors
+///
+/// As for [`read_frame_capped`] with a [`MAX_PAYLOAD`] cap.
+pub fn read_frame(r: &mut impl io::Read) -> io::Result<Option<Vec<u8>>> {
+    read_frame_capped(r, MAX_PAYLOAD)
 }
 
 #[cfg(test)]
@@ -175,6 +207,24 @@ mod tests {
             }
             other => panic!("expected Ok, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn capped_reader_rejects_before_allocating() {
+        let mut buf = Vec::new();
+        put_frame(&mut buf, &[7u8; 100]);
+        // under the cap: round-trips
+        let got = read_frame_capped(&mut &buf[..], 100).expect("frame ok");
+        assert_eq!(got.as_deref(), Some(&[7u8; 100][..]));
+        // over the cap: rejected on the header, payload never read
+        let err = read_frame_capped(&mut &buf[..], 99).expect_err("over cap");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("frame length over limit"));
+        // clean EOF at a frame boundary
+        assert!(read_frame_capped(&mut &[][..], 99).expect("eof").is_none());
+        // uncapped alias trusts up to MAX_PAYLOAD
+        let got = read_frame(&mut &buf[..]).expect("frame ok");
+        assert_eq!(got.map(|p| p.len()), Some(100));
     }
 
     #[test]

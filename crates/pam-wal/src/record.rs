@@ -40,6 +40,12 @@ pub fn encode_epoch_body<K: Codec, V: Codec>(puts: &[(K, V)], deletes: &[K], out
 }
 
 /// Deserialize an epoch body; the whole of `body` must be consumed.
+///
+/// # Errors
+///
+/// Fails on any malformed key/value encoding, on counts exceeding the
+/// input, or on trailing bytes (a frame that validated its CRC but was
+/// written by something speaking a different schema).
 pub fn decode_epoch_body<K: Codec, V: Codec>(body: &[u8]) -> Result<EpochBody<K, V>, CodecError> {
     let mut r = Reader::new(body);
     let n_puts = r.varint()?;

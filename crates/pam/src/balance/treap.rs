@@ -65,6 +65,8 @@ impl Balance for Treap {
     #[inline]
     fn fresh_entry_meta() -> u64 {
         // never return 0 so real entries always outrank the empty tree
+        // relaxed: only uniqueness of the seed matters, not order —
+        // any interleaving of fetch_adds yields distinct priorities
         splitmix64(PRIO_SEED.fetch_add(1, Ordering::Relaxed)) | 1
     }
 

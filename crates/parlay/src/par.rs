@@ -14,12 +14,15 @@ static GRANULARITY: AtomicUsize = AtomicUsize::new(DEFAULT_GRANULARITY);
 /// inputs smaller than this.
 #[inline]
 pub fn granularity() -> usize {
+    // relaxed: a tuning knob — a stale read only shifts the
+    // sequential cutoff, never correctness
     GRANULARITY.load(Ordering::Relaxed)
 }
 
 /// Set the fork-join granularity (used by the granularity-sweep ablation
 /// bench). Affects all subsequent parallel calls process-wide.
 pub fn set_granularity(g: usize) {
+    // relaxed: see granularity() — no data is published via this knob
     GRANULARITY.store(g.max(1), Ordering::Relaxed);
 }
 

@@ -1,0 +1,219 @@
+//! The dynamic lock-order / deadlock detector (compiled under
+//! `debug_assertions` or the `lock-order` feature).
+//!
+//! Every shim lock ([`crate::Mutex`], [`crate::RwLock`]) is labeled with
+//! its **creation site** (`#[track_caller]` + `Location::caller()` in the
+//! const constructor), so all locks born at one source line form a *lock
+//! class* — per-shard pipeline mutexes, for example, are one class. Each
+//! thread keeps a stack of the classes it currently holds; acquiring a
+//! lock while holding others records an *acquired-before* edge
+//! `held → next` (with a witness: thread name + full held stack) into a
+//! process-global graph. A new edge that closes a cycle is a lock-order
+//! inversion — two threads could interleave into a deadlock — and the
+//! detector panics **before blocking** on the underlying lock, printing
+//! both witness stacks: the current thread's, and the recorded witness of
+//! every edge along the conflicting path.
+//!
+//! Deliberate scope limits, documented in ARCHITECTURE.md §11:
+//!
+//! * **Self-edges are suppressed.** Same-class nesting (B+-tree lock
+//!   coupling parent→child, two shards' pipelines) is ordered by an
+//!   intra-class protocol the class graph cannot see; flagging it would
+//!   make every tree traversal a false positive.
+//! * **Condvar waits keep the class on the held stack.** The lock is
+//!   released while waiting, but the waiting thread acquires nothing
+//!   else, so the conservative bookkeeping records no extra edges.
+//! * Edges are recorded first-witness-wins and never expire: the graph
+//!   accumulates the union of all orders any test in the process ever
+//!   exercised, which is exactly what makes stress suites double as
+//!   ordering checks.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::panic::Location;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// A lock class: the `Location` of the `Mutex::new` / `RwLock::new` call
+/// that created the lock.
+pub(crate) type Label = &'static Location<'static>;
+
+/// Class identity by source coordinates (pointer identity of the
+/// `Location` statics is not guaranteed across codegen units).
+type Key = (&'static str, u32, u32);
+
+fn key(l: Label) -> Key {
+    (l.file(), l.line(), l.column())
+}
+
+/// Who recorded an edge, and what they held at the time.
+struct Witness {
+    thread: String,
+    /// Formatted held stack, outermost first.
+    held: Vec<String>,
+}
+
+#[derive(Default)]
+struct Graph {
+    /// `from` class → (`to` class → first witness of the edge).
+    edges: HashMap<Key, HashMap<Key, Witness>>,
+}
+
+fn graph() -> &'static Mutex<Graph> {
+    static G: OnceLock<Mutex<Graph>> = OnceLock::new();
+    G.get_or_init(|| Mutex::new(Graph::default()))
+}
+
+thread_local! {
+    /// Lock classes this thread currently holds, outermost first.
+    static HELD: RefCell<Vec<Label>> = const { RefCell::new(Vec::new()) };
+}
+
+fn fmt_label(l: Label) -> String {
+    format!("{}:{}:{}", l.file(), l.line(), l.column())
+}
+
+fn fmt_key(k: &Key) -> String {
+    format!("{}:{}:{}", k.0, k.1, k.2)
+}
+
+fn current_thread() -> String {
+    std::thread::current()
+        .name()
+        .unwrap_or("<unnamed>")
+        .to_string()
+}
+
+/// DFS for a path `from ⇒* to` in the edge graph.
+fn find_path(edges: &HashMap<Key, HashMap<Key, Witness>>, from: Key, to: Key) -> Option<Vec<Key>> {
+    let mut stack = vec![vec![from]];
+    let mut seen = std::collections::HashSet::new();
+    seen.insert(from);
+    while let Some(path) = stack.pop() {
+        let last = *path.last().expect("path never empty");
+        if last == to {
+            return Some(path);
+        }
+        if let Some(next) = edges.get(&last) {
+            for &n in next.keys() {
+                if seen.insert(n) {
+                    let mut p = path.clone();
+                    p.push(n);
+                    stack.push(p);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Record edges `held → next` for every held class, then check for a
+/// cycle. Called **before** blocking on the underlying lock, so a true
+/// inversion panics instead of deadlocking. `try_*` acquisitions skip
+/// this (they fail instead of deadlocking) and only push on success.
+pub(crate) fn before_acquire(next: Label) {
+    let held: Vec<Label> = match HELD.try_with(|h| h.borrow().clone()) {
+        Ok(v) => v,
+        Err(_) => return, // thread is being torn down
+    };
+    let nk = key(next);
+    if held.iter().all(|h| key(h) == nk) {
+        return; // nothing held, or only same-class (hierarchical) nesting
+    }
+    let held_fmt: Vec<String> = held.iter().map(|l| fmt_label(l)).collect();
+    let mut g = graph().lock().unwrap_or_else(PoisonError::into_inner);
+    let mut report: Option<String> = None;
+    for &h in &held {
+        let hk = key(h);
+        if hk == nk {
+            continue;
+        }
+        let known = g.edges.get(&hk).is_some_and(|m| m.contains_key(&nk));
+        if known {
+            continue;
+        }
+        g.edges.entry(hk).or_default().insert(
+            nk,
+            Witness {
+                thread: current_thread(),
+                held: held_fmt.clone(),
+            },
+        );
+        // Does the reverse direction already exist (possibly transitively)?
+        if let Some(path) = find_path(&g.edges, nk, hk) {
+            report = Some(render_violation(&g, h, next, &held_fmt, &path));
+            break;
+        }
+    }
+    drop(g);
+    if let Some(msg) = report {
+        panic!("{msg}");
+    }
+}
+
+fn render_violation(
+    g: &Graph,
+    held: Label,
+    next: Label,
+    held_fmt: &[String],
+    path: &[Key],
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "lock-order violation (potential deadlock):");
+    let _ = writeln!(
+        out,
+        "  thread '{}' is acquiring lock class {}",
+        current_thread(),
+        fmt_label(next)
+    );
+    let _ = writeln!(
+        out,
+        "  while holding {} (witness stack, outermost first):",
+        fmt_label(held)
+    );
+    for l in held_fmt {
+        let _ = writeln!(out, "    - {l}");
+    }
+    let _ = writeln!(
+        out,
+        "  which records the edge {} -> {}, but the reverse path is already known:",
+        fmt_label(held),
+        fmt_label(next)
+    );
+    for pair in path.windows(2) {
+        let (from, to) = (pair[0], pair[1]);
+        let _ = writeln!(out, "  edge {} -> {}:", fmt_key(&from), fmt_key(&to));
+        if let Some(w) = g.edges.get(&from).and_then(|m| m.get(&to)) {
+            let _ = writeln!(
+                out,
+                "    recorded by thread '{}' (witness stack, outermost first):",
+                w.thread
+            );
+            for l in &w.held {
+                let _ = writeln!(out, "      - {l}");
+            }
+        }
+    }
+    let _ = write!(
+        out,
+        "  fix: acquire these lock classes in one global order (see LOCKS.toml \
+         in crates/pam-lint and ARCHITECTURE.md §11)"
+    );
+    out
+}
+
+/// The lock is now held: push its class onto this thread's stack.
+pub(crate) fn acquired(l: Label) {
+    let _ = HELD.try_with(|h| h.borrow_mut().push(l));
+}
+
+/// A guard dropped: pop the innermost occurrence of its class.
+pub(crate) fn released(l: Label) {
+    let lk = key(l);
+    let _ = HELD.try_with(|h| {
+        let mut v = h.borrow_mut();
+        if let Some(pos) = v.iter().rposition(|x| key(x) == lk) {
+            v.remove(pos);
+        }
+    });
+}

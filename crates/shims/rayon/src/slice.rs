@@ -219,7 +219,11 @@ fn sort_rec<T: Send, F: Fn(&T, &T) -> Ordering + Sync>(
 }
 
 /// First index of `s` whose element fails `pred` (all-`pred` prefix
-/// length). `s` must be fully initialized.
+/// length).
+///
+/// # Safety
+///
+/// Every element of `s` must be initialized.
 unsafe fn partition_point<T>(s: &[MaybeUninit<T>], pred: impl Fn(&T) -> bool) -> usize {
     let mut lo = 0;
     let mut hi = s.len();
@@ -237,6 +241,11 @@ unsafe fn partition_point<T>(s: &[MaybeUninit<T>], pred: impl Fn(&T) -> bool) ->
 /// Bitwise-move the remaining `a[i..]` then `b[j..]` into `dst[k..]` —
 /// the shared tail path of a finished merge and the backfill path of a
 /// panicking one (order no longer matters, only exactly-once ownership).
+///
+/// # Safety
+///
+/// `a[i..]` and `b[j..]` must be initialized, owned exactly once, and
+/// `dst[k..]` must have room for both; the sources are dead after this.
 unsafe fn backfill<T>(
     a: &[MaybeUninit<T>],
     b: &[MaybeUninit<T>],
@@ -302,11 +311,19 @@ unsafe fn merge_move<T: Send, F: Fn(&T, &T) -> Ordering + Sync>(
         // SAFETY: disjoint source/destination sub-ranges; each recursive
         // call upholds the exactly-once contract for its own range.
         || unsafe { merge_move(al, bl, dl, chunk, cmp) },
+        // SAFETY: the right halves are disjoint from the left ones by
+        // the split_at_muts above; same exactly-once contract.
         || unsafe { merge_move(ar, br, dr, chunk, cmp) },
     );
 }
 
 /// Sequential leaf of [`merge_move`]; same safety contract.
+///
+/// # Safety
+///
+/// As for [`merge_move`]: `a` and `b` fully initialized and owned
+/// exactly once, `dst` disjoint from both with `a.len() + b.len()`
+/// slots; on return the sources are moved-out.
 unsafe fn merge_move_seq<T, F: Fn(&T, &T) -> Ordering>(
     a: &mut [MaybeUninit<T>],
     b: &mut [MaybeUninit<T>],
