@@ -86,11 +86,13 @@ fn main() {
     while let Some(nd) = stack.pop() {
         inner_roots.push(nd.aug().root());
         total_inner_entries += nd.aug().len();
-        if let Some(l) = nd.left().as_deref() {
-            stack.push(l);
-        }
-        if let Some(r) = nd.right().as_deref() {
-            stack.push(r);
+        if let Some((l, r)) = nd.children() {
+            if let Some(l) = l.as_deref() {
+                stack.push(l);
+            }
+            if let Some(r) = r.as_deref() {
+                stack.push(r);
+            }
         }
     }
     let distinct = unique_nodes(&inner_roots);

@@ -185,8 +185,10 @@ fn check_outer(t: &pam::Tree<OuterSpec, pam::WeightBalanced>) -> Result<(), Stri
     fn rec(t: &pam::Tree<OuterSpec, pam::WeightBalanced>) -> Result<(), String> {
         if let Some(n) = t.as_deref() {
             n.aug().check_invariants()?;
-            rec(n.left())?;
-            rec(n.right())?;
+            if let Some((l, r)) = n.children() {
+                rec(l)?;
+                rec(r)?;
+            }
         }
         Ok(())
     }

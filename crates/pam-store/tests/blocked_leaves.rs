@@ -1,0 +1,129 @@
+//! Regression bounds for the blocked-leaf (PaC-tree style) representation
+//! as seen through the store: memory reachable from live versions and
+//! on-disk checkpoint size must stay within bounds that the per-entry
+//! (one node per entry) seed layout could not meet.
+
+use pam::{AugMap, SumAug, WeightBalanced};
+use pam_store::{DurabilityConfig, DurableStore, StoreConfig, VersionedStore};
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+type Spec = SumAug<u64, u64>;
+
+const N: u64 = 100_000;
+
+/// Heap bytes the pre-blocking layout would need: one heap node (+ two
+/// `Arc` refcount words) per entry.
+fn per_entry_baseline(n: usize) -> usize {
+    n * (pam::stats::node_size::<Spec, WeightBalanced>() + 2 * std::mem::size_of::<usize>())
+}
+
+#[test]
+fn store_memory_is_at_least_2x_below_per_entry_baseline() {
+    let store: VersionedStore<Spec> = VersionedStore::from_map(
+        AugMap::from_sorted_distinct(&(0..N).map(|i| (i, i)).collect::<Vec<_>>()),
+        StoreConfig::default(),
+    );
+    assert_eq!(store.len(), N as usize);
+    let reachable = store.memory_bytes();
+    let baseline = per_entry_baseline(N as usize);
+    assert!(
+        reachable * 2 <= baseline,
+        "blocked leaves must at least halve the per-entry footprint: \
+         reachable {reachable} vs baseline {baseline}"
+    );
+    // sanity floor: the entries themselves (two u64 each) are counted
+    assert!(
+        reachable >= N as usize * 16,
+        "implausibly small: {reachable}"
+    );
+}
+
+#[test]
+fn point_updates_keep_memory_within_baseline() {
+    // after random single-key churn the tree must stay block-packed
+    // enough to hold the 2x bound (non-root blocks >= half full)
+    let store: VersionedStore<Spec> = VersionedStore::from_map(
+        AugMap::from_sorted_distinct(&(0..N).map(|i| (i, i)).collect::<Vec<_>>()),
+        StoreConfig {
+            batch_window: Duration::ZERO,
+            ..StoreConfig::default()
+        },
+    );
+    for i in 0..2_000u64 {
+        let k = (i * 7919) % N;
+        if i % 3 == 0 {
+            store.delete(k);
+        } else {
+            store.put(k, i);
+        }
+    }
+    store.flush();
+    let reachable = store.memory_bytes();
+    let baseline = per_entry_baseline(store.len());
+    assert!(
+        reachable * 2 <= baseline,
+        "churned store footprint regressed: {reachable} vs baseline {baseline}"
+    );
+}
+
+fn dir_bytes(dir: &Path) -> u64 {
+    let mut total = 0;
+    for entry in fs::read_dir(dir).unwrap().flatten() {
+        let meta = entry.metadata().unwrap();
+        if meta.is_dir() {
+            total += dir_bytes(&entry.path());
+        } else {
+            total += meta.len();
+        }
+    }
+    total
+}
+
+fn fresh_dir(name: &str) -> PathBuf {
+    let d = std::env::temp_dir().join(format!("pam-blocked-{}-{name}", std::process::id()));
+    let _ = fs::remove_dir_all(&d);
+    d
+}
+
+#[test]
+fn checkpoint_size_stays_within_per_entry_bound() {
+    let n = 20_000u64;
+    let dir = fresh_dir("ckpt");
+    {
+        let store: DurableStore<Spec> = DurableStore::open(
+            &dir,
+            StoreConfig {
+                batch_window: Duration::ZERO,
+                ..StoreConfig::default()
+            },
+            DurabilityConfig::default(),
+        )
+        .expect("open");
+        store.handle().put_all((0..n).map(|i| (i, i * 3))).wait();
+        store.checkpoint().expect("checkpoint");
+        // the WAL was truncated by the checkpoint; what remains on disk
+        // is dominated by the checkpoint stream of n (u64, u64) entries.
+        // Regression bound: 48 bytes/entry (16 payload + framing) + 64 KiB
+        // fixed overhead — the seed layout met this and blocking must not
+        // regress it.
+        let bytes = dir_bytes(&dir);
+        let bound = n * 48 + (64 << 10);
+        assert!(
+            bytes <= bound,
+            "on-disk footprint after checkpoint too large: {bytes} > {bound}"
+        );
+    }
+    // recovery from that checkpoint reproduces the exact contents
+    let store: DurableStore<Spec> =
+        DurableStore::open(&dir, StoreConfig::default(), DurabilityConfig::default())
+            .expect("reopen");
+    assert!(store.recovery().checkpoint_epoch > 0, "checkpoint was used");
+    assert_eq!(store.len(), n as usize);
+    for k in [0u64, 1, n / 2, n - 1] {
+        assert_eq!(store.get(&k), Some(k * 3));
+    }
+    drop(store);
+    let _ = fs::remove_dir_all(&dir);
+}

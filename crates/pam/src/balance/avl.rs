@@ -5,8 +5,14 @@
 //! attach a node there, and fix the at-most-one height violation per level
 //! with single/double rotations on the way back up. The per-node metadata
 //! is the subtree height.
+//!
+//! With blocked leaves, a leaf block counts as height 1 regardless of how
+//! many entries it holds — internal height bookkeeping is oblivious to
+//! blocking. The descent only exposes subtrees of height >= 2 (always
+//! internal); rotations that would reach *inside* a block fall back to
+//! [`super::repack_region`] on the (O(LEAF_CAP)-sized) region instead.
 
-use super::Balance;
+use super::{repack_region, Balance};
 use crate::node::{expose, EntryOwned, Node, Tree};
 use crate::spec::AugSpec;
 use std::sync::Arc;
@@ -20,7 +26,15 @@ type E<S> = EntryOwned<S, Avl>;
 
 #[inline]
 fn h<S: AugSpec>(t: &T<S>) -> u32 {
-    t.as_ref().map_or(0, |n| n.meta)
+    t.as_deref().map_or(0, node_h)
+}
+
+#[inline]
+fn node_h<S: AugSpec>(n: &Node<S, Avl>) -> u32 {
+    match n {
+        Node::Leaf(_) => 1,
+        Node::Internal(x) => x.meta,
+    }
 }
 
 #[inline]
@@ -30,13 +44,21 @@ fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
 }
 
 /// Left rotation of the (conceptual) node `(l, e, r)` where `r` is real.
+/// If `r` is a leaf block the rotation would split it, so the region —
+/// O(LEAF_CAP) at every call site that can pass a leaf — is re-packed.
 fn rot_left_parts<S: AugSpec>(l: T<S>, e: E<S>, r: N<S>) -> N<S> {
+    if r.is_leaf() {
+        return repack_region(l, e, Some(r));
+    }
     let (rl, re, _m, rr) = expose(r);
     mk(Some(mk(l, e, rl)), re, rr)
 }
 
 /// Right rotation of the (conceptual) node `(l, e, r)` where `l` is real.
 fn rot_right_parts<S: AugSpec>(l: N<S>, e: E<S>, r: T<S>) -> N<S> {
+    if l.is_leaf() {
+        return repack_region(Some(l), e, r);
+    }
     let (ll, le, _m, lr) = expose(l);
     mk(ll, le, Some(mk(lr, e, r)))
 }
@@ -46,7 +68,7 @@ fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
     let (l, le, _m, c) = expose(tl.expect("taller side cannot be empty"));
     if h::<S>(&c) <= h::<S>(&tr) + 1 {
         let t1 = mk(c, e, tr);
-        if t1.meta <= h::<S>(&l) + 1 {
+        if node_h(&t1) <= h::<S>(&l) + 1 {
             mk(l, le, Some(t1))
         } else {
             // t1 is left-leaning (h(c) = h(tr)+1): double rotation.
@@ -54,7 +76,7 @@ fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
         }
     } else {
         let t1 = join_right::<S>(c, e, tr);
-        let h1 = t1.meta;
+        let h1 = node_h(&t1);
         if h1 <= h::<S>(&l) + 1 {
             mk(l, le, Some(t1))
         } else {
@@ -65,14 +87,26 @@ fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
 
 /// Right rotation of a real node (root becomes its left child).
 fn rot_right_whole<S: AugSpec>(n: N<S>) -> N<S> {
+    if n.is_leaf() {
+        return n;
+    }
     let (l, e, _m, r) = expose(n);
-    rot_right_parts(l.expect("rotation requires left child"), e, r)
+    match l {
+        Some(l) => rot_right_parts(l, e, r),
+        None => mk(None, e, r),
+    }
 }
 
 /// Left rotation of a real node (root becomes its right child).
 fn rot_left_whole<S: AugSpec>(n: N<S>) -> N<S> {
+    if n.is_leaf() {
+        return n;
+    }
     let (l, e, _m, r) = expose(n);
-    rot_left_parts(l, e, r.expect("rotation requires right child"))
+    match r {
+        Some(r) => rot_left_parts(l, e, r),
+        None => mk(l, e, None),
+    }
 }
 
 /// Mirror of [`join_right`]; precondition `h(tr) > h(tl) + 1`.
@@ -80,14 +114,14 @@ fn join_left<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
     let (c, re, _m, r) = expose(tr.expect("taller side cannot be empty"));
     if h::<S>(&c) <= h::<S>(&tl) + 1 {
         let t1 = mk(tl, e, c);
-        if t1.meta <= h::<S>(&r) + 1 {
+        if node_h(&t1) <= h::<S>(&r) + 1 {
             mk(Some(t1), re, r)
         } else {
             rot_right_parts(rot_left_whole(t1), re, r)
         }
     } else {
         let t1 = join_left::<S>(tl, e, c);
-        let h1 = t1.meta;
+        let h1 = node_h(&t1);
         if h1 <= h::<S>(&r) + 1 {
             mk(Some(t1), re, r)
         } else {
@@ -100,6 +134,11 @@ impl Balance for Avl {
     type Meta = u32; // subtree height
     type EntryMeta = ();
     const NAME: &'static str = "avl";
+
+    #[inline]
+    fn leaf_meta() -> u32 {
+        1
+    }
 
     #[inline]
     fn fresh_entry_meta() {}
@@ -117,8 +156,13 @@ impl Balance for Avl {
     }
 
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
-        let hl = h::<S>(&n.left);
-        let hr = h::<S>(&n.right);
-        n.meta == 1 + hl.max(hr) && hl.abs_diff(hr) <= 1
+        match n {
+            Node::Leaf(_) => true,
+            Node::Internal(x) => {
+                let hl = h::<S>(&x.left);
+                let hr = h::<S>(&x.right);
+                x.meta == 1 + hl.max(hr) && hl.abs_diff(hr) <= 1
+            }
+        }
     }
 }

@@ -18,6 +18,28 @@
 //! * [`Avl`] — height-balanced;
 //! * [`RedBlack`] — color + black-height balanced;
 //! * [`Treap`] — randomized heap-ordered priorities.
+//!
+//! # Blocked leaves
+//!
+//! With PaC-tree-style leaf blocks (see [`crate::node`]), the crate-facing
+//! join is `join_tree`, which wraps the scheme's raw [`Balance::join`]
+//! with block maintenance when [`Balance::LEAF_CAP`] `>= 2`:
+//!
+//! * if both sides fit in a block, the result is flattened and re-packed
+//!   into one full leaf (or one internal node over two half-full leaves);
+//! * if one side is an *underfull* block (fewer than `LEAF_CAP / 2`
+//!   entries, e.g. a fragment produced by exposing a leaf), the join
+//!   descends the other side's spine so the fragment merges into its
+//!   boundary blocks;
+//! * otherwise both sides satisfy the fill invariant and the raw scheme
+//!   join applies unchanged.
+//!
+//! This preserves, inductively, the invariants `validate` checks: any
+//! tree of `<= LEAF_CAP` entries is a single leaf, internal nodes root
+//! more than `LEAF_CAP` entries, and every non-root leaf holds
+//! `LEAF_CAP/2 ..= LEAF_CAP` entries. With `LEAF_CAP == 1` (the treap,
+//! or a `PAM_LEAF_B=1` build) `join_tree` degenerates to the raw join
+//! and the tree is exactly the paper's one-entry-per-node structure.
 
 mod avl;
 mod redblack;
@@ -27,9 +49,9 @@ mod weight;
 pub use avl::Avl;
 pub use redblack::{RbMeta, RedBlack};
 pub use treap::Treap;
-pub use weight::WeightBalanced;
+pub use weight::{WeightBalanced, WeightBalancedCap};
 
-use crate::node::{EntryOwned, Node, Tree};
+use crate::node::{expose, flatten_into, size, EntryOwned, Node, Tree};
 use crate::spec::AugSpec;
 use std::sync::Arc;
 
@@ -52,12 +74,30 @@ pub trait Balance: Sized + Send + Sync + 'static {
     /// Human-readable scheme name (used by benches and error messages).
     const NAME: &'static str;
 
+    /// Maximum number of entries a leaf block may hold. Must be 1 or an
+    /// even number `>= 2` (even capacities make the half-full invariant
+    /// achievable when splitting an overflowing block at the median).
+    /// Treaps pin this to 1: their heap order is a property of individual
+    /// entries, so blocks would have no meaningful priority.
+    const LEAF_CAP: usize = crate::node::DEFAULT_LEAF_B;
+
+    /// The metadata a leaf node *implies* (leaves store none): height 1
+    /// for AVL, black with black-height 1 for red-black, unit otherwise.
+    /// Returned by `expose` when it splits a leaf block.
+    fn leaf_meta() -> Self::Meta;
+
     /// Metadata for a brand-new entry (draws a random priority for treaps).
     fn fresh_entry_meta() -> Self::EntryMeta;
 
     /// Join `l`, the middle entry, and `r`, where every key of `l` is less
     /// than `e.key` and every key of `r` greater. Returns a balanced tree
     /// containing all entries. O(|rank(l) - rank(r)|) work.
+    ///
+    /// This is the *raw* scheme join: it treats leaf blocks as opaque
+    /// height-1 nodes and never re-packs them. Callers inside the crate
+    /// use `join_tree`, which layers the fill-invariant maintenance on
+    /// top; the preconditions there guarantee the raw join never needs to
+    /// rotate through a multi-entry leaf.
     fn join<S: AugSpec>(
         l: Tree<S, Self>,
         e: EntryOwned<S, Self>,
@@ -66,29 +106,129 @@ pub trait Balance: Sized + Send + Sync + 'static {
 
     /// Does the balance invariant hold *locally* at `n`, assuming both
     /// children are themselves valid? Used by `validate::check_tree`.
+    /// Leaf blocks are trivially balanced.
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool;
 }
 
-/// Convenience wrapper returning a `Tree` instead of an `Arc<Node>`.
-#[inline]
+/// The crate-facing join: [`Balance::join`] plus leaf-block maintenance.
+///
+/// Preconditions match `join`: `max(L) < e.key < min(R)`, and both sides
+/// are either valid trees or block fragments (leaves of any fill produced
+/// by `expose`). The result restores all fill invariants.
 pub(crate) fn join_tree<S: AugSpec, B: Balance>(
     l: Tree<S, B>,
     e: EntryOwned<S, B>,
     r: Tree<S, B>,
 ) -> Tree<S, B> {
-    Some(B::join(l, e, r))
+    Some(join_blocked(l, e, r))
 }
 
-/// Build a singleton map (a `join` of two empty trees, as in the paper).
+fn join_blocked<S: AugSpec, B: Balance>(
+    l: Tree<S, B>,
+    e: EntryOwned<S, B>,
+    r: Tree<S, B>,
+) -> Arc<Node<S, B>> {
+    let cap = B::LEAF_CAP;
+    if cap <= 1 {
+        // Degenerate blocks: the raw join is already the whole story.
+        return B::join(l, e, r);
+    }
+    let nl = size(&l);
+    let nr = size(&r);
+    if nl <= cap && nr <= cap {
+        // Both sides are blocks (by the size<=cap => leaf invariant, or
+        // fragments from exposing a leaf): flatten the <= 2*cap+1 entries
+        // and re-pack into one leaf or two half-full leaves.
+        let mut entries = Vec::with_capacity(nl + nr + 1);
+        flatten_into(l, &mut entries);
+        entries.push(e);
+        flatten_into(r, &mut entries);
+        return pack_block::<S, B>(entries);
+    }
+    let min_fill = cap / 2;
+    if nr < min_fill {
+        // Right side is an underfull fragment and the left is internal
+        // (nl > cap): peel the left root and push the fragment down the
+        // right spine until it merges with a boundary block.
+        let (a, p, _m, b) = expose(l.expect("nl > cap implies nonempty"));
+        let t = join_blocked(b, e, r);
+        return B::join(a, p, Some(t));
+    }
+    if nl < min_fill {
+        let (a, p, _m, b) = expose(r.expect("nr > cap implies nonempty"));
+        let t = join_blocked(l, e, a);
+        return B::join(Some(t), p, b);
+    }
+    // Both sides satisfy the fill invariant: the raw scheme join attaches
+    // whole blocks without ever looking inside them.
+    B::join(l, e, r)
+}
+
+/// Pack `1..=2*LEAF_CAP+1` sorted entries into a single leaf, or an
+/// internal node over two at-least-half-full leaves.
+fn pack_block<S: AugSpec, B: Balance>(mut entries: Vec<EntryOwned<S, B>>) -> Arc<Node<S, B>> {
+    let cap = B::LEAF_CAP;
+    if entries.len() <= cap {
+        return Node::make_leaf(entries);
+    }
+    // len in cap+1 ..= 2*cap+1: split at the median. With even cap both
+    // halves land in cap/2 ..= cap.
+    let mid = entries.len() / 2;
+    let mut right = entries.split_off(mid);
+    let pivot = right.remove(0);
+    B::join(
+        Some(Node::make_leaf(entries)),
+        pivot,
+        Some(Node::make_leaf(right)),
+    )
+}
+
+/// Build a tree from sorted, strictly-increasing entries by packing full
+/// blocks bottom-up (median recursion, so every leaf lands in
+/// `LEAF_CAP/2 ..= LEAF_CAP`). The bulk-load primitive behind
+/// `from_sorted_distinct` and the leaf fast paths of `multi_insert`.
+pub(crate) fn from_sorted_entries<S: AugSpec, B: Balance>(
+    mut entries: Vec<EntryOwned<S, B>>,
+) -> Tree<S, B> {
+    if entries.is_empty() {
+        return None;
+    }
+    if entries.len() <= B::LEAF_CAP.max(1) {
+        return Some(Node::make_leaf(entries));
+    }
+    let mid = entries.len() / 2;
+    let mut right = entries.split_off(mid);
+    let pivot = right.remove(0);
+    let l = from_sorted_entries::<S, B>(entries);
+    let r = from_sorted_entries::<S, B>(right);
+    Some(join_blocked(l, pivot, r))
+}
+
+/// Flatten `(l, e, r)` into sorted entries and re-pack into a perfectly
+/// balanced blocked tree. The schemes' rotation fallback: a double
+/// rotation whose inner child is a leaf block would split the block
+/// mid-tree (stranding underfull fragments), so the scheme re-packs the
+/// whole region instead. Callers only reach this with O(LEAF_CAP)-sized
+/// regions, and the re-pack's internal joins are all trivially balanced
+/// (equal-weight halves), so this never re-enters a rotation.
+pub(crate) fn repack_region<S: AugSpec, B: Balance>(
+    l: Tree<S, B>,
+    e: EntryOwned<S, B>,
+    r: Tree<S, B>,
+) -> Arc<Node<S, B>> {
+    let mut entries = Vec::with_capacity(size(&l) + size(&r) + 1);
+    flatten_into(l, &mut entries);
+    entries.push(e);
+    flatten_into(r, &mut entries);
+    from_sorted_entries::<S, B>(entries).expect("region is nonempty")
+}
+
+/// Build a singleton map (a one-entry leaf block).
 #[inline]
 pub(crate) fn singleton<S: AugSpec, B: Balance>(key: S::K, val: S::V) -> Tree<S, B> {
-    Some(B::join(
-        None,
-        EntryOwned {
-            key,
-            val,
-            em: B::fresh_entry_meta(),
-        },
-        None,
-    ))
+    Some(Node::make_leaf(vec![EntryOwned {
+        key,
+        val,
+        em: B::fresh_entry_meta(),
+    }]))
 }

@@ -7,6 +7,11 @@
 //! repairs red-red violations on the way back up with the classic
 //! functional (Okasaki-style) balance patterns. The final root is
 //! blackened.
+//!
+//! A blocked leaf counts as a *black* node of black height 1, so red-red
+//! repairs never look inside a block: every red node is internal, and the
+//! descent stops at (never enters) leaves — with both join sides nonempty,
+//! a leaf reached on the spine always satisfies the attach condition.
 
 use super::Balance;
 use crate::node::{expose, EntryOwned, Node, Tree};
@@ -15,8 +20,9 @@ use std::sync::Arc;
 
 /// Red-black scheme metadata: color and black height.
 ///
-/// `bh` counts the black nodes on any path from this node down to a leaf,
-/// including this node if it is black (empty trees have `bh = 0`).
+/// `bh` counts the black nodes on any path from this node down to an empty
+/// tree, including this node if it is black (empty trees have `bh = 0`;
+/// blocked leaves are black with `bh = 1`).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct RbMeta {
     /// Is this node red?
@@ -32,14 +38,24 @@ type T<S> = Tree<S, RedBlack>;
 type N<S> = Arc<Node<S, RedBlack>>;
 type E<S> = EntryOwned<S, RedBlack>;
 
+/// Metadata a node *implies*: stored for internal nodes, black/bh-1 for
+/// leaf blocks.
+#[inline]
+fn meta_of<S: AugSpec>(n: &Node<S, RedBlack>) -> RbMeta {
+    match n {
+        Node::Leaf(_) => RbMeta { red: false, bh: 1 },
+        Node::Internal(x) => x.meta,
+    }
+}
+
 #[inline]
 fn bh<S: AugSpec>(t: &T<S>) -> u32 {
-    t.as_ref().map_or(0, |n| n.meta.bh)
+    t.as_deref().map_or(0, |n| meta_of(n).bh)
 }
 
 #[inline]
 fn is_red<S: AugSpec>(t: &T<S>) -> bool {
-    t.as_ref().is_some_and(|n| n.meta.red)
+    t.as_deref().is_some_and(|n| meta_of(n).red)
 }
 
 /// Make a node with an explicit color; `bh` is derived from the left child
@@ -55,14 +71,24 @@ fn mk<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
     Node::make(l, e, meta, r)
 }
 
-/// Recolor the root of `t` black (no-op when already black or empty).
+/// Recolor the root of `t` black (no-op when already black or empty —
+/// leaf blocks are always black).
 fn blacken<S: AugSpec>(t: T<S>) -> T<S> {
     match t {
-        Some(n) if n.meta.red => {
+        Some(n) if meta_of(&n).red => {
             let (l, e, _m, r) = expose(n);
             Some(mk(l, e, false, r))
         }
         other => other,
+    }
+}
+
+/// The children of a node known to be red (red nodes are never leaves).
+#[inline]
+fn red_children<S: AugSpec>(n: &Node<S, RedBlack>) -> (&T<S>, &T<S>) {
+    match n {
+        Node::Internal(x) => (&x.left, &x.right),
+        Node::Leaf(_) => unreachable!("leaf blocks are black"),
     }
 }
 
@@ -71,14 +97,15 @@ fn blacken<S: AugSpec>(t: T<S>) -> T<S> {
 /// red-red chain.
 fn balance_right<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
     if !red && is_red::<S>(&r) {
-        let rn = r.as_ref().expect("red implies nonempty");
-        if is_red::<S>(&rn.right) {
+        let rn = r.as_deref().expect("red implies nonempty");
+        let (rn_left, rn_right) = red_children(rn);
+        if is_red::<S>(rn_right) {
             // B(l, e, R(b, y, R..)) -> R(B(l, e, b), y, B(..))
             let (b, y, _m, rr) = expose(r.expect("checked above"));
             let rr_black = blacken::<S>(rr);
             return mk(Some(mk(l, e, false, b)), y, true, rr_black);
         }
-        if is_red::<S>(&rn.left) {
+        if is_red::<S>(rn_left) {
             // B(l, e, R(R(b2, y, c2), z, d)) -> R(B(l, e, b2), y, B(c2, z, d))
             let (rl, z, _m, d) = expose(r.expect("checked above"));
             let (b2, y, _m2, c2) = expose(rl.expect("red implies nonempty"));
@@ -96,14 +123,15 @@ fn balance_right<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
 /// Mirror of [`balance_right`] for left-side red-red chains.
 fn balance_left<S: AugSpec>(l: T<S>, e: E<S>, red: bool, r: T<S>) -> N<S> {
     if !red && is_red::<S>(&l) {
-        let ln = l.as_ref().expect("red implies nonempty");
-        if is_red::<S>(&ln.left) {
+        let ln = l.as_deref().expect("red implies nonempty");
+        let (ln_left, ln_right) = red_children(ln);
+        if is_red::<S>(ln_left) {
             // B(R(R.., y, c), z, d) -> R(B(..), y, B(c, z, d))
             let (ll, y, _m, c) = expose(l.expect("checked above"));
             let ll_black = blacken::<S>(ll);
             return mk(ll_black, y, true, Some(mk(c, e, false, r)));
         }
-        if is_red::<S>(&ln.right) {
+        if is_red::<S>(ln_right) {
             // B(R(a, x, R(b2, y, c2)), z, d) -> R(B(a, x, b2), y, B(c2, z, d))
             let (a, x, _m, lr) = expose(l.expect("checked above"));
             let (b2, y, _m2, c2) = expose(lr.expect("red implies nonempty"));
@@ -147,6 +175,11 @@ impl Balance for RedBlack {
     const NAME: &'static str = "red-black";
 
     #[inline]
+    fn leaf_meta() -> RbMeta {
+        RbMeta { red: false, bh: 1 }
+    }
+
+    #[inline]
     fn fresh_entry_meta() {}
 
     fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
@@ -171,15 +204,19 @@ impl Balance for RedBlack {
     }
 
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
-        let bl = bh::<S>(&n.left);
-        let br = bh::<S>(&n.right);
+        let x = match n {
+            Node::Leaf(_) => return true,
+            Node::Internal(x) => x,
+        };
+        let bl = bh::<S>(&x.left);
+        let br = bh::<S>(&x.right);
         if bl != br {
             return false;
         }
-        if n.meta.bh != bl + u32::from(!n.meta.red) {
+        if x.meta.bh != bl + u32::from(!x.meta.red) {
             return false;
         }
-        if n.meta.red && (is_red::<S>(&n.left) || is_red::<S>(&n.right)) {
+        if x.meta.red && (is_red::<S>(&x.left) || is_red::<S>(&x.right)) {
             return false;
         }
         true

@@ -4,6 +4,12 @@
 //! exactly what [`Balance::EntryMeta`] exists for — priorities survive
 //! splits, joins and rebuilds). `join` interleaves the two spines in
 //! max-heap priority order, which takes expected O(log n) time.
+//!
+//! Treaps pin [`Balance::LEAF_CAP`] to 1: the heap order is a property of
+//! individual entries, so a multi-entry block has no single meaningful
+//! priority. Leaves are therefore singletons whose priority is their one
+//! entry's `em`, and the blocked-join machinery degenerates to the plain
+//! scheme join.
 
 use super::Balance;
 use crate::node::{expose, EntryOwned, Node, Tree};
@@ -32,14 +38,28 @@ fn splitmix64(mut x: u64) -> u64 {
 }
 
 #[inline]
+fn node_prio<S: AugSpec>(n: &Node<S, Treap>) -> u64 {
+    match n {
+        // LEAF_CAP == 1, so a leaf holds exactly one entry.
+        Node::Leaf(l) => l.entries[0].em,
+        Node::Internal(x) => x.em,
+    }
+}
+
+#[inline]
 fn prio<S: AugSpec>(t: &T<S>) -> u64 {
     // empty trees have the lowest possible priority
-    t.as_ref().map_or(0, |n| n.em)
+    t.as_deref().map_or(0, node_prio)
 }
 
 #[inline]
 fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
-    Node::make(l, e, (), r)
+    if l.is_none() && r.is_none() {
+        // keep "size <= LEAF_CAP implies leaf" true even for treaps
+        Node::make_leaf(vec![e])
+    } else {
+        Node::make(l, e, (), r)
+    }
 }
 
 fn join_rec<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
@@ -61,6 +81,10 @@ impl Balance for Treap {
     type Meta = ();
     type EntryMeta = u64; // priority (max-heap)
     const NAME: &'static str = "treap";
+    const LEAF_CAP: usize = 1;
+
+    #[inline]
+    fn leaf_meta() {}
 
     #[inline]
     fn fresh_entry_meta() -> u64 {
@@ -75,9 +99,14 @@ impl Balance for Treap {
     }
 
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
-        let ok_l = n.left.as_ref().is_none_or(|l| n.em >= l.em);
-        let ok_r = n.right.as_ref().is_none_or(|r| n.em >= r.em);
-        ok_l && ok_r
+        match n {
+            Node::Leaf(l) => l.entries.len() == 1,
+            Node::Internal(x) => {
+                let ok_l = x.left.as_deref().is_none_or(|l| x.em >= node_prio(l));
+                let ok_r = x.right.as_deref().is_none_or(|r| x.em >= node_prio(r));
+                ok_l && ok_r
+            }
+        }
     }
 }
 

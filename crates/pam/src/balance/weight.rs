@@ -10,24 +10,41 @@
 //! spine of the heavier side until the two pieces are "like" (mutually
 //! balanced), attach there, and repair on the way back up with single or
 //! double rotations.
+//!
+//! With blocked leaves, weights count *entries*, so a leaf block of `k`
+//! entries weighs `k + 1` — balance reasoning is oblivious to blocking.
+//! The descent never exposes a block (a heavy side always outweighs
+//! `LEAF_CAP + 1`, hence is internal); the one place a rotation could
+//! reach inside a block — the double rotation's inner child — falls back
+//! to [`super::repack_region`], whose region is O(LEAF_CAP) there.
+//!
+//! The capacity is a const generic: [`WeightBalanced`] is the crate
+//! default ([`crate::node::DEFAULT_LEAF_B`]), while the differential
+//! oracle suite instantiates `WeightBalancedCap<1>` / `<2>` / `<32>`
+//! side by side in one binary.
 
-use super::Balance;
-use crate::node::{expose, size, EntryOwned, Node, Tree};
+use super::{repack_region, Balance};
+use crate::node::{expose, size, EntryOwned, Node, Tree, DEFAULT_LEAF_B};
 use crate::spec::AugSpec;
 use std::sync::Arc;
 
-/// PAM's default balancing scheme (α = 0.29 weight-balanced tree).
-pub struct WeightBalanced;
+/// Weight-balanced scheme with an explicit leaf-block capacity
+/// (1 restores the paper's one-entry-per-node tree).
+pub struct WeightBalancedCap<const CAP: usize>;
+
+/// PAM's default balancing scheme (α = 0.29 weight-balanced tree) with
+/// the crate-default leaf block capacity.
+pub type WeightBalanced = WeightBalancedCap<DEFAULT_LEAF_B>;
 
 const ALPHA_NUM: u64 = 29;
 const ALPHA_DEN: u64 = 100;
 
-type T<S> = Tree<S, WeightBalanced>;
-type N<S> = Arc<Node<S, WeightBalanced>>;
-type E<S> = EntryOwned<S, WeightBalanced>;
+type T<S, const CAP: usize> = Tree<S, WeightBalancedCap<CAP>>;
+type N<S, const CAP: usize> = Arc<Node<S, WeightBalancedCap<CAP>>>;
+type E<S, const CAP: usize> = EntryOwned<S, WeightBalancedCap<CAP>>;
 
 #[inline]
-fn weight<S: AugSpec>(t: &T<S>) -> u64 {
+fn weight<S: AugSpec, const CAP: usize>(t: &T<S, CAP>) -> u64 {
     size(t) as u64 + 1
 }
 
@@ -45,32 +62,40 @@ fn like(wa: u64, wb: u64) -> bool {
 }
 
 #[inline]
-fn mk<S: AugSpec>(l: T<S>, e: E<S>, r: T<S>) -> N<S> {
+fn mk<S: AugSpec, const CAP: usize>(l: T<S, CAP>, e: E<S, CAP>, r: T<S, CAP>) -> N<S, CAP> {
     Node::make(l, e, (), r)
 }
 
 /// `tl` is heavy with respect to `tr`: descend `tl`'s right spine until the
 /// remainder is "like" `tr`, then repair with rotations on the way up.
-fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
-    if like(weight::<S>(&tl), weight::<S>(&tr)) {
+fn join_right<S: AugSpec, const CAP: usize>(
+    tl: T<S, CAP>,
+    e: E<S, CAP>,
+    tr: T<S, CAP>,
+) -> N<S, CAP> {
+    if like(weight(&tl), weight(&tr)) {
         return mk(tl, e, tr);
     }
     let (l, le, _m, c) = expose(tl.expect("heavy side cannot be empty"));
-    let wl = weight::<S>(&l);
-    let tp = join_right::<S>(c, e, tr); // T' in the paper's pseudocode
-    let wtp = tp.size as u64 + 1;
+    let wl = weight(&l);
+    let tp = join_right(c, e, tr); // T' in the paper's pseudocode
+    let wtp = tp.size_of() as u64 + 1;
     if like(wl, wtp) {
         return mk(l, le, Some(tp));
     }
-    let wl1 = weight::<S>(&tp.left);
-    let wr1 = weight::<S>(&tp.right);
+    let (l1, e1, _m1, r1) = expose(tp);
+    let wl1 = weight(&l1);
+    let wr1 = weight(&r1);
     if like(wl, wl1) && like(wl + wl1, wr1) {
         // single rotation: rotateLeft(Node(l, le, T'))
-        let (l1, e1, _m1, r1) = expose(tp);
         mk(Some(mk(l, le, l1)), e1, r1)
+    } else if l1.as_deref().is_some_and(|n| n.is_leaf()) {
+        // double rotation would split the inner leaf block; the whole
+        // region is O(LEAF_CAP) here, so re-pack it instead.
+        let rest = mk(l1, e1, r1);
+        repack_region(l, le, Some(rest))
     } else {
         // double rotation: rotateLeft(Node(l, le, rotateRight(T')))
-        let (l1, e1, _m1, r1) = expose(tp);
         let (l2, e2, _m2, r2) = expose(l1.expect("double rotation requires inner child"));
         let nl = mk(l, le, l2);
         let nr = mk(r2, e1, r1);
@@ -79,26 +104,32 @@ fn join_right<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
 }
 
 /// Mirror of [`join_right`]: `tr` is heavy, descend its left spine.
-fn join_left<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
-    if like(weight::<S>(&tl), weight::<S>(&tr)) {
+fn join_left<S: AugSpec, const CAP: usize>(
+    tl: T<S, CAP>,
+    e: E<S, CAP>,
+    tr: T<S, CAP>,
+) -> N<S, CAP> {
+    if like(weight(&tl), weight(&tr)) {
         return mk(tl, e, tr);
     }
     let (c, re, _m, r) = expose(tr.expect("heavy side cannot be empty"));
-    let wr = weight::<S>(&r);
-    let tp = join_left::<S>(tl, e, c);
-    let wtp = tp.size as u64 + 1;
+    let wr = weight(&r);
+    let tp = join_left(tl, e, c);
+    let wtp = tp.size_of() as u64 + 1;
     if like(wtp, wr) {
         return mk(Some(tp), re, r);
     }
-    let wl1 = weight::<S>(&tp.left);
-    let wr1 = weight::<S>(&tp.right);
+    let (l1, e1, _m1, r1) = expose(tp);
+    let wl1 = weight(&l1);
+    let wr1 = weight(&r1);
     if like(wr1, wr) && like(wr1 + wr, wl1) {
         // single rotation: rotateRight(Node(T', re, r))
-        let (l1, e1, _m1, r1) = expose(tp);
         mk(l1, e1, Some(mk(r1, re, r)))
+    } else if r1.as_deref().is_some_and(|n| n.is_leaf()) {
+        let rest = mk(l1, e1, r1);
+        repack_region(Some(rest), re, r)
     } else {
         // double rotation: rotateRight(Node(rotateLeft(T'), re, r))
-        let (l1, e1, _m1, r1) = expose(tp);
         let (l2, e2, _m2, r2) = expose(r1.expect("double rotation requires inner child"));
         let nl = mk(l1, e1, l2);
         let nr = mk(r2, re, r);
@@ -106,28 +137,35 @@ fn join_left<S: AugSpec>(tl: T<S>, e: E<S>, tr: T<S>) -> N<S> {
     }
 }
 
-impl Balance for WeightBalanced {
+impl<const CAP: usize> Balance for WeightBalancedCap<CAP> {
     type Meta = ();
     type EntryMeta = ();
     const NAME: &'static str = "weight-balanced";
+    const LEAF_CAP: usize = CAP;
+
+    #[inline]
+    fn leaf_meta() {}
 
     #[inline]
     fn fresh_entry_meta() {}
 
-    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S> {
-        let wl = weight::<S>(&l);
-        let wr = weight::<S>(&r);
+    fn join<S: AugSpec>(l: Tree<S, Self>, e: EntryOwned<S, Self>, r: Tree<S, Self>) -> N<S, CAP> {
+        let wl = weight(&l);
+        let wr = weight(&r);
         if heavy(wl, wr) {
-            join_right::<S>(l, e, r)
+            join_right(l, e, r)
         } else if heavy(wr, wl) {
-            join_left::<S>(l, e, r)
+            join_left(l, e, r)
         } else {
             mk(l, e, r)
         }
     }
 
     fn local_ok<S: AugSpec>(n: &Node<S, Self>) -> bool {
-        like(weight::<S>(&n.left), weight::<S>(&n.right))
+        match n {
+            Node::Leaf(_) => true,
+            Node::Internal(x) => like(weight(&x.left), weight(&x.right)),
+        }
     }
 }
 

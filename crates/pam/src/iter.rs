@@ -1,29 +1,24 @@
-//! Sequential in-order iteration.
+//! Sequential in-order iteration, built on the block-to-block
+//! [`Cursor`](crate::cursor::Cursor): advancing inside a leaf block is one
+//! slice step, and each internal node is visited exactly once per scan —
+//! no per-entry re-descent.
 
 use crate::balance::Balance;
-use crate::node::{Node, Tree};
+use crate::cursor::Cursor;
+use crate::node::Tree;
 use crate::spec::AugSpec;
 
 /// Borrowing in-order iterator over `(key, value)` pairs.
 pub struct Iter<'a, S: AugSpec, B: Balance> {
-    stack: Vec<&'a Node<S, B>>,
+    cur: Cursor<'a, S, B>,
     remaining: usize,
 }
 
 impl<'a, S: AugSpec, B: Balance> Iter<'a, S, B> {
     pub(crate) fn new(t: &'a Tree<S, B>) -> Self {
-        let mut it = Iter {
-            stack: Vec::with_capacity(48),
+        Iter {
+            cur: Cursor::first(t),
             remaining: crate::node::size(t),
-        };
-        it.push_left_spine(t);
-        it
-    }
-
-    fn push_left_spine(&mut self, mut t: &'a Tree<S, B>) {
-        while let Some(n) = t.as_deref() {
-            self.stack.push(n);
-            t = &n.left;
         }
     }
 }
@@ -32,10 +27,9 @@ impl<'a, S: AugSpec, B: Balance> Iterator for Iter<'a, S, B> {
     type Item = (&'a S::K, &'a S::V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let n = self.stack.pop()?;
-        self.push_left_spine(&n.right);
+        let item = self.cur.advance()?;
         self.remaining -= 1;
-        Some((&n.key, &n.val))
+        Some(item)
     }
 
     fn size_hint(&self) -> (usize, Option<usize>) {
@@ -49,30 +43,15 @@ impl<'a, S: AugSpec, B: Balance> ExactSizeIterator for Iter<'a, S, B> {}
 /// only the O(log n + output) relevant nodes — no sub-map is
 /// materialized.
 pub struct RangeIter<'a, S: AugSpec, B: Balance> {
-    stack: Vec<&'a Node<S, B>>,
+    cur: Cursor<'a, S, B>,
     hi: &'a S::K,
 }
 
 impl<'a, S: AugSpec, B: Balance> RangeIter<'a, S, B> {
     pub(crate) fn new(t: &'a Tree<S, B>, lo: &'a S::K, hi: &'a S::K) -> Self {
-        let mut it = RangeIter {
-            stack: Vec::with_capacity(48),
+        RangeIter {
+            cur: Cursor::seek(t, lo),
             hi,
-        };
-        it.push_ge_spine(t, lo);
-        it
-    }
-
-    /// Push the spine of nodes whose keys are `>= lo` (like
-    /// `push_left_spine` but skipping keys below the bound).
-    fn push_ge_spine(&mut self, mut t: &'a Tree<S, B>, lo: &S::K) {
-        while let Some(n) = t.as_deref() {
-            if S::compare(&n.key, lo) == std::cmp::Ordering::Less {
-                t = &n.right;
-            } else {
-                self.stack.push(n);
-                t = &n.left;
-            }
         }
     }
 }
@@ -81,18 +60,12 @@ impl<'a, S: AugSpec, B: Balance> Iterator for RangeIter<'a, S, B> {
     type Item = (&'a S::K, &'a S::V);
 
     fn next(&mut self) -> Option<Self::Item> {
-        let n = self.stack.pop()?;
-        if S::compare(&n.key, self.hi) == std::cmp::Ordering::Greater {
-            // everything still on the stack is even larger
-            self.stack.clear();
+        let (k, v) = self.cur.advance()?;
+        if S::compare(k, self.hi) == std::cmp::Ordering::Greater {
+            // everything after is even larger
+            self.cur.exhaust();
             return None;
         }
-        // successors of n within its right subtree
-        let mut t = &n.right;
-        while let Some(c) = t.as_deref() {
-            self.stack.push(c);
-            t = &c.left;
-        }
-        Some((&n.key, &n.val))
+        Some((k, v))
     }
 }

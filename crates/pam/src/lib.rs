@@ -51,6 +51,7 @@
 
 pub mod balance;
 pub mod concurrent;
+pub mod cursor;
 mod iter;
 mod map;
 pub mod node;
@@ -59,11 +60,12 @@ pub mod spec;
 pub mod stats;
 pub mod validate;
 
-pub use balance::{Avl, Balance, RbMeta, RedBlack, Treap, WeightBalanced};
+pub use balance::{Avl, Balance, RbMeta, RedBlack, Treap, WeightBalanced, WeightBalancedCap};
 pub use concurrent::SharedMap;
+pub use cursor::Cursor;
 pub use iter::{Iter, RangeIter};
 pub use map::AugMap;
-pub use node::{par_drop, EntryOwned, Node, Tree};
+pub use node::{par_drop, EntryOwned, Node, Tree, DEFAULT_LEAF_B};
 pub use spec::{Addable, AugSpec, MaxAug, Maxable, MinAug, Minable, NoAug, SumAug};
 
 /// A plain (un-augmented) ordered map.

@@ -398,6 +398,20 @@ impl<S: AugSpec, B: Balance> AugMap<S, B> {
         crate::iter::RangeIter::new(&self.root, lo, hi)
     }
 
+    /// A [`Cursor`](crate::cursor::Cursor) positioned at the smallest
+    /// key. Advancing streams block-to-block (one slice step inside a
+    /// leaf) instead of re-descending from the root; because maps are
+    /// persistent the cursor pins this snapshot even if clones mutate.
+    pub fn cursor(&self) -> crate::cursor::Cursor<'_, S, B> {
+        crate::cursor::Cursor::first(&self.root)
+    }
+
+    /// A [`Cursor`](crate::cursor::Cursor) positioned at the smallest
+    /// key `>= lo` — one O(log n) descent, then streaming advances.
+    pub fn cursor_at(&self, lo: &S::K) -> crate::cursor::Cursor<'_, S, B> {
+        crate::cursor::Cursor::seek(&self.root, lo)
+    }
+
     /// Visit every entry in key order, sequentially — the streaming
     /// export path (checkpoint writers, serializers): no intermediate
     /// allocation, unlike [`AugMap::to_vec`], and no per-step iterator

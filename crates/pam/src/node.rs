@@ -6,19 +6,35 @@
 //! (`Tree::clone` bumps one count) and updates path-copy, so maps are fully
 //! persistent exactly as in the paper.
 //!
+//! # Blocked leaves (PaC-tree style)
+//!
+//! Following the PaC-trees paper (Dhulipala & Blelloch), a [`Node`] is an
+//! enum: an [`Internal`](Node::Internal) node carries one pivot entry plus
+//! balance metadata exactly as in PAM, while a [`Leaf`](Node::Leaf) holds a
+//! *sorted block* of up to `B::LEAF_CAP` entries ([`DEFAULT_LEAF_B`] by
+//! default, compile-time tunable via the `PAM_LEAF_B` env var). Blocking
+//! amortizes the per-entry `Arc` + pointer overhead over a whole block,
+//! which is the dominant constant-factor cost in memory and scan speed.
+//! Fill invariants (every non-root leaf holds `LEAF_CAP/2 ..= LEAF_CAP`
+//! entries when `LEAF_CAP >= 2`) are maintained by
+//! `join_tree` and checked by [`crate::validate`].
+//!
 //! PAM's "reuse optimization" — *"when the reference count is one we reuse
 //! the current node instead of collecting it and allocating a new one"*
 //! (§4, Persistence) — is reproduced by [`expose`]: algorithms take trees
 //! **by value**, and destructuring a uniquely-owned node moves its fields
-//! out (`Arc::try_unwrap`) instead of cloning them. Build with the
-//! `no-reuse` feature to disable this and measure pure path-copying (an
-//! ablation in the bench suite).
+//! out (`Arc::try_unwrap`) instead of cloning them. Exposing a multi-entry
+//! leaf splits its block at the median, so every join-based algorithm
+//! remains correct unmodified; hot paths add per-block fast arms instead.
+//! Build with the `no-reuse` feature to disable reuse and measure pure
+//! path-copying (an ablation in the bench suite).
 //!
-//! Every node stores the augmented value of its subtree. It is computed in
-//! `Node::make` as `f(A(L), f(g(k,v), A(R)))`, which "localizes
-//! application of the augmentation functions f and g to when a node is
-//! created" (§4) — no other code in the crate touches augmentation unless
-//! it explicitly queries it.
+//! Every node caches the augmented value of its subtree. For internal
+//! nodes it is computed in `Node::make` as `f(A(L), f(g(k,v), A(R)))`; for
+//! leaves it is the fold of `g` over the block
+//! ([`AugSpec::fold_block`]) — which
+//! "localizes application of the augmentation functions f and g to when a
+//! node is created" (§4).
 
 use crate::balance::Balance;
 use crate::spec::AugSpec;
@@ -27,11 +43,60 @@ use std::sync::Arc;
 /// A persistent augmented tree: `None` is the empty map.
 pub type Tree<S, B> = Option<Arc<Node<S, B>>>;
 
-/// One tree node. `meta` is the balance scheme's per-node bookkeeping
-/// (AVL height, red-black color + black height, nothing for
-/// weight-balanced); `em` is per-*entry* metadata that travels with the
-/// key through restructuring (the treap's priority).
-pub struct Node<S: AugSpec, B: Balance> {
+/// Default leaf block capacity. Overridable at *compile time* with the
+/// `PAM_LEAF_B` environment variable (must be 1 or an even number; 1
+/// restores the paper's one-entry-per-node layout). CI sweeps this to keep
+/// the degenerate case covered.
+pub const DEFAULT_LEAF_B: usize = parse_leaf_b(option_env!("PAM_LEAF_B"));
+
+const fn parse_leaf_b(s: Option<&str>) -> usize {
+    match s {
+        None => 32,
+        Some(s) => {
+            let bytes = s.as_bytes();
+            assert!(!bytes.is_empty(), "PAM_LEAF_B must not be empty");
+            let mut i = 0;
+            let mut v: usize = 0;
+            while i < bytes.len() {
+                let d = bytes[i];
+                assert!(d.is_ascii_digit(), "PAM_LEAF_B must be a positive integer");
+                v = v * 10 + (d - b'0') as usize;
+                i += 1;
+            }
+            // Even capacities make the half-full invariant exactly
+            // achievable when splitting a block of CAP+1 .. 2*CAP+1
+            // entries at the median.
+            assert!(
+                v == 1 || (v >= 2 && v.is_multiple_of(2)),
+                "PAM_LEAF_B must be 1 or an even number >= 2"
+            );
+            v
+        }
+    }
+}
+
+/// One tree node: a blocked leaf or a pivot-carrying internal node.
+pub enum Node<S: AugSpec, B: Balance> {
+    /// A sorted block of `1..=B::LEAF_CAP` entries plus the cached fold of
+    /// the augmentation over the block.
+    Leaf(LeafNode<S, B>),
+    /// A pivot entry between two subtrees, as in the paper. `meta` is the
+    /// balance scheme's per-node bookkeeping (AVL height, red-black color +
+    /// black height, nothing for weight-balanced); `em` is per-*entry*
+    /// metadata that travels with the key through restructuring (the
+    /// treap's priority).
+    Internal(InternalNode<S, B>),
+}
+
+/// Payload of [`Node::Leaf`]: the sorted entry block and its cached
+/// augmented value.
+pub struct LeafNode<S: AugSpec, B: Balance> {
+    pub(crate) entries: Box<[EntryOwned<S, B>]>,
+    pub(crate) aug: S::A,
+}
+
+/// Payload of [`Node::Internal`].
+pub struct InternalNode<S: AugSpec, B: Balance> {
     pub(crate) size: usize,
     pub(crate) meta: B::Meta,
     pub(crate) em: B::EntryMeta,
@@ -43,8 +108,8 @@ pub struct Node<S: AugSpec, B: Balance> {
 }
 
 /// An entry (key, value, entry-metadata) detached from a node — what the
-/// paper's `expose` yields between the two subtrees, and what `join` takes
-/// as its middle argument.
+/// paper's `expose` yields between the two subtrees, what `join` takes as
+/// its middle argument, and what leaf blocks store contiguously.
 pub struct EntryOwned<S: AugSpec, B: Balance> {
     /// The entry's key.
     pub key: S::K,
@@ -67,19 +132,45 @@ impl<S: AugSpec, B: Balance> Clone for EntryOwned<S, B> {
 /// Number of entries in `t`.
 #[inline]
 pub fn size<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> usize {
-    t.as_ref().map_or(0, |n| n.size)
+    t.as_ref().map_or(0, |n| n.size_of())
 }
 
 /// The augmented value of `t`, or the identity for the empty tree.
 /// This is the paper's `augVal` — O(1) because sums are maintained.
 #[inline]
 pub fn aug_val<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> S::A {
-    t.as_ref().map_or_else(S::identity, |n| n.aug.clone())
+    t.as_ref().map_or_else(S::identity, |n| n.aug().clone())
+}
+
+impl<S: AugSpec, B: Balance> LeafNode<S, B> {
+    /// Build a leaf from sorted, strictly-increasing entries, computing the
+    /// block's augmented value. `entries` must hold `1..=B::LEAF_CAP` items.
+    pub(crate) fn from_entries(entries: Vec<EntryOwned<S, B>>) -> Self {
+        debug_assert!(!entries.is_empty(), "leaf blocks are never empty");
+        debug_assert!(entries.len() <= B::LEAF_CAP.max(1), "leaf block overflow");
+        let aug = S::fold_block(entries.iter().map(|e| (&e.key, &e.val)));
+        LeafNode {
+            entries: entries.into_boxed_slice(),
+            aug,
+        }
+    }
+
+    /// The sorted entry block.
+    #[inline]
+    pub fn entries(&self) -> &[EntryOwned<S, B>] {
+        &self.entries
+    }
+
+    /// The cached fold of the augmentation over the block.
+    #[inline]
+    pub fn aug(&self) -> &S::A {
+        &self.aug
+    }
 }
 
 impl<S: AugSpec, B: Balance> Node<S, B> {
-    /// Create a node, computing `size` and the augmented value from the
-    /// children. `meta` is supplied by the balance scheme.
+    /// Create an internal node, computing `size` and the augmented value
+    /// from the children. `meta` is supplied by the balance scheme.
     pub(crate) fn make(
         left: Tree<S, B>,
         entry: EntryOwned<S, B>,
@@ -93,11 +184,11 @@ impl<S: AugSpec, B: Balance> Node<S, B> {
         // large structure such as the range tree's inner map).
         let aug = match (&left, &right) {
             (None, None) => mid,
-            (Some(l), None) => S::combine(&l.aug, &mid),
-            (None, Some(r)) => S::combine(&mid, &r.aug),
-            (Some(l), Some(r)) => S::combine3(&l.aug, mid, &r.aug),
+            (Some(l), None) => S::combine(l.aug(), &mid),
+            (None, Some(r)) => S::combine(&mid, r.aug()),
+            (Some(l), Some(r)) => S::combine3(l.aug(), mid, r.aug()),
         };
-        Arc::new(Node {
+        Arc::new(Node::Internal(InternalNode {
             size,
             meta,
             em: entry.em,
@@ -106,39 +197,82 @@ impl<S: AugSpec, B: Balance> Node<S, B> {
             aug,
             left,
             right,
-        })
+        }))
     }
 
-    /// The entry key at this node (queries never restructure, so borrow).
+    /// Create a leaf node from sorted entries (`1..=B::LEAF_CAP` of them).
     #[inline]
-    pub fn key(&self) -> &S::K {
-        &self.key
+    pub(crate) fn make_leaf(entries: Vec<EntryOwned<S, B>>) -> Arc<Self> {
+        Arc::new(Node::Leaf(LeafNode::from_entries(entries)))
     }
-    /// The entry value at this node.
-    #[inline]
-    pub fn val(&self) -> &S::V {
-        &self.val
-    }
+
     /// The cached augmented value of the subtree rooted here.
     #[inline]
     pub fn aug(&self) -> &S::A {
-        &self.aug
+        match self {
+            Node::Leaf(l) => &l.aug,
+            Node::Internal(x) => &x.aug,
+        }
     }
-    /// The left subtree.
-    #[inline]
-    pub fn left(&self) -> &Tree<S, B> {
-        &self.left
-    }
-    /// The right subtree.
-    #[inline]
-    pub fn right(&self) -> &Tree<S, B> {
-        &self.right
-    }
+
     /// Number of entries in the subtree rooted here.
     #[inline]
     pub fn size_of(&self) -> usize {
-        self.size
+        match self {
+            Node::Leaf(l) => l.entries.len(),
+            Node::Internal(x) => x.size,
+        }
     }
+
+    /// Is this a (blocked) leaf?
+    #[inline]
+    pub fn is_leaf(&self) -> bool {
+        matches!(self, Node::Leaf(_))
+    }
+
+    /// The two subtrees of an internal node, or `None` for a leaf.
+    /// (Generic tree walkers in downstream crates pair this with
+    /// [`Self::aug`]; leaf blocks have no children.)
+    #[inline]
+    #[allow(clippy::type_complexity)]
+    pub fn children(&self) -> Option<(&Tree<S, B>, &Tree<S, B>)> {
+        match self {
+            Node::Leaf(_) => None,
+            Node::Internal(x) => Some((&x.left, &x.right)),
+        }
+    }
+
+    /// The leaf payload, if this is a leaf.
+    #[inline]
+    pub fn as_leaf(&self) -> Option<&LeafNode<S, B>> {
+        match self {
+            Node::Leaf(l) => Some(l),
+            Node::Internal(_) => None,
+        }
+    }
+}
+
+/// Split leaf entries at the median: `(left, pivot, right)` where both
+/// sides stay sorted. For a single entry both sides are empty.
+#[allow(clippy::type_complexity)]
+fn split_block<S: AugSpec, B: Balance>(
+    mut entries: Vec<EntryOwned<S, B>>,
+) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
+    debug_assert!(!entries.is_empty());
+    let mid = entries.len() / 2;
+    let mut right = entries.split_off(mid);
+    let pivot = right.remove(0);
+    let l = if entries.is_empty() {
+        None
+    } else {
+        Some(Node::make_leaf(entries))
+    };
+    let r = if right.is_empty() {
+        None
+    } else {
+        Some(Node::make_leaf(right))
+    };
+    (l, pivot, B::leaf_meta(), r)
 }
 
 /// Destructure a node into `(left, entry, meta, right)` — the paper's
@@ -148,6 +282,12 @@ impl<S: AugSpec, B: Balance> Node<S, B> {
 /// refcount-1 reuse: no clones, the node's allocation is released); if it
 /// is shared, the fields are cloned (path copying), leaving every other
 /// snapshot untouched.
+///
+/// Exposing a multi-entry **leaf** splits its block at the median into two
+/// smaller leaves around the median entry (with the scheme's
+/// [`Balance::leaf_meta`] standing in for stored metadata). This keeps
+/// every join-based algorithm correct on blocked trees; the rebuilding
+/// `join_tree` re-packs underfull blocks on the way up.
 #[cfg(not(feature = "no-reuse"))]
 #[inline]
 #[allow(clippy::type_complexity)]
@@ -155,16 +295,17 @@ pub fn expose<S: AugSpec, B: Balance>(
     n: Arc<Node<S, B>>,
 ) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
     match Arc::try_unwrap(n) {
-        Ok(node) => (
-            node.left,
+        Ok(Node::Internal(x)) => (
+            x.left,
             EntryOwned {
-                key: node.key,
-                val: node.val,
-                em: node.em,
+                key: x.key,
+                val: x.val,
+                em: x.em,
             },
-            node.meta,
-            node.right,
+            x.meta,
+            x.right,
         ),
+        Ok(Node::Leaf(l)) => split_block(l.entries.into_vec()),
         Err(shared) => clone_out(&shared),
     }
 }
@@ -183,16 +324,77 @@ pub fn expose<S: AugSpec, B: Balance>(
 fn clone_out<S: AugSpec, B: Balance>(
     n: &Arc<Node<S, B>>,
 ) -> (Tree<S, B>, EntryOwned<S, B>, B::Meta, Tree<S, B>) {
-    (
-        n.left.clone(),
-        EntryOwned {
-            key: n.key.clone(),
-            val: n.val.clone(),
-            em: n.em,
-        },
-        n.meta,
-        n.right.clone(),
-    )
+    match &**n {
+        Node::Internal(x) => (
+            x.left.clone(),
+            EntryOwned {
+                key: x.key.clone(),
+                val: x.val.clone(),
+                em: x.em,
+            },
+            x.meta,
+            x.right.clone(),
+        ),
+        Node::Leaf(l) => split_block(l.entries.to_vec()),
+    }
+}
+
+/// Take ownership of a **leaf** node's entry block: moves the entries out
+/// when the `Arc` is unique, clones them when shared (same policy as
+/// [`expose`]). Panics on an internal node — callers check `is_leaf`
+/// first. This is the entry point of the per-block fast paths in `ops`.
+pub(crate) fn take_leaf_entries<S: AugSpec, B: Balance>(
+    n: Arc<Node<S, B>>,
+) -> Vec<EntryOwned<S, B>> {
+    #[cfg(not(feature = "no-reuse"))]
+    let n = match Arc::try_unwrap(n) {
+        Ok(Node::Leaf(l)) => return l.entries.into_vec(),
+        Ok(Node::Internal(_)) => unreachable!("take_leaf_entries on internal node"),
+        Err(shared) => shared,
+    };
+    match &*n {
+        Node::Leaf(l) => l.entries.to_vec(),
+        Node::Internal(_) => unreachable!("take_leaf_entries on internal node"),
+    }
+}
+
+/// Append every entry of `t` to `out` in key order, reusing uniquely-owned
+/// allocations. Used by the blocked join to flatten small trees before
+/// re-packing them into full blocks.
+pub(crate) fn flatten_into<S: AugSpec, B: Balance>(t: Tree<S, B>, out: &mut Vec<EntryOwned<S, B>>) {
+    let Some(n) = t else { return };
+    match Arc::try_unwrap(n) {
+        Ok(Node::Leaf(l)) => out.extend(l.entries.into_vec()),
+        Ok(Node::Internal(x)) => {
+            flatten_into(x.left, out);
+            out.push(EntryOwned {
+                key: x.key,
+                val: x.val,
+                em: x.em,
+            });
+            flatten_into(x.right, out);
+        }
+        Err(shared) => flatten_ref(&shared, out),
+    }
+}
+
+fn flatten_ref<S: AugSpec, B: Balance>(n: &Node<S, B>, out: &mut Vec<EntryOwned<S, B>>) {
+    match n {
+        Node::Leaf(l) => out.extend(l.entries.iter().cloned()),
+        Node::Internal(x) => {
+            if let Some(l) = x.left.as_deref() {
+                flatten_ref(l, out);
+            }
+            out.push(EntryOwned {
+                key: x.key.clone(),
+                val: x.val.clone(),
+                em: x.em,
+            });
+            if let Some(r) = x.right.as_deref() {
+                flatten_ref(r, out);
+            }
+        }
+    }
 }
 
 /// Drop a (potentially huge) tree with parallel recursion.
@@ -204,15 +406,16 @@ fn clone_out<S: AugSpec, B: Balance>(
 pub fn par_drop<S: AugSpec, B: Balance>(t: Tree<S, B>) {
     const DROP_GRAN: usize = 1 << 12;
     if let Some(n) = t {
-        if n.size <= DROP_GRAN {
+        if n.size_of() <= DROP_GRAN {
             drop(n);
             return;
         }
         match Arc::try_unwrap(n) {
-            Ok(node) => {
-                let Node { left, right, .. } = node;
+            Ok(Node::Internal(x)) => {
+                let InternalNode { left, right, .. } = x;
                 rayon::join(|| par_drop(left), || par_drop(right));
             }
+            Ok(leaf) => drop(leaf),
             Err(shared) => drop(shared), // shared elsewhere: just decrement
         }
     }
@@ -221,41 +424,52 @@ pub fn par_drop<S: AugSpec, B: Balance>(t: Tree<S, B>) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::balance::WeightBalanced;
+    use crate::balance::{WeightBalanced, WeightBalancedCap};
     use crate::spec::SumAug;
 
     type S = SumAug<u64, u64>;
     type B = WeightBalanced;
 
+    fn entry(k: u64, v: u64) -> EntryOwned<S, B> {
+        EntryOwned {
+            key: k,
+            val: v,
+            em: (),
+        }
+    }
+
+    // entry pinned to cap 32, for tests that need multi-entry blocks to
+    // fit regardless of the PAM_LEAF_B the crate was compiled with
+    fn entry32(k: u64, v: u64) -> EntryOwned<S, WeightBalancedCap<32>> {
+        EntryOwned {
+            key: k,
+            val: v,
+            em: (),
+        }
+    }
+
     fn leaf(k: u64, v: u64) -> Arc<Node<S, B>> {
-        Node::make(
-            None,
-            EntryOwned {
-                key: k,
-                val: v,
-                em: (),
-            },
-            (),
-            None,
-        )
+        Node::make_leaf(vec![entry(k, v)])
     }
 
     #[test]
     fn make_computes_size_and_aug() {
         let l = leaf(1, 10);
         let r = leaf(3, 30);
-        let n = Node::make(
-            Some(l),
-            EntryOwned {
-                key: 2,
-                val: 20,
-                em: (),
-            },
-            (),
-            Some(r),
-        );
-        assert_eq!(n.size, 3);
-        assert_eq!(n.aug, 60);
+        let n = Node::make(Some(l), entry(2, 20), (), Some(r));
+        assert_eq!(n.size_of(), 3);
+        assert_eq!(*n.aug(), 60);
+    }
+
+    #[test]
+    fn leaf_block_caches_fold() {
+        // pinned cap: must hold a 3-entry block regardless of PAM_LEAF_B
+        let n: Arc<Node<S, WeightBalancedCap<32>>> =
+            Node::make_leaf(vec![entry32(1, 10), entry32(2, 20), entry32(3, 30)]);
+        assert_eq!(n.size_of(), 3);
+        assert_eq!(*n.aug(), 60);
+        assert!(n.is_leaf());
+        assert!(n.children().is_none());
     }
 
     #[test]
@@ -268,14 +482,42 @@ mod tests {
     }
 
     #[test]
+    fn expose_splits_leaf_block_at_median() {
+        // pinned cap: exercises the 4-entry block split at any PAM_LEAF_B
+        let n: Arc<Node<S, WeightBalancedCap<32>>> = Node::make_leaf(vec![
+            entry32(1, 1),
+            entry32(2, 2),
+            entry32(3, 3),
+            entry32(4, 4),
+        ]);
+        let (l, e, _m, r) = expose(n);
+        assert_eq!(e.key, 3);
+        assert_eq!(size(&l), 2);
+        assert_eq!(size(&r), 1);
+        assert_eq!(aug_val(&l), 3);
+        assert_eq!(aug_val(&r), 4);
+    }
+
+    #[test]
     fn expose_clones_when_shared() {
         let n = leaf(7, 70);
         let n2 = n.clone();
         let (_, e, _, _) = expose(n);
         assert_eq!(e.key, 7);
         // the shared copy is untouched
-        assert_eq!(n2.key, 7);
-        assert_eq!(n2.val, 70);
+        assert_eq!(n2.size_of(), 1);
+        assert_eq!(*n2.aug(), 70);
+    }
+
+    #[test]
+    fn flatten_preserves_order() {
+        let l = Node::make_leaf(vec![entry(1, 1), entry(2, 2)]);
+        let r = leaf(4, 4);
+        let n = Node::make(Some(l), entry(3, 3), (), Some(r));
+        let mut out = Vec::new();
+        flatten_into(Some(n), &mut out);
+        let keys: Vec<u64> = out.iter().map(|e| e.key).collect();
+        assert_eq!(keys, vec![1, 2, 3, 4]);
     }
 
     #[test]
@@ -286,11 +528,27 @@ mod tests {
     }
 
     #[test]
+    fn parse_leaf_b_accepts_one_and_even() {
+        assert_eq!(parse_leaf_b(None), 32);
+        assert_eq!(parse_leaf_b(Some("1")), 1);
+        assert_eq!(parse_leaf_b(Some("2")), 2);
+        assert_eq!(parse_leaf_b(Some("64")), 64);
+    }
+
+    #[test]
+    fn cap_is_wired_through_schemes() {
+        use crate::balance::Balance as _;
+        assert_eq!(WeightBalancedCap::<8>::LEAF_CAP, 8);
+        assert_eq!(B::LEAF_CAP, DEFAULT_LEAF_B);
+        assert_eq!(crate::balance::Treap::LEAF_CAP, 1);
+    }
+
+    #[test]
     fn par_drop_handles_shared_and_unique() {
         let l = leaf(1, 1);
         let shared = Some(l.clone());
         par_drop(shared);
-        assert_eq!(l.val, 1); // still alive through `l`
+        assert_eq!(l.size_of(), 1); // still alive through `l`
         par_drop(Some(l));
     }
 }

@@ -1,19 +1,36 @@
 //! Point queries: `find`, order statistics, neighbors. All O(log n),
-//! borrowing (they never restructure the tree).
+//! borrowing (they never restructure the tree). Blocked leaves end the
+//! descent with one binary search inside the block.
 
 use crate::balance::Balance;
-use crate::node::{Node, Tree};
+use crate::node::{EntryOwned, Node, Tree};
 use crate::spec::AugSpec;
 use std::cmp::Ordering;
+
+/// Binary-search a sorted block for `k`.
+#[inline]
+fn block_search<S: AugSpec, B: Balance>(
+    entries: &[EntryOwned<S, B>],
+    k: &S::K,
+) -> Result<usize, usize> {
+    entries.binary_search_by(|e| S::compare(&e.key, k))
+}
 
 /// Look up the value stored at `k`.
 pub fn find<'a, S: AugSpec, B: Balance>(t: &'a Tree<S, B>, k: &S::K) -> Option<&'a S::V> {
     let mut cur = t;
-    while let Some(n) = cur {
-        match S::compare(k, &n.key) {
-            Ordering::Equal => return Some(&n.val),
-            Ordering::Less => cur = &n.left,
-            Ordering::Greater => cur = &n.right,
+    while let Some(n) = cur.as_deref() {
+        match n {
+            Node::Leaf(l) => {
+                return block_search(l.entries(), k)
+                    .ok()
+                    .map(|i| &l.entries()[i].val)
+            }
+            Node::Internal(x) => match S::compare(k, &x.key) {
+                Ordering::Equal => return Some(&x.val),
+                Ordering::Less => cur = &x.left,
+                Ordering::Greater => cur = &x.right,
+            },
         }
     }
     None
@@ -27,19 +44,35 @@ pub fn contains<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> bool {
 /// The minimum entry.
 pub fn first<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Option<(&S::K, &S::V)> {
     let mut n: &Node<S, B> = t.as_deref()?;
-    while let Some(l) = n.left.as_deref() {
-        n = l;
+    loop {
+        match n {
+            Node::Leaf(l) => {
+                let e = &l.entries()[0];
+                return Some((&e.key, &e.val));
+            }
+            Node::Internal(x) => match x.left.as_deref() {
+                Some(l) => n = l,
+                None => return Some((&x.key, &x.val)),
+            },
+        }
     }
-    Some((&n.key, &n.val))
 }
 
 /// The maximum entry.
 pub fn last<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Option<(&S::K, &S::V)> {
     let mut n: &Node<S, B> = t.as_deref()?;
-    while let Some(r) = n.right.as_deref() {
-        n = r;
+    loop {
+        match n {
+            Node::Leaf(l) => {
+                let e = l.entries().last().expect("leaf blocks are never empty");
+                return Some((&e.key, &e.val));
+            }
+            Node::Internal(x) => match x.right.as_deref() {
+                Some(r) => n = r,
+                None => return Some((&x.key, &x.val)),
+            },
+        }
     }
-    Some((&n.key, &n.val))
 }
 
 /// The entry with the largest key strictly less than `k`.
@@ -49,12 +82,28 @@ pub fn previous<'a, S: AugSpec, B: Balance>(
 ) -> Option<(&'a S::K, &'a S::V)> {
     let mut best: Option<(&S::K, &S::V)> = None;
     let mut cur = t;
-    while let Some(n) = cur {
-        if S::compare(&n.key, k) == Ordering::Less {
-            best = Some((&n.key, &n.val));
-            cur = &n.right;
-        } else {
-            cur = &n.left;
+    while let Some(n) = cur.as_deref() {
+        match n {
+            Node::Leaf(l) => {
+                // index of the first key >= k: its predecessor (if any)
+                // is the best in-block candidate
+                let i = l
+                    .entries()
+                    .partition_point(|e| S::compare(&e.key, k) == Ordering::Less);
+                if i > 0 {
+                    let e = &l.entries()[i - 1];
+                    best = Some((&e.key, &e.val));
+                }
+                return best;
+            }
+            Node::Internal(x) => {
+                if S::compare(&x.key, k) == Ordering::Less {
+                    best = Some((&x.key, &x.val));
+                    cur = &x.right;
+                } else {
+                    cur = &x.left;
+                }
+            }
         }
     }
     best
@@ -67,12 +116,26 @@ pub fn next<'a, S: AugSpec, B: Balance>(
 ) -> Option<(&'a S::K, &'a S::V)> {
     let mut best: Option<(&S::K, &S::V)> = None;
     let mut cur = t;
-    while let Some(n) = cur {
-        if S::compare(&n.key, k) == Ordering::Greater {
-            best = Some((&n.key, &n.val));
-            cur = &n.left;
-        } else {
-            cur = &n.right;
+    while let Some(n) = cur.as_deref() {
+        match n {
+            Node::Leaf(l) => {
+                let i = l
+                    .entries()
+                    .partition_point(|e| S::compare(&e.key, k) != Ordering::Greater);
+                if i < l.entries().len() {
+                    let e = &l.entries()[i];
+                    best = Some((&e.key, &e.val));
+                }
+                return best;
+            }
+            Node::Internal(x) => {
+                if S::compare(&x.key, k) == Ordering::Greater {
+                    best = Some((&x.key, &x.val));
+                    cur = &x.left;
+                } else {
+                    cur = &x.right;
+                }
+            }
         }
     }
     best
@@ -82,18 +145,21 @@ pub fn next<'a, S: AugSpec, B: Balance>(
 pub fn rank<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> usize {
     let mut acc = 0;
     let mut cur = t;
-    while let Some(n) = cur {
-        match S::compare(k, &n.key) {
-            Ordering::Less | Ordering::Equal => {
-                if S::compare(k, &n.key) == Ordering::Equal {
-                    return acc + crate::node::size(&n.left);
+    while let Some(n) = cur.as_deref() {
+        match n {
+            Node::Leaf(l) => {
+                return acc
+                    + l.entries()
+                        .partition_point(|e| S::compare(&e.key, k) == Ordering::Less)
+            }
+            Node::Internal(x) => match S::compare(k, &x.key) {
+                Ordering::Equal => return acc + crate::node::size(&x.left),
+                Ordering::Less => cur = &x.left,
+                Ordering::Greater => {
+                    acc += crate::node::size(&x.left) + 1;
+                    cur = &x.right;
                 }
-                cur = &n.left;
-            }
-            Ordering::Greater => {
-                acc += crate::node::size(&n.left) + 1;
-                cur = &n.right;
-            }
+            },
         }
     }
     acc
@@ -102,14 +168,21 @@ pub fn rank<S: AugSpec, B: Balance>(t: &Tree<S, B>, k: &S::K) -> usize {
 /// The `i`-th smallest entry (0-based), if `i < size`.
 pub fn select<S: AugSpec, B: Balance>(t: &Tree<S, B>, mut i: usize) -> Option<(&S::K, &S::V)> {
     let mut cur = t;
-    while let Some(n) = cur {
-        let ls = crate::node::size(&n.left);
-        match i.cmp(&ls) {
-            Ordering::Less => cur = &n.left,
-            Ordering::Equal => return Some((&n.key, &n.val)),
-            Ordering::Greater => {
-                i -= ls + 1;
-                cur = &n.right;
+    while let Some(n) = cur.as_deref() {
+        match n {
+            Node::Leaf(l) => {
+                return l.entries().get(i).map(|e| (&e.key, &e.val));
+            }
+            Node::Internal(x) => {
+                let ls = crate::node::size(&x.left);
+                match i.cmp(&ls) {
+                    Ordering::Less => cur = &x.left,
+                    Ordering::Equal => return Some((&x.key, &x.val)),
+                    Ordering::Greater => {
+                        i -= ls + 1;
+                        cur = &x.right;
+                    }
+                }
             }
         }
     }
@@ -178,5 +251,19 @@ mod tests {
         }
         assert_eq!(m.select(4), None);
         assert_eq!(M::new().select(0), None);
+    }
+
+    #[test]
+    fn queries_deep_in_big_blocks() {
+        // spans multiple full blocks at every default capacity
+        let m = M::build((0..500u64).map(|i| (i * 2, i)).collect());
+        for i in 0..500u64 {
+            assert_eq!(m.get(&(i * 2)), Some(&i));
+            assert_eq!(m.get(&(i * 2 + 1)), None);
+            assert_eq!(m.rank(&(i * 2)), i as usize);
+            assert_eq!(m.select(i as usize).map(|(k, _)| *k), Some(i * 2));
+        }
+        assert_eq!(m.previous(&999).map(|(k, _)| *k), Some(998));
+        assert_eq!(m.next(&0).map(|(k, _)| *k), Some(2));
     }
 }

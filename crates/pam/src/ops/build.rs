@@ -6,10 +6,11 @@
 //! sort. `multi_insert`/`multi_delete` recursively partition the sorted
 //! batch around the tree root, descending both sides in parallel — PAM's
 //! mechanism for applying accumulated concurrent updates in bulk (§4,
-//! Concurrency).
+//! Concurrency). Both bottom out at leaf blocks with a linear sorted
+//! merge of the batch slice into the block.
 
-use crate::balance::{join_tree, Balance};
-use crate::node::{expose, EntryOwned, Tree};
+use crate::balance::{from_sorted_entries, join_tree, Balance};
+use crate::node::{expose, take_leaf_entries, EntryOwned, Node, Tree};
 use crate::ops::split::join2;
 use crate::spec::AugSpec;
 use parlay::{granularity, par2_if};
@@ -49,9 +50,22 @@ where
     build_rec::<S, B>(items)
 }
 
+fn owned_entry<S: AugSpec, B: Balance>(item: &(S::K, S::V)) -> EntryOwned<S, B> {
+    EntryOwned {
+        key: item.0.clone(),
+        val: item.1.clone(),
+        em: B::fresh_entry_meta(),
+    }
+}
+
 fn build_rec<S: AugSpec, B: Balance>(items: &[(S::K, S::V)]) -> Tree<S, B> {
     if items.is_empty() {
         return None;
+    }
+    if items.len() <= B::LEAF_CAP.max(1) {
+        // bottom out with one full block (median recursion keeps every
+        // non-root block at least half full)
+        return Some(Node::make_leaf(items.iter().map(owned_entry).collect()));
     }
     let mid = items.len() / 2;
     let (l, r) = par2_if(
@@ -59,15 +73,7 @@ fn build_rec<S: AugSpec, B: Balance>(items: &[(S::K, S::V)]) -> Tree<S, B> {
         || build_rec::<S, B>(&items[..mid]),
         || build_rec::<S, B>(&items[mid + 1..]),
     );
-    join_tree(
-        l,
-        EntryOwned {
-            key: items[mid].0.clone(),
-            val: items[mid].1.clone(),
-            em: B::fresh_entry_meta(),
-        },
-        r,
-    )
+    join_tree(l, owned_entry(&items[mid]), r)
 }
 
 /// Insert a whole batch. Existing values are merged with
@@ -99,8 +105,32 @@ where
     }
     match t {
         None => from_sorted_distinct::<S, B>(batch),
+        Some(n) if n.is_leaf() => {
+            // sorted merge of the batch into the block, then re-pack
+            let entries = take_leaf_entries(n);
+            let mut out = Vec::with_capacity(entries.len() + batch.len());
+            let mut bi = 0;
+            for e in entries {
+                while bi < batch.len() && S::compare(&batch[bi].0, &e.key) == Ordering::Less {
+                    out.push(owned_entry(&batch[bi]));
+                    bi += 1;
+                }
+                if bi < batch.len() && S::compare(&batch[bi].0, &e.key) == Ordering::Equal {
+                    out.push(EntryOwned {
+                        val: combine(&e.val, &batch[bi].1),
+                        key: e.key,
+                        em: e.em,
+                    });
+                    bi += 1;
+                } else {
+                    out.push(e);
+                }
+            }
+            out.extend(batch[bi..].iter().map(owned_entry));
+            from_sorted_entries::<S, B>(out)
+        }
         Some(n) => {
-            let work = n.size + batch.len();
+            let work = n.size_of() + batch.len();
             let (l, e, _m, r) = expose(n);
             let lo = batch.partition_point(|x| S::compare(&x.0, &e.key) == Ordering::Less);
             let found = lo < batch.len() && S::compare(&batch[lo].0, &e.key) == Ordering::Equal;
@@ -150,8 +180,22 @@ where
     }
     match t {
         None => None,
+        Some(n) if n.is_leaf() => {
+            let entries = take_leaf_entries(n);
+            let mut ki = 0;
+            let out: Vec<_> = entries
+                .into_iter()
+                .filter(|e| {
+                    while ki < keys.len() && S::compare(&keys[ki], &e.key) == Ordering::Less {
+                        ki += 1;
+                    }
+                    !(ki < keys.len() && S::compare(&keys[ki], &e.key) == Ordering::Equal)
+                })
+                .collect();
+            from_sorted_entries::<S, B>(out)
+        }
         Some(n) => {
-            let work = n.size + keys.len();
+            let work = n.size_of() + keys.len();
             let (l, e, _m, r) = expose(n);
             let lo = keys.partition_point(|x| S::compare(x, &e.key) == Ordering::Less);
             let found = lo < keys.len() && S::compare(&keys[lo], &e.key) == Ordering::Equal;
@@ -229,5 +273,17 @@ mod tests {
         assert_eq!(m.len(), 1);
         let e = M::build(vec![]);
         assert!(e.is_empty());
+    }
+
+    #[test]
+    fn batch_updates_interleaving_blocks_stay_valid() {
+        let mut m = M::build((0..1000u64).map(|i| (i * 3, i)).collect());
+        // batch interleaves between, before, and after existing blocks
+        m.multi_insert((0..1000u64).map(|i| (i * 3 + 1, i)).collect());
+        m.check_invariants().unwrap();
+        assert_eq!(m.len(), 2000);
+        m.multi_delete((0..2000u64).map(|i| i * 3).collect());
+        m.check_invariants().unwrap();
+        assert_eq!(m.len(), 1000);
     }
 }

@@ -1,7 +1,8 @@
 //! Parallel `filter` (Figure 2 of the paper): linear work, O(log² n) span.
+//! Leaf blocks are filtered with one linear pass.
 
-use crate::balance::{join_tree, Balance};
-use crate::node::{expose, Tree};
+use crate::balance::{from_sorted_entries, join_tree, Balance};
+use crate::node::{expose, take_leaf_entries, Tree};
 use crate::ops::split::join2;
 use crate::spec::AugSpec;
 use parlay::{granularity, par2_if};
@@ -16,8 +17,13 @@ where
 {
     match t {
         None => None,
+        Some(n) if n.is_leaf() => {
+            let mut entries = take_leaf_entries(n);
+            entries.retain(|e| pred(&e.key, &e.val));
+            from_sorted_entries::<S, B>(entries)
+        }
         Some(n) => {
-            let work = n.size;
+            let work = n.size_of();
             let (l, e, _m, r) = expose(n);
             let keep = pred(&e.key, &e.val);
             let (l2, r2) = par2_if(

@@ -1,8 +1,14 @@
 //! Point updates (`insert`, `delete`), defined "purely based on JOIN, and
 //! hence independent of the balancing scheme" (§4, Figure 2).
+//!
+//! With blocked leaves the descent bottoms out at a block: the update is a
+//! binary search plus an O(LEAF_CAP) vector edit, and the re-pack
+//! machinery in [`crate::balance`] restores the fill invariants (an
+//! overflowing block splits at its median; an underfull one merges into a
+//! neighbor through the parent's re-joining).
 
-use crate::balance::{join_tree, singleton, Balance};
-use crate::node::{expose, EntryOwned, Tree};
+use crate::balance::{from_sorted_entries, join_tree, singleton, Balance};
+use crate::node::{expose, take_leaf_entries, EntryOwned, Tree};
 use crate::ops::split::join2;
 use crate::spec::AugSpec;
 use std::cmp::Ordering;
@@ -18,6 +24,25 @@ where
 {
     match t {
         None => singleton::<S, B>(k, v),
+        Some(n) if n.is_leaf() => {
+            let mut entries = take_leaf_entries(n);
+            match entries.binary_search_by(|x| S::compare(&x.key, &k)) {
+                Ok(i) => {
+                    entries[i].val = combine(&entries[i].val, &v);
+                }
+                Err(i) => entries.insert(
+                    i,
+                    EntryOwned {
+                        key: k,
+                        val: v,
+                        em: B::fresh_entry_meta(),
+                    },
+                ),
+            }
+            // up to LEAF_CAP + 1 entries: re-packs into one leaf or splits
+            // at the median into two half-full ones
+            from_sorted_entries::<S, B>(entries)
+        }
         Some(n) => {
             let (l, e, _m, r) = expose(n);
             match S::compare(&k, &e.key) {
@@ -51,6 +76,18 @@ where
 {
     match t {
         None => None,
+        Some(n) if n.is_leaf() => {
+            let mut entries = take_leaf_entries(n);
+            if let Ok(i) = entries.binary_search_by(|x| S::compare(&x.key, k)) {
+                match f(&entries[i].val) {
+                    Some(val) => entries[i].val = val,
+                    None => {
+                        entries.remove(i);
+                    }
+                }
+            }
+            from_sorted_entries::<S, B>(entries)
+        }
         Some(n) => {
             let (l, e, _m, r) = expose(n);
             match S::compare(k, &e.key) {
@@ -77,6 +114,14 @@ where
 pub fn delete<S: AugSpec, B: Balance>(t: Tree<S, B>, k: &S::K) -> Tree<S, B> {
     match t {
         None => None,
+        Some(n) if n.is_leaf() => {
+            let mut entries = take_leaf_entries(n);
+            if let Ok(i) = entries.binary_search_by(|x| S::compare(&x.key, k)) {
+                entries.remove(i);
+            }
+            // a now-underfull block is re-merged by the parent's join
+            from_sorted_entries::<S, B>(entries)
+        }
         Some(n) => {
             let (l, e, _m, r) = expose(n);
             match S::compare(k, &e.key) {
@@ -124,5 +169,22 @@ mod tests {
         }
         m.check_invariants().unwrap();
         assert_eq!(m.len(), 4000);
+    }
+
+    #[test]
+    fn interleaved_insert_delete_keeps_fill_invariants() {
+        let mut m = M::new();
+        for i in 0..1000u64 {
+            m.insert((i * 7919) % 1000, i);
+        }
+        m.check_invariants().unwrap();
+        for i in 0..500u64 {
+            m.remove(&((i * 13) % 1000));
+        }
+        m.check_invariants().unwrap();
+        for i in 0..1000u64 {
+            m.update(&i, |v| if v % 2 == 0 { Some(v + 1) } else { None });
+        }
+        m.check_invariants().unwrap();
     }
 }

@@ -1,6 +1,6 @@
 //! `mapReduce`, structure-preserving `map_values`, and parallel flattening.
 
-use crate::balance::Balance;
+use crate::balance::{join_tree, Balance};
 use crate::node::{size, EntryOwned, Node, Tree};
 use crate::spec::AugSpec;
 use parlay::{granularity, par2_if, par_fill};
@@ -32,26 +32,40 @@ where
     R: Fn(T, T) -> T + Sync,
 {
     let n = t.as_deref()?;
-    let mid = map(&n.key, &n.val);
-    let (l, r) = par2_if(
-        n.size > granularity(),
-        || rec(&n.left, map, reduce),
-        || rec(&n.right, map, reduce),
-    );
-    let lm = match l {
-        Some(l) => reduce(l, mid),
-        None => mid,
-    };
-    Some(match r {
-        Some(r) => reduce(lm, r),
-        None => lm,
-    })
+    match n {
+        Node::Leaf(l) => {
+            // sequential in-order fold over the block
+            let mut it = l.entries().iter();
+            let first = it.next().expect("leaf blocks are never empty");
+            let mut acc = map(&first.key, &first.val);
+            for e in it {
+                acc = reduce(acc, map(&e.key, &e.val));
+            }
+            Some(acc)
+        }
+        Node::Internal(x) => {
+            let mid = map(&x.key, &x.val);
+            let (l, r) = par2_if(
+                x.size > granularity(),
+                || rec(&x.left, map, reduce),
+                || rec(&x.right, map, reduce),
+            );
+            let lm = match l {
+                Some(l) => reduce(l, mid),
+                None => mid,
+            };
+            Some(match r {
+                Some(r) => reduce(lm, r),
+                None => lm,
+            })
+        }
+    }
 }
 
 /// Visit every entry in key order, sequentially. This is the streaming
 /// export primitive (checkpoint writers, serializers): no intermediate
 /// vector, no iterator stack churn — one in-order recursion whose depth
-/// is the tree height.
+/// is the tree height, emitting whole leaf blocks with a tight loop.
 pub fn for_each<'a, S, B, F>(t: &'a Tree<S, B>, f: &mut F)
 where
     S: AugSpec,
@@ -59,9 +73,18 @@ where
     F: FnMut(&'a S::K, &'a S::V),
 {
     if let Some(n) = t.as_deref() {
-        for_each(&n.left, f);
-        f(&n.key, &n.val);
-        for_each(&n.right, f);
+        match n {
+            Node::Leaf(l) => {
+                for e in l.entries() {
+                    f(&e.key, &e.val);
+                }
+            }
+            Node::Internal(x) => {
+                for_each(&x.left, f);
+                f(&x.key, &x.val);
+                for_each(&x.right, f);
+            }
+        }
     }
 }
 
@@ -77,24 +100,40 @@ where
     F: Fn(&S::K, &S::V) -> S2::V + Sync,
 {
     let n: &Node<S, B> = t.as_deref()?;
-    let (l, r) = par2_if(
-        n.size > granularity(),
-        || map_values::<S, S2, B, F>(&n.left, f),
-        || map_values::<S, S2, B, F>(&n.right, f),
-    );
-    // Same shape + same balance scheme => reusing `meta`/`em` verbatim is
-    // valid for every scheme (heights, colors, priorities only depend on
-    // structure / entry identity).
-    Some(Node::make(
-        l,
-        EntryOwned {
-            key: n.key.clone(),
-            val: f(&n.key, &n.val),
-            em: n.em,
-        },
-        n.meta,
-        r,
-    ))
+    match n {
+        Node::Leaf(l) => {
+            let entries = l
+                .entries()
+                .iter()
+                .map(|e| EntryOwned {
+                    key: e.key.clone(),
+                    val: f(&e.key, &e.val),
+                    em: e.em,
+                })
+                .collect();
+            Some(Node::make_leaf(entries))
+        }
+        Node::Internal(x) => {
+            let (l, r) = par2_if(
+                x.size > granularity(),
+                || map_values::<S, S2, B, F>(&x.left, f),
+                || map_values::<S, S2, B, F>(&x.right, f),
+            );
+            // Same shape + same balance scheme => reusing `meta`/`em`
+            // verbatim is valid for every scheme (heights, colors,
+            // priorities only depend on structure / entry identity).
+            Some(Node::make(
+                l,
+                EntryOwned {
+                    key: x.key.clone(),
+                    val: f(&x.key, &x.val),
+                    em: x.em,
+                },
+                x.meta,
+                r,
+            ))
+        }
+    }
 }
 
 /// Filter-and-map in one pass: rebuild the map keeping only entries for
@@ -108,23 +147,41 @@ where
     F: Fn(&S::K, &S::V) -> Option<S2::V> + Sync,
 {
     let n: &Node<S, B> = t.as_deref()?;
-    let kept = f(&n.key, &n.val);
-    let (l, r) = par2_if(
-        n.size > granularity(),
-        || filter_map_values::<S, S2, B, F>(&n.left, f),
-        || filter_map_values::<S, S2, B, F>(&n.right, f),
-    );
-    match kept {
-        Some(val) => Some(B::join(
-            l,
-            EntryOwned {
-                key: n.key.clone(),
-                val,
-                em: n.em,
-            },
-            r,
-        )),
-        None => crate::ops::split::join2(l, r),
+    match n {
+        Node::Leaf(l) => {
+            let entries: Vec<EntryOwned<S2, B>> = l
+                .entries()
+                .iter()
+                .filter_map(|e| {
+                    f(&e.key, &e.val).map(|val| EntryOwned {
+                        key: e.key.clone(),
+                        val,
+                        em: e.em,
+                    })
+                })
+                .collect();
+            crate::balance::from_sorted_entries::<S2, B>(entries)
+        }
+        Node::Internal(x) => {
+            let kept = f(&x.key, &x.val);
+            let (l, r) = par2_if(
+                x.size > granularity(),
+                || filter_map_values::<S, S2, B, F>(&x.left, f),
+                || filter_map_values::<S, S2, B, F>(&x.right, f),
+            );
+            match kept {
+                Some(val) => join_tree(
+                    l,
+                    EntryOwned {
+                        key: x.key.clone(),
+                        val,
+                        em: x.em,
+                    },
+                    r,
+                ),
+                None => crate::ops::split::join2(l, r),
+            }
+        }
     }
 }
 
@@ -135,15 +192,24 @@ pub fn to_vec<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<(S::K, S::V)> {
 
 fn fill_entries<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<(S::K, S::V)>]) {
     if let Some(n) = t.as_deref() {
-        let ls = size(&n.left);
-        let (lo, rest) = out.split_at_mut(ls);
-        let (mid, ro) = rest.split_at_mut(1);
-        mid[0] = MaybeUninit::new((n.key.clone(), n.val.clone()));
-        par2_if(
-            n.size > granularity(),
-            || fill_entries(&n.left, lo),
-            || fill_entries(&n.right, ro),
-        );
+        match n {
+            Node::Leaf(l) => {
+                for (slot, e) in out.iter_mut().zip(l.entries()) {
+                    *slot = MaybeUninit::new((e.key.clone(), e.val.clone()));
+                }
+            }
+            Node::Internal(x) => {
+                let ls = size(&x.left);
+                let (lo, rest) = out.split_at_mut(ls);
+                let (mid, ro) = rest.split_at_mut(1);
+                mid[0] = MaybeUninit::new((x.key.clone(), x.val.clone()));
+                par2_if(
+                    x.size > granularity(),
+                    || fill_entries(&x.left, lo),
+                    || fill_entries(&x.right, ro),
+                );
+            }
+        }
     }
 }
 
@@ -154,15 +220,24 @@ pub fn keys<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<S::K> {
 
 fn fill_keys<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<S::K>]) {
     if let Some(n) = t.as_deref() {
-        let ls = size(&n.left);
-        let (lo, rest) = out.split_at_mut(ls);
-        let (mid, ro) = rest.split_at_mut(1);
-        mid[0] = MaybeUninit::new(n.key.clone());
-        par2_if(
-            n.size > granularity(),
-            || fill_keys(&n.left, lo),
-            || fill_keys(&n.right, ro),
-        );
+        match n {
+            Node::Leaf(l) => {
+                for (slot, e) in out.iter_mut().zip(l.entries()) {
+                    *slot = MaybeUninit::new(e.key.clone());
+                }
+            }
+            Node::Internal(x) => {
+                let ls = size(&x.left);
+                let (lo, rest) = out.split_at_mut(ls);
+                let (mid, ro) = rest.split_at_mut(1);
+                mid[0] = MaybeUninit::new(x.key.clone());
+                par2_if(
+                    x.size > granularity(),
+                    || fill_keys(&x.left, lo),
+                    || fill_keys(&x.right, ro),
+                );
+            }
+        }
     }
 }
 
@@ -173,15 +248,24 @@ pub fn values<S: AugSpec, B: Balance>(t: &Tree<S, B>) -> Vec<S::V> {
 
 fn fill_vals<S: AugSpec, B: Balance>(t: &Tree<S, B>, out: &mut [MaybeUninit<S::V>]) {
     if let Some(n) = t.as_deref() {
-        let ls = size(&n.left);
-        let (lo, rest) = out.split_at_mut(ls);
-        let (mid, ro) = rest.split_at_mut(1);
-        mid[0] = MaybeUninit::new(n.val.clone());
-        par2_if(
-            n.size > granularity(),
-            || fill_vals(&n.left, lo),
-            || fill_vals(&n.right, ro),
-        );
+        match n {
+            Node::Leaf(l) => {
+                for (slot, e) in out.iter_mut().zip(l.entries()) {
+                    *slot = MaybeUninit::new(e.val.clone());
+                }
+            }
+            Node::Internal(x) => {
+                let ls = size(&x.left);
+                let (lo, rest) = out.split_at_mut(ls);
+                let (mid, ro) = rest.split_at_mut(1);
+                mid[0] = MaybeUninit::new(x.val.clone());
+                par2_if(
+                    x.size > granularity(),
+                    || fill_vals(&x.left, lo),
+                    || fill_vals(&x.right, ro),
+                );
+            }
+        }
     }
 }
 
@@ -210,12 +294,31 @@ mod tests {
     }
 
     #[test]
+    fn map_reduce_in_order_across_blocks() {
+        // long enough to span many leaf blocks
+        let m: AugMap<NoAug<u32, u32>> = AugMap::build((0..200u32).map(|i| (i, 0)).collect());
+        let s = m.map_reduce(|k, _| format!("{k},"), |a, b| a + &b, String::new());
+        let want: String = (0..200u32).map(|k| format!("{k},")).collect();
+        assert_eq!(s, want);
+    }
+
+    #[test]
     fn map_values_preserves_shape_and_recomputes_aug() {
         let m = M::build((0..300u64).map(|i| (i, 1)).collect());
         let doubled: M = m.map_values(|_, &v| v * 2);
         doubled.check_invariants().unwrap();
         assert_eq!(doubled.aug_val(), 600);
         assert_eq!(doubled.len(), 300);
+    }
+
+    #[test]
+    fn filter_map_values_keeps_invariants() {
+        let m = M::build((0..500u64).map(|i| (i, i)).collect());
+        let odd: M = m.filter_map_values(|_, &v| (v % 2 == 1).then_some(v * 10));
+        odd.check_invariants().unwrap();
+        assert_eq!(odd.len(), 250);
+        assert_eq!(odd.get(&3), Some(&30));
+        assert_eq!(odd.get(&4), None);
     }
 
     #[test]

@@ -5,12 +5,81 @@
 //! combine function `h` applied when a key occurs in both inputs. They are
 //! work-optimal — O(m·log(n/m + 1)) for inputs of size m ≤ n — and have
 //! O(log n · log m) span with the two recursive calls forked in parallel.
+//!
+//! With blocked leaves, the recursion bottoms out when both sides fit in
+//! a block: a sequential sorted merge of the two blocks replaces further
+//! splitting.
 
-use crate::balance::{join_tree, Balance};
-use crate::node::{expose, EntryOwned, Tree};
+use crate::balance::{from_sorted_entries, join_tree, Balance};
+use crate::node::{expose, flatten_into, size, EntryOwned, Tree};
 use crate::ops::split::{join2, split};
 use crate::spec::AugSpec;
 use parlay::{granularity, par2_if};
+use std::cmp::Ordering;
+
+/// Flatten two key-disjoint-or-overlapping small trees and merge them,
+/// resolving duplicate keys with `resolve` (`None` drops the key).
+fn merge_blocks<S, B, F>(t1: Tree<S, B>, t2: Tree<S, B>, each: MergeKeep, resolve: &F) -> Tree<S, B>
+where
+    S: AugSpec,
+    B: Balance,
+    F: Fn(&S::V, &S::V) -> Option<S::V>,
+{
+    let mut a = Vec::with_capacity(size(&t1));
+    flatten_into(t1, &mut a);
+    let mut b = Vec::with_capacity(size(&t2));
+    flatten_into(t2, &mut b);
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut bi = b.into_iter().peekable();
+    for e1 in a {
+        loop {
+            match bi.peek() {
+                Some(e2) => match S::compare(&e2.key, &e1.key) {
+                    Ordering::Less => {
+                        let e2 = bi.next().expect("peeked");
+                        if each.right {
+                            out.push(e2);
+                        }
+                    }
+                    Ordering::Equal => {
+                        let e2 = bi.next().expect("peeked");
+                        if let Some(val) = resolve(&e1.val, &e2.val) {
+                            out.push(EntryOwned {
+                                key: e1.key,
+                                val,
+                                em: e1.em,
+                            });
+                        }
+                        break;
+                    }
+                    Ordering::Greater => {
+                        if each.left {
+                            out.push(e1);
+                        }
+                        break;
+                    }
+                },
+                None => {
+                    if each.left {
+                        out.push(e1);
+                    }
+                    break;
+                }
+            }
+        }
+    }
+    if each.right {
+        out.extend(bi);
+    }
+    from_sorted_entries::<S, B>(out)
+}
+
+/// Which one-sided keys survive a [`merge_blocks`].
+#[derive(Copy, Clone)]
+struct MergeKeep {
+    left: bool,
+    right: bool,
+}
 
 /// Union of two maps. When a key appears in both, the result value is
 /// `combine(v1, v2)` with `v1` from `t1` and `v2` from `t2`.
@@ -24,7 +93,19 @@ where
         (None, t2) => t2,
         (t1, None) => t1,
         (Some(n1), Some(n2)) => {
-            let work = n1.size + n2.size;
+            let cap = B::LEAF_CAP;
+            if n1.size_of() <= cap && n2.size_of() <= cap {
+                return merge_blocks(
+                    Some(n1),
+                    Some(n2),
+                    MergeKeep {
+                        left: true,
+                        right: true,
+                    },
+                    &|v1, v2| Some(combine(v1, v2)),
+                );
+            }
+            let work = n1.size_of() + n2.size_of();
             let (l2, e2, _m, r2) = expose(n2);
             let (l1, v1, r1) = split(Some(n1), &e2.key);
             let (l, r) = par2_if(
@@ -60,7 +141,19 @@ where
     match (t1, t2) {
         (None, _) | (_, None) => None,
         (Some(n1), Some(n2)) => {
-            let work = n1.size + n2.size;
+            let cap = B::LEAF_CAP;
+            if n1.size_of() <= cap && n2.size_of() <= cap {
+                return merge_blocks(
+                    Some(n1),
+                    Some(n2),
+                    MergeKeep {
+                        left: false,
+                        right: false,
+                    },
+                    &|v1, v2| Some(combine(v1, v2)),
+                );
+            }
+            let work = n1.size_of() + n2.size_of();
             let (l2, e2, _m, r2) = expose(n2);
             let (l1, v1, r1) = split(Some(n1), &e2.key);
             let (l, r) = par2_if(
@@ -97,7 +190,19 @@ where
         (None, _) => None,
         (t1, None) => t1,
         (Some(n1), Some(n2)) => {
-            let work = n1.size + n2.size;
+            let cap = B::LEAF_CAP;
+            if n1.size_of() <= cap && n2.size_of() <= cap {
+                return merge_blocks(
+                    Some(n1),
+                    Some(n2),
+                    MergeKeep {
+                        left: true,
+                        right: false,
+                    },
+                    &|_, _| None,
+                );
+            }
+            let work = n1.size_of() + n2.size_of();
             let (l2, e2, _m, r2) = expose(n2);
             let (l1, _v1, r1) = split(Some(n1), &e2.key);
             drop(e2);
@@ -165,5 +270,21 @@ mod tests {
         assert_eq!(u, a.len() + b.len() - i);
         // |A \ B| = |A| - |A ∩ B|
         assert_eq!(a.clone().difference(b).len(), a.len() - i);
+    }
+
+    #[test]
+    fn interleaved_unions_stay_valid() {
+        // forces the block-merge bottom at many boundaries
+        let a = M::build((0..500u64).map(|i| (i * 2, 1)).collect());
+        let b = M::build((0..500u64).map(|i| (i * 2 + 1, 2)).collect());
+        let u = a.clone().union_with(b.clone(), |x, y| x + y);
+        u.check_invariants().unwrap();
+        assert_eq!(u.len(), 1000);
+        let i = u.clone().intersect_with(a.clone(), |x, _| *x);
+        i.check_invariants().unwrap();
+        assert_eq!(i.len(), 500);
+        let d = u.difference(b);
+        d.check_invariants().unwrap();
+        assert_eq!(d.to_vec(), a.to_vec());
     }
 }

@@ -1,11 +1,23 @@
 //! `split`, `join2` and their helpers — the glue between `join` and the
-//! bulk algorithms (§4, "Join, Split, Join2 and Union").
+//! bulk algorithms (§4, "Join, Split, Join2 and Union"). Splitting a leaf
+//! block slices it in O(LEAF_CAP); the halves stay legal because a
+//! *root* leaf may hold any number of entries, and every non-root
+//! position is re-joined through the repairing `join_tree`.
 
 use crate::balance::{join_tree, Balance};
-use crate::node::{expose, EntryOwned, Node, Tree};
+use crate::node::{expose, take_leaf_entries, EntryOwned, Node, Tree};
 use crate::spec::AugSpec;
 use std::cmp::Ordering;
 use std::sync::Arc;
+
+/// Wrap entries as a leaf, or `None` when empty.
+fn leaf_or_empty<S: AugSpec, B: Balance>(entries: Vec<EntryOwned<S, B>>) -> Tree<S, B> {
+    if entries.is_empty() {
+        None
+    } else {
+        Some(Node::make_leaf(entries))
+    }
+}
 
 /// `⟨L, v, R⟩ = split(T, k)`: entries less than `k`, the value at `k` (if
 /// present), and entries greater than `k`. O(log n).
@@ -16,6 +28,18 @@ pub fn split<S: AugSpec, B: Balance>(
 ) -> (Tree<S, B>, Option<S::V>, Tree<S, B>) {
     match t {
         None => (None, None, None),
+        Some(n) if n.is_leaf() => {
+            let mut entries = take_leaf_entries(n);
+            let (v, right) = match entries.binary_search_by(|x| S::compare(&x.key, k)) {
+                Ok(i) => {
+                    let mut right = entries.split_off(i);
+                    let at = right.remove(0);
+                    (Some(at.val), right)
+                }
+                Err(i) => (None, entries.split_off(i)),
+            };
+            (leaf_or_empty(entries), v, leaf_or_empty(right))
+        }
         Some(n) => {
             let (l, e, _m, r) = expose(n);
             match S::compare(k, &e.key) {
@@ -35,6 +59,11 @@ pub fn split<S: AugSpec, B: Balance>(
 
 /// Remove and return the maximum entry. O(log n).
 pub fn split_last<S: AugSpec, B: Balance>(n: Arc<Node<S, B>>) -> (Tree<S, B>, EntryOwned<S, B>) {
+    if n.is_leaf() {
+        let mut entries = take_leaf_entries(n);
+        let last = entries.pop().expect("leaf blocks are never empty");
+        return (leaf_or_empty(entries), last);
+    }
     let (l, e, _m, r) = expose(n);
     match r {
         None => (l, e),
@@ -47,6 +76,11 @@ pub fn split_last<S: AugSpec, B: Balance>(n: Arc<Node<S, B>>) -> (Tree<S, B>, En
 
 /// Remove and return the minimum entry. O(log n).
 pub fn split_first<S: AugSpec, B: Balance>(n: Arc<Node<S, B>>) -> (EntryOwned<S, B>, Tree<S, B>) {
+    if n.is_leaf() {
+        let mut entries = take_leaf_entries(n);
+        let first = entries.remove(0);
+        return (first, leaf_or_empty(entries));
+    }
     let (l, e, _m, r) = expose(n);
     match l {
         None => (e, r),
@@ -79,8 +113,13 @@ pub fn split_rank<S: AugSpec, B: Balance>(t: Tree<S, B>, i: usize) -> (Tree<S, B
             if i == 0 {
                 return (None, Some(n));
             }
-            if i >= n.size {
+            if i >= n.size_of() {
                 return (Some(n), None);
+            }
+            if n.is_leaf() {
+                let mut entries = take_leaf_entries(n);
+                let right = entries.split_off(i);
+                return (leaf_or_empty(entries), leaf_or_empty(right));
             }
             let (l, e, _m, r) = expose(n);
             let ls = crate::node::size(&l);
@@ -161,5 +200,21 @@ mod tests {
         assert!(r.is_none());
         let (l, r) = split_rank::<S, WeightBalanced>(None, 3);
         assert!(l.is_none() && r.is_none());
+    }
+
+    #[test]
+    fn split_inside_blocks_keeps_both_halves_valid() {
+        let m = M::build((0..300u64).map(|i| (i * 2, i)).collect());
+        for k in [0u64, 1, 7, 100, 299, 300, 598, 600] {
+            let (l, _, r) = split(m.root().clone(), &k);
+            M::from_root(l).check_invariants().unwrap();
+            M::from_root(r).check_invariants().unwrap();
+        }
+        for i in [0usize, 1, 17, 150, 299, 300] {
+            let (l, r) = split_rank(m.root().clone(), i);
+            assert_eq!(crate::node::size(&l), i);
+            M::from_root(l).check_invariants().unwrap();
+            M::from_root(r).check_invariants().unwrap();
+        }
     }
 }

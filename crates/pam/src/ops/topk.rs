@@ -9,7 +9,8 @@
 //!
 //! This is the generic engine behind the inverted index's "top 10
 //! documents by weight" query (§5.3): the paper stores the max weight as
-//! the augmentation precisely to make this search possible.
+//! the augmentation precisely to make this search possible. Expanding a
+//! leaf block scores its (at most `LEAF_CAP`) entries individually.
 
 use crate::balance::Balance;
 use crate::node::{Node, Tree};
@@ -64,7 +65,7 @@ where
     let mut heap: BinaryHeap<Ranked<'a, S, B, W>> = BinaryHeap::new();
     if let Some(root) = t.as_deref() {
         heap.push(Ranked {
-            score: bound(&root.aug),
+            score: bound(root.aug()),
             item: Item::Sub(root),
         });
     }
@@ -77,24 +78,34 @@ where
             }) => out.push((key, val)),
             Some(Ranked {
                 item: Item::Sub(n), ..
-            }) => {
-                heap.push(Ranked {
-                    score: score(&n.key, &n.val),
-                    item: Item::Entry(&n.key, &n.val),
-                });
-                if let Some(l) = n.left.as_deref() {
-                    heap.push(Ranked {
-                        score: bound(&l.aug),
-                        item: Item::Sub(l),
-                    });
+            }) => match n {
+                Node::Leaf(l) => {
+                    for e in l.entries() {
+                        heap.push(Ranked {
+                            score: score(&e.key, &e.val),
+                            item: Item::Entry(&e.key, &e.val),
+                        });
+                    }
                 }
-                if let Some(r) = n.right.as_deref() {
+                Node::Internal(x) => {
                     heap.push(Ranked {
-                        score: bound(&r.aug),
-                        item: Item::Sub(r),
+                        score: score(&x.key, &x.val),
+                        item: Item::Entry(&x.key, &x.val),
                     });
+                    if let Some(l) = x.left.as_deref() {
+                        heap.push(Ranked {
+                            score: bound(l.aug()),
+                            item: Item::Sub(l),
+                        });
+                    }
+                    if let Some(r) = x.right.as_deref() {
+                        heap.push(Ranked {
+                            score: bound(r.aug()),
+                            item: Item::Sub(r),
+                        });
+                    }
                 }
-            }
+            },
         }
     }
     out

@@ -59,6 +59,28 @@ pub trait AugSpec: 'static {
     fn combine3(l: &Self::A, m: Self::A, r: &Self::A) -> Self::A {
         Self::combine(l, &Self::combine(&m, r))
     }
+
+    /// Fold `f(g(k1,v1), ..., g(kn,vn))` over a sorted leaf *block* — the
+    /// per-block form of the monoid used by blocked leaves (the identity
+    /// for an empty block, though leaf blocks are never empty).
+    /// Overridable for specs with a cheaper whole-block fold (e.g. a SIMD
+    /// sum); the default right-folds `combine` over the bases.
+    #[inline]
+    fn fold_block<'a>(items: impl Iterator<Item = (&'a Self::K, &'a Self::V)>) -> Self::A
+    where
+        Self::K: 'a,
+        Self::V: 'a,
+    {
+        let mut acc: Option<Self::A> = None;
+        for (k, v) in items {
+            let b = Self::base(k, v);
+            acc = Some(match acc {
+                None => b,
+                Some(a) => Self::combine(&a, &b),
+            });
+        }
+        acc.unwrap_or_else(Self::identity)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -285,6 +307,16 @@ mod tests {
     fn combine3_matches_two_applications() {
         type S = SumAug<u64, u64>;
         assert_eq!(S::combine3(&1, 2, &3), 6);
+    }
+
+    #[test]
+    fn fold_block_matches_pairwise_combine() {
+        type S = SumAug<u64, u64>;
+        let block: Vec<(u64, u64)> = vec![(1, 10), (2, 20), (3, 30)];
+        let folded = S::fold_block(block.iter().map(|(k, v)| (k, v)));
+        assert_eq!(folded, 60);
+        let empty = S::fold_block(std::iter::empty::<(&u64, &u64)>());
+        assert_eq!(empty, S::identity());
     }
 
     #[test]

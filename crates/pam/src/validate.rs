@@ -6,7 +6,11 @@
 //! 2. **size** — the cached subtree size is correct;
 //! 3. **augmentation** — the stored augmented value equals
 //!    `f(g(k1,v1), ..., g(kn,vn))` recomputed from scratch;
-//! 4. **balance** — the scheme's local invariant holds ([`Balance::local_ok`]).
+//! 4. **balance** — the scheme's local invariant holds ([`Balance::local_ok`]);
+//! 5. **leaf fill** — blocks are non-empty, at most `LEAF_CAP` long, and
+//!    non-root blocks are at least half full; for `LEAF_CAP >= 2` a
+//!    subtree of size `<= LEAF_CAP` must *be* a single block (internal
+//!    nodes only exist above block capacity).
 
 use crate::balance::Balance;
 use crate::node::{Node, Tree};
@@ -31,11 +35,11 @@ where
         }
         prev = Some(k);
     }
-    // size / aug / balance
-    rec(t).map(|_| ())
+    // size / aug / balance / fill
+    rec(t, true).map(|_| ())
 }
 
-fn rec<S, B>(t: &Tree<S, B>) -> Result<(usize, Option<S::A>), String>
+fn rec<S, B>(t: &Tree<S, B>, is_root: bool) -> Result<(usize, Option<S::A>), String>
 where
     S: AugSpec,
     S::A: PartialEq + std::fmt::Debug,
@@ -45,30 +49,73 @@ where
         None => return Ok((0, None)),
         Some(n) => n,
     };
-    let (ls, laug) = rec(&n.left)?;
-    let (rs, raug) = rec(&n.right)?;
-    if n.size != ls + rs + 1 {
-        return Err(format!(
-            "size mismatch: stored {} != {}",
-            n.size,
-            ls + rs + 1
-        ));
+    let cap = B::LEAF_CAP;
+    match n {
+        Node::Leaf(l) => {
+            let len = l.entries().len();
+            if len == 0 {
+                return Err("empty leaf block".into());
+            }
+            if cap <= 1 && len != 1 {
+                return Err(format!("leaf block of {len} entries with LEAF_CAP 1"));
+            }
+            if cap >= 2 {
+                if len > cap {
+                    return Err(format!("leaf block overfull: {len} > cap {cap}"));
+                }
+                if !is_root && len < cap / 2 {
+                    return Err(format!(
+                        "non-root leaf block underfull: {len} < cap/2 = {}",
+                        cap / 2
+                    ));
+                }
+            }
+            let expect = S::fold_block(l.entries().iter().map(|e| (&e.key, &e.val)));
+            if *l.aug() != expect {
+                return Err(format!(
+                    "leaf augmented value mismatch: stored {:?} != recomputed {:?}",
+                    l.aug(),
+                    expect
+                ));
+            }
+            if !B::local_ok(n) {
+                return Err(format!("{} balance invariant violated at leaf", B::NAME));
+            }
+            Ok((len, Some(l.aug().clone())))
+        }
+        Node::Internal(x) => {
+            if cap >= 2 && x.size <= cap {
+                return Err(format!(
+                    "internal node of size {} (<= cap {cap}) should be a leaf block",
+                    x.size
+                ));
+            }
+            let (ls, laug) = rec(&x.left, false)?;
+            let (rs, raug) = rec(&x.right, false)?;
+            if x.size != ls + rs + 1 {
+                return Err(format!(
+                    "size mismatch: stored {} != {}",
+                    x.size,
+                    ls + rs + 1
+                ));
+            }
+            let mid = S::base(&x.key, &x.val);
+            let expect = match (laug, raug) {
+                (None, None) => mid,
+                (Some(l), None) => S::combine(&l, &mid),
+                (None, Some(r)) => S::combine(&mid, &r),
+                (Some(l), Some(r)) => S::combine(&l, &S::combine(&mid, &r)),
+            };
+            if x.aug != expect {
+                return Err(format!(
+                    "augmented value mismatch: stored {:?} != recomputed {:?}",
+                    x.aug, expect
+                ));
+            }
+            if !B::local_ok(n) {
+                return Err(format!("{} balance invariant violated", B::NAME));
+            }
+            Ok((x.size, Some(x.aug.clone())))
+        }
     }
-    let mid = S::base(&n.key, &n.val);
-    let expect = match (laug, raug) {
-        (None, None) => mid,
-        (Some(l), None) => S::combine(&l, &mid),
-        (None, Some(r)) => S::combine(&mid, &r),
-        (Some(l), Some(r)) => S::combine(&l, &S::combine(&mid, &r)),
-    };
-    if n.aug != expect {
-        return Err(format!(
-            "augmented value mismatch: stored {:?} != recomputed {:?}",
-            n.aug, expect
-        ));
-    }
-    if !B::local_ok(n) {
-        return Err(format!("{} balance invariant violated", B::NAME));
-    }
-    Ok((n.size, Some(n.aug.clone())))
 }

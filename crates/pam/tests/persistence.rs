@@ -29,11 +29,18 @@ fn union_shares_nodes_with_larger_input() {
     let before = unique_nodes(&[big.root()]);
     let out = big.clone().union_with(small, |a, b| a + b);
     let (total, shared) = shared_with(out.root(), &[big.root()]);
-    assert_eq!(total, out.len()); // distinct keys -> distinct nodes
-                                  // most nodes must be shared: only the paths to ~100 keys are copied
+    // with blocked leaves a node covers up to LEAF_CAP entries, so the
+    // node count is far below the entry count
     assert!(
-        shared * 10 > before * 9,
-        "expected >90% sharing, got {shared}/{before}"
+        total <= out.len(),
+        "{total} nodes for {} entries",
+        out.len()
+    );
+    // most nodes must be shared: only the ~100 touched blocks and their
+    // root paths are copied
+    assert!(
+        shared * 10 > before * 8,
+        "expected >80% sharing, got {shared}/{before}"
     );
 }
 
@@ -58,7 +65,7 @@ fn range_extraction_shares_with_source() {
     let m = M::build((0..50_000u64).map(|i| (i, i)).collect());
     let r = m.range(&10_000, &40_000);
     let (total, shared) = shared_with(r.root(), &[m.root()]);
-    assert_eq!(total, r.len());
+    assert!(total <= r.len(), "{total} nodes for {} entries", r.len());
     // a contiguous range reuses all interior subtrees except the two
     // boundary spines
     assert!(shared * 10 > total * 9, "got {shared}/{total}");
@@ -99,10 +106,17 @@ fn par_drop_releases_unique_tree() {
 #[test]
 fn unique_trees_mutate_without_copying_everything() {
     // With the reuse optimization, inserting into a uniquely-owned tree
-    // allocates only the path, so total unique nodes stay ~n.
+    // allocates only the path; the reachable node count stays between
+    // n / LEAF_CAP (all entries packed into full blocks) and n.
     let mut m = M::build((0..10_000u64).map(|i| (i, i)).collect());
     for i in 0..1000u64 {
         m.insert(20_000 + i, 1);
     }
-    assert_eq!(unique_nodes(&[m.root()]), m.len());
+    let nodes = unique_nodes(&[m.root()]);
+    assert!(nodes <= m.len(), "{nodes} nodes for {} entries", m.len());
+    assert!(
+        nodes * pam::DEFAULT_LEAF_B.max(1) >= m.len(),
+        "{nodes} nodes cannot cover {} entries",
+        m.len()
+    );
 }
